@@ -1,0 +1,99 @@
+// Shared plumbing for the reproduction benches.
+//
+// Every bench binary is self-contained and runnable with no arguments; it
+// prints (a) a header naming the paper artifact it regenerates, (b) a
+// machine-readable CSV block, and (c) a human-readable analysis — ASCII
+// tables/plots plus explicit paper-vs-measured verdict lines that
+// EXPERIMENTS.md quotes.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "eval/analysis.hpp"
+#include "eval/experiment.hpp"
+#include "model/trace.hpp"
+#include "trace/suite.hpp"
+#include "util/ascii.hpp"
+#include "util/stats.hpp"
+
+namespace ct::bench {
+
+inline void header(const std::string& name, const std::string& artifact,
+                   const std::string& description) {
+  std::cout << "=====================================================\n"
+            << "bench: " << name << "\n"
+            << "reproduces: " << artifact << "\n"
+            << description << "\n"
+            << "=====================================================\n";
+}
+
+inline void section(const std::string& title) {
+  std::cout << "\n-- " << title << " --\n";
+}
+
+/// One paper-vs-measured verdict line (quoted by EXPERIMENTS.md).
+inline void verdict(const std::string& claim, const std::string& paper,
+                    const std::string& measured, bool holds) {
+  std::cout << (holds ? "[SHAPE HOLDS] " : "[SHAPE DIFFERS] ") << claim
+            << "\n    paper:    " << paper << "\n    measured: " << measured
+            << "\n";
+}
+
+struct LoadedSuite {
+  std::vector<Trace> traces;
+  std::vector<std::string> ids;
+  std::vector<TraceFamily> families;
+};
+
+/// Generates the frozen 54-computation suite with its ids.
+inline LoadedSuite load_suite() {
+  LoadedSuite s;
+  s.traces = generate_standard_suite(/*parallel=*/true);
+  for (const auto& entry : standard_suite()) {
+    s.ids.push_back(entry.id);
+    s.families.push_back(entry.family);
+  }
+  return s;
+}
+
+/// Prints a set of sweep rows as CSV: trace,family,strategy,maxCS,ratio.
+inline void print_sweep_csv(const std::vector<SweepRow>& rows) {
+  std::cout << "trace,family,strategy,maxCS,ratio\n";
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.sizes.size(); ++i) {
+      std::printf("%s,%s,%s,%zu,%.6f\n", row.trace_id.c_str(),
+                  to_string(row.family), row.strategy.c_str(), row.sizes[i],
+                  row.ratios[i]);
+    }
+  }
+}
+
+/// Renders sweep rows of ONE computation as a Figure-4/5-style ASCII plot.
+inline void plot_rows(const std::string& title,
+                      const std::vector<const SweepRow*>& rows) {
+  if (rows.empty()) return;
+  std::vector<double> x;
+  for (const std::size_t s : rows.front()->sizes) {
+    x.push_back(static_cast<double>(s));
+  }
+  AsciiPlot plot(title, "Maximum Cluster Size", "Average Timestamp Ratio", x);
+  double peak = 0.0;
+  for (const SweepRow* row : rows) {
+    for (const double r : row->ratios) peak = std::max(peak, r);
+  }
+  plot.set_y_range(0.0, std::max(0.6, peak * 1.05));  // paper's y scale
+  for (const SweepRow* row : rows) {
+    plot.add_series({row->strategy, row->ratios});
+  }
+  plot.print(std::cout);
+}
+
+inline std::string range_to_string(const SizeRange& r) {
+  if (r.empty()) return "(none)";
+  return "[" + std::to_string(r.lo) + "," + std::to_string(r.hi) + "]";
+}
+
+}  // namespace ct::bench

@@ -1,0 +1,79 @@
+// Figure 5 (E3): merge-on-Nth-communication vs merge-on-1st.
+//
+// Same two sample computations as Figure 4; merge-on-1st against
+// merge-on-Nth with normalized cluster-receive thresholds 5 and 10.
+// The paper's observations to reproduce:
+//   * raising the threshold flattens (smooths) the ratio curve;
+//   * the flattened curve is not necessarily much higher than
+//     merge-on-1st at its best (upper panel)…
+//   * …but it can smooth at a substantially higher level (lower panel's
+//     "smoothed at the 40% mark, not the 20% mark").
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ct;
+  bench::header(
+      "fig5_dynamic_threshold", "Figure 5 (both panels)",
+      "Average timestamp-size ratio vs maxCS; merge-on-1st vs merge-on-Nth\n"
+      "(normalized CR thresholds 5 and 10) on the Figure-4 computations.");
+
+  const auto sizes = default_sizes();
+  const std::vector<StrategySpec> specs{StrategySpec::merge_on_first(),
+                                        StrategySpec::merge_on_nth(5),
+                                        StrategySpec::merge_on_nth(10)};
+
+  struct Panel {
+    const char* label;
+    Trace trace;
+  };
+  std::vector<Panel> panels;
+  panels.push_back({"upper (hub-heavy worst case)", figure_sample_upper()});
+  panels.push_back({"lower (sticky-session web)", figure_sample_lower()});
+
+  std::vector<SweepRow> all_rows;
+  for (const auto& panel : panels) {
+    for (const auto& spec : specs) {
+      all_rows.push_back(
+          run_sweep(panel.trace, panel.trace.name(), spec, sizes));
+    }
+  }
+
+  bench::section("csv");
+  bench::print_sweep_csv(all_rows);
+
+  for (std::size_t p = 0; p < panels.size(); ++p) {
+    bench::section(std::string("panel: ") + panels[p].label);
+    const SweepRow& m1 = all_rows[p * 3];
+    const SweepRow& nth5 = all_rows[p * 3 + 1];
+    const SweepRow& nth10 = all_rows[p * 3 + 2];
+    bench::plot_rows("Ratio of Cluster-Timestamp Size to Fidge/Mattern Size",
+                     {&m1, &nth5, &nth10});
+
+    const double rough1 = curve_roughness(m1);
+    const double rough5 = curve_roughness(nth5);
+    const double rough10 = curve_roughness(nth10);
+    std::printf("roughness: m1st=%.4f CR>5=%.4f CR>10=%.4f\n", rough1, rough5,
+                rough10);
+    bench::verdict(
+        "raising the threshold flattens the curve",
+        "'as the threshold increased, the result was indeed the flatter "
+        "curve that we had hoped for'",
+        "roughness m1st=" + fmt(rough1, 4) + " -> CR>10=" + fmt(rough10, 4),
+        rough10 < rough1);
+
+    // Average level of the smoothed curve vs merge-on-1st's best point.
+    double mean10 = 0.0;
+    for (const double r : nth10.ratios) mean10 += r;
+    mean10 /= static_cast<double>(nth10.ratios.size());
+    std::printf("mean(CR>10 curve)=%.4f vs m1st best=%.4f\n", mean10,
+                m1.best_ratio());
+    bench::verdict(
+        "the deferred merging raises the curve (more full-FM cluster "
+        "receives), by a workload-dependent amount",
+        "'we expected the overall curve to rise' — modestly in the upper "
+        "panel, to ~2x the best level in the lower one",
+        "mean CR>10 / m1st best = " + fmt(mean10 / m1.best_ratio(), 2) + "x",
+        mean10 >= m1.best_ratio() * 0.95);
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// §1.1's motivating operation, measured end to end (E9 companion).
+//
+// "to do something as simple as computing the greatest-concurrent elements
+// of an event would require about 12,000 pages of virtual memory to be
+// read, only to be discarded ... Elementary operations, such as
+// partial-order scrolling, take several minutes as the vector size
+// approaches 1000."
+//
+// A greatest-concurrent (frontier) query issues ~2·N·log(E/N) precedence
+// tests, so the per-test cost of the timestamp scheme is multiplied by
+// thousands. This bench runs the SAME frontier algorithm over three
+// precedence backends: pre-computed FM, cluster timestamps, and POET/OLT's
+// compute-on-demand FM.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "monitor/queries.hpp"
+#include "timestamp/fm_store.hpp"
+#include "timestamp/ondemand_fm.hpp"
+#include "trace/generators.hpp"
+#include "util/prng.hpp"
+
+namespace ct {
+namespace {
+
+const Trace& trace_for(std::size_t n) {
+  static std::vector<std::unique_ptr<Trace>> cache(512);
+  if (!cache[n]) {
+    cache[n] = std::make_unique<Trace>(generate_locality_random(
+        {.processes = n,
+         .group_size = 10,
+         .intra_rate = 0.85,
+         .messages = n * 30,
+         .seed = 2000 + n}));
+  }
+  return *cache[n];
+}
+
+std::vector<EventId> probe_events(const Trace& t, std::size_t count) {
+  Prng rng(3);
+  const auto order = t.delivery_order();
+  std::vector<EventId> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(order[rng.index(order.size())]);
+  }
+  return out;
+}
+
+template <typename PrecedesFn>
+void run_frontiers(benchmark::State& state, const Trace& t,
+                   PrecedesFn&& precedes) {
+  const auto probes = probe_events(t, 64);
+  std::size_t i = 0;
+  std::size_t tests = 0;
+  for (auto _ : state) {
+    const EventId e = probes[i++ & 63];
+    const auto frontiers = compute_frontiers_with(
+        t.process_count(), e, precedes,
+        [&](ProcessId q) { return t.process_size(q); });
+    tests += frontiers.precedence_tests;
+    benchmark::DoNotOptimize(frontiers.greatest_concurrent.data());
+  }
+  state.counters["precedence_tests_per_op"] =
+      static_cast<double>(tests) / static_cast<double>(state.iterations());
+}
+
+void BM_Frontier_PrecomputedFm(benchmark::State& state) {
+  const Trace& t = trace_for(static_cast<std::size_t>(state.range(0)));
+  const FmStore store(t);
+  run_frontiers(state, t,
+                [&](EventId a, EventId b) { return store.precedes(a, b); });
+}
+BENCHMARK(BM_Frontier_PrecomputedFm)
+    ->Arg(100)
+    ->Arg(300)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Frontier_Cluster(benchmark::State& state) {
+  const Trace& t = trace_for(static_cast<std::size_t>(state.range(0)));
+  ClusterEngineConfig config{.max_cluster_size = 13, .fm_vector_width = 300};
+  ClusterTimestampEngine engine(t.process_count(), config,
+                                make_merge_on_nth(10));
+  engine.observe_trace(t);
+  run_frontiers(state, t, [&](EventId a, EventId b) {
+    return engine.precedes(t.event(a), t.event(b));
+  });
+}
+BENCHMARK(BM_Frontier_Cluster)
+    ->Arg(100)
+    ->Arg(300)
+    ->Unit(benchmark::kMicrosecond);
+
+// The paper's "several minutes" regime: each of the thousands of precedence
+// tests may recompute vectors. Kept to N=100 and few iterations so the
+// bench binary still finishes promptly — the gap is the point.
+void BM_Frontier_OnDemandFm(benchmark::State& state) {
+  const Trace& t = trace_for(static_cast<std::size_t>(state.range(0)));
+  OnDemandFmEngine engine(t, /*cache_capacity=*/256);
+  run_frontiers(state, t,
+                [&](EventId a, EventId b) { return engine.precedes(a, b); });
+}
+BENCHMARK(BM_Frontier_OnDemandFm)
+    ->Arg(100)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ct
+
+BENCHMARK_MAIN();

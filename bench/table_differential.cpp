@@ -1,0 +1,97 @@
+// §2.4 differential-encoding comparison (E8).
+//
+// "it is possible to use a differential technique between events within the
+// partial-order data structure. However, when we evaluated such an approach
+// we were unable to realize more than a factor of three in space saving."
+// The binding constraint is random access: precedence tests need arbitrary
+// FM(e), so checkpoints must stay dense; sparse checkpoints buy space at the
+// cost of decode replay. This bench sweeps the checkpoint interval and
+// reports both sides of that trade, plus the cluster-timestamp saving on the
+// same computations for contrast.
+#include "bench_common.hpp"
+#include "timestamp/differential.hpp"
+#include "util/prng.hpp"
+
+int main() {
+  using namespace ct;
+  bench::header(
+      "table_differential", "§2.4 text — differential technique ≤ ~3x",
+      "Space saving and decode cost of differential FM encoding vs checkpoint\n"
+      "interval, over the full suite; cluster timestamps for contrast.");
+
+  const auto suite = bench::load_suite();
+  const std::vector<std::size_t> intervals{2, 4, 8, 16};
+
+  bench::section("csv");
+  std::cout << "trace,interval,saving_factor,decode_replays_per_query\n";
+
+  std::vector<OnlineStats> saving(intervals.size());
+  std::vector<OnlineStats> decode_cost(intervals.size());
+  OnlineStats cluster_saving;
+
+  for (std::size_t i = 0; i < suite.traces.size(); ++i) {
+    const Trace& trace = suite.traces[i];
+    for (std::size_t k = 0; k < intervals.size(); ++k) {
+      const DifferentialStore diff(trace, intervals[k]);
+      // Decode a sample of events to measure replay cost per query.
+      Prng rng(1234 + i);
+      const auto order = trace.delivery_order();
+      constexpr std::size_t kQueries = 200;
+      for (std::size_t q = 0; q < kQueries; ++q) {
+        (void)diff.clock(order[rng.index(order.size())]);
+      }
+      const double replays = static_cast<double>(diff.events_replayed()) /
+                             static_cast<double>(kQueries);
+      std::printf("%s,%zu,%.3f,%.2f\n", suite.ids[i].c_str(), intervals[k],
+                  diff.saving_factor(), replays);
+      saving[k].add(diff.saving_factor());
+      decode_cost[k].add(replays);
+    }
+    // Cluster-timestamp saving on the same computation, against the SAME
+    // baseline the differential store uses: full FM vectors of width N
+    // (the trace's own process count), not the 300-slot tool convention.
+    const double ratio = run_cell(trace, StrategySpec::static_greedy(), 15,
+                                  trace.process_count());
+    cluster_saving.add(1.0 / ratio);
+  }
+
+  bench::section("summary");
+  AsciiTable table({"interval", "saving mean", "saving max",
+                    "decode replays/query (mean)"});
+  for (std::size_t k = 0; k < intervals.size(); ++k) {
+    table.add_row({std::to_string(intervals[k]), fmt(saving[k].mean(), 2),
+                   fmt(saving[k].max(), 2), fmt(decode_cost[k].mean(), 2)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "cluster timestamps (static greedy, maxCS=15, width-N baseline): "
+      "mean saving %.1fx, max %.1fx\n",
+      cluster_saving.mean(), cluster_saving.max());
+
+  bench::section("analysis");
+  // "Practical" interval: decode stays a handful of replays per query.
+  std::size_t practical = 0;
+  for (std::size_t k = 0; k < intervals.size(); ++k) {
+    if (decode_cost[k].mean() <= 4.0) practical = k;
+  }
+  bench::verdict(
+      "differential encoding saves only a small constant factor at "
+      "random-access-friendly checkpoint density",
+      "'we were unable to realize more than a factor of three in space "
+      "saving'",
+      "mean saving " + fmt(saving[practical].mean(), 2) + "x at interval " +
+          std::to_string(intervals[practical]) + " (decode " +
+          fmt(decode_cost[practical].mean(), 1) + " replays/query)",
+      saving[practical].mean() < 6.0);
+
+  bench::verdict(
+      "cluster timestamps save far more than the differential technique",
+      "cluster timestamps 'require up to an order-of-magnitude less space' "
+      "(§1.2) vs ≤3x for differential",
+      "cluster saving mean " + fmt(cluster_saving.mean(), 1) + "x / max " +
+          fmt(cluster_saving.max(), 1) + "x vs differential mean " +
+          fmt(saving[practical].mean(), 2) + "x",
+      cluster_saving.mean() > saving[practical].mean() &&
+          cluster_saving.max() >= 8.0);
+  return 0;
+}

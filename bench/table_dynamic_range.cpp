@@ -1,0 +1,109 @@
+// §4 dynamic-range analysis (E6) — merge-on-Nth with threshold 10.
+//
+// Full suite, merge-on-Nth (normalized CR > 10), maxCS 2..50. Paper results
+// to reproduce in shape:
+//   * a maxCS window (paper: [22,24]) puts all but two computations within
+//     20% of their best;
+//   * the exceptions still achieve an average timestamp size below one
+//     third of the Fidge/Mattern size.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ct;
+  bench::header(
+      "table_dynamic_range", "§4 text — merge-on-Nth range result",
+      "Coverage of 'within 20% of best' per maxCS over the full suite,\n"
+      "merge-on-Nth-communication with normalized threshold 10.");
+
+  const auto suite = bench::load_suite();
+  const auto sizes = default_sizes();
+  const std::vector<StrategySpec> specs{StrategySpec::merge_on_nth(10)};
+  const auto rows = sweep_many(suite.traces, suite.ids, suite.families, specs,
+                               sizes);
+
+  bench::section("csv");
+  bench::print_sweep_csv(rows);
+
+  bench::section("coverage per maxCS");
+  const auto coverage = coverage_by_size(rows, 0.20);
+  AsciiTable table({"maxCS", "covered", "of", "fraction"});
+  for (const auto& point : coverage) {
+    table.add_row({std::to_string(point.size), std::to_string(point.covered),
+                   std::to_string(rows.size()), fmt(point.fraction, 3)});
+  }
+  table.print(std::cout);
+
+  bench::section("analysis");
+  const auto all_but_two = good_sizes(rows, 0.20, /*allowed_misses=*/2);
+  const SizeRange window = longest_contiguous_range(all_but_two);
+  std::cout << "maxCS values covering all but two: ";
+  for (const auto s : all_but_two) std::cout << s << ' ';
+  std::cout << "\n";
+
+  bench::verdict(
+      "a maxCS window covers all but (about) two computations",
+      "'when the maximum cluster size permitted was between 22 and 24 "
+      "(inclusive), all but two computations had a timestamp size that was "
+      "within 20% of the best size'",
+      "longest all-but-two window " + bench::range_to_string(window) +
+          " (length " + std::to_string(window.length()) + ")",
+      !window.empty());
+
+  if (!window.empty()) {
+    const std::size_t probe = (window.lo + window.hi) / 2;
+    const auto misses = misses_at_size(rows, probe, 0.20);
+    bench::section("exceptions at maxCS=" + std::to_string(probe));
+    bool all_below_third = true;
+    if (misses.empty()) {
+      std::cout << "(none)\n";
+    }
+    for (const auto& miss : misses) {
+      std::printf("%-28s ratio=%.4f best=%.4f\n", miss.trace_id.c_str(),
+                  miss.ratio, miss.best);
+      all_below_third = all_below_third && miss.ratio < 1.0 / 3.0;
+    }
+    bench::verdict(
+        "the exceptions still save well over 3x vs Fidge/Mattern",
+        "'the two that exceeded 20% ... still had an average timestamp size "
+        "that was less than one-third of their Fidge/Mattern timestamp "
+        "size'",
+        misses.empty() ? "no exceptions at the window midpoint"
+                       : "all exception ratios < 1/3: " +
+                             std::string(all_below_third ? "yes" : "no"),
+        misses.empty() || all_below_third);
+  }
+
+  // The paper could not find an all-computations range for its population;
+  // ours is covered more easily, but for the reason the paper identifies:
+  // deferred merging flattens the curve by *raising* it — the strategy is
+  // easier to tune because it is further from the best achievable. Quantify
+  // by comparing each computation's best under Nth(10) to its best under
+  // merge-on-1st (which merges eagerly).
+  const auto universal = good_sizes(rows, 0.20, 0);
+  std::printf("universal sizes under Nth(10): %zu\n", universal.size());
+
+  const std::vector<StrategySpec> m1{StrategySpec::merge_on_first()};
+  const auto m1_rows = sweep_many(suite.traces, suite.ids, suite.families,
+                                  m1, sizes);
+  std::size_t raised = 0;
+  OnlineStats rise;
+  for (std::size_t t = 0; t < rows.size(); ++t) {
+    const double nth_best = rows[t].best_ratio();
+    const double m1_best = m1_rows[t].best_ratio();
+    raised += nth_best >= m1_best - 1e-9;
+    if (m1_best > 0) rise.add(nth_best / m1_best);
+  }
+  bench::verdict(
+      "the flatter curve comes at a cost: deferred merging raises the "
+      "achievable ratio",
+      "'we expected the overall curve to rise, as the number of events that "
+      "needed full Fidge/Mattern timestamps would increase because cluster "
+      "merging was being deferred' — sometimes smoothing 'at the 40% mark, "
+      "not the 20% mark'",
+      std::to_string(raised) + " of " + std::to_string(rows.size()) +
+          " computations have Nth(10) best >= merge-on-1st best (mean "
+          "ratio-of-bests " +
+          fmt(rise.mean(), 2) + "x)",
+      raised * 10 >= rows.size() * 8);
+  return 0;
+}

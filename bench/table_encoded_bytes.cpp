@@ -1,0 +1,77 @@
+// Byte-exact storage comparison (E16 — tests §3.1's fixed-width assumption).
+//
+// The paper accounts space in fixed-width words because "any variation in
+// sizing of the vectors is likely to have a detrimental impact on the
+// memory-allocation system". A real tool can do better with an append-only
+// arena: interned covered sets + varint components, random access through a
+// 4-byte offset per event. This bench reports bytes/event for:
+//   raw FM (N u32), tool-convention FM (300 u32), the paper's padded
+//   cluster accounting, and the compact arena store.
+#include "bench_common.hpp"
+#include "core/compact_store.hpp"
+#include "core/engine.hpp"
+
+int main() {
+  using namespace ct;
+  bench::header(
+      "table_encoded_bytes", "§3.1 assumption — fixed-width encoding",
+      "Actual bytes/event of cluster timestamps in an arena store vs the\n"
+      "paper's padded-word accounting (Nth>10, maxCS=13, FM width 300).");
+
+  const auto suite = bench::load_suite();
+
+  bench::section("csv");
+  std::cout << "trace,procs,fm_raw_bpe,fm_tool_bpe,cluster_padded_bpe,"
+               "cluster_compact_bpe\n";
+
+  OnlineStats padded_bpe, compact_bpe, fm_raw_bpe;
+  for (std::size_t i = 0; i < suite.traces.size(); ++i) {
+    if (i % 2 != 0) continue;  // subset
+    const Trace& trace = suite.traces[i];
+    ClusterEngineConfig config{.max_cluster_size = 13,
+                               .fm_vector_width = 300};
+    ClusterTimestampEngine engine(trace.process_count(), config,
+                                  make_merge_on_nth(10));
+    engine.observe_trace(trace);
+
+    CompactTimestampStore store(trace.process_count());
+    for (const EventId id : trace.delivery_order()) {
+      store.append(id, engine.timestamp(id));
+    }
+    // Spot-check the decode path (also exercised by unit tests).
+    const EventId probe = trace.delivery_order().front();
+    CT_CHECK(store.decode(probe).values == engine.timestamp(probe).values);
+
+    const double events = static_cast<double>(trace.event_count());
+    const double raw = static_cast<double>(trace.process_count()) * 4;
+    const double tool = 300.0 * 4;
+    const double padded =
+        static_cast<double>(engine.stats().encoded_words) * 4 / events;
+    const double compact = static_cast<double>(store.bytes()) / events;
+    std::printf("%s,%zu,%.0f,%.0f,%.1f,%.1f\n", suite.ids[i].c_str(),
+                trace.process_count(), raw, tool, padded, compact);
+    fm_raw_bpe.add(raw);
+    padded_bpe.add(padded);
+    compact_bpe.add(compact);
+  }
+
+  bench::section("summary");
+  AsciiTable table({"encoding", "bytes/event (mean)"});
+  table.add_row({"FM, tool convention (300 u32)", "1200"});
+  table.add_row({"FM, raw width N", fmt(fm_raw_bpe.mean(), 0)});
+  table.add_row(
+      {"cluster, padded words (paper accounting)", fmt(padded_bpe.mean(), 1)});
+  table.add_row({"cluster, compact arena", fmt(compact_bpe.mean(), 1)});
+  table.print(std::cout);
+
+  bench::section("analysis");
+  bench::verdict(
+      "the paper's padded accounting is conservative: a realistic encoding "
+      "is smaller still",
+      "§3.1 assumes fixed-size vectors to protect the allocator; an arena "
+      "sidesteps the allocator entirely",
+      "compact " + fmt(compact_bpe.mean(), 0) + " B/event vs padded " +
+          fmt(padded_bpe.mean(), 0) + " B/event",
+      compact_bpe.mean() < padded_bpe.mean());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Per-environment breakdown (§4: "we therefore examined all computations
+// over the three different environments").
+//
+// For each trace family (PVM / Java / DCE / control) and each strategy,
+// report the mean best achievable ratio, the maxCS at which the family's
+// computations achieve it (median), and the mean ratio at the suite-wide
+// universal size — showing *which kinds of programs* cluster timestamps
+// help most, and where each strategy's sweet spot sits.
+#include <algorithm>
+#include <map>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ct;
+  bench::header(
+      "table_family_breakdown", "§4 — results by environment",
+      "Best achievable ratio and sweet-spot maxCS per trace family and\n"
+      "strategy (maxCS swept 2..50 step 2; FM width 300).");
+
+  const auto suite = bench::load_suite();
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 2; s <= 50; s += 2) sizes.push_back(s);
+  const std::vector<StrategySpec> specs{StrategySpec::static_greedy(),
+                                        StrategySpec::merge_on_first(),
+                                        StrategySpec::merge_on_nth(10)};
+  const auto rows = sweep_many(suite.traces, suite.ids, suite.families, specs,
+                               sizes);
+
+  bench::section("csv");
+  bench::print_sweep_csv(rows);
+
+  bench::section("per-family summary");
+  AsciiTable table({"family", "strategy", "mean best ratio",
+                    "median best maxCS", "mean ratio @14"});
+  const std::size_t n = suite.traces.size();
+  const auto at14 = std::find(sizes.begin(), sizes.end(), std::size_t{14});
+  CT_CHECK(at14 != sizes.end());
+  const auto idx14 = static_cast<std::size_t>(at14 - sizes.begin());
+
+  struct FamilyAgg {
+    OnlineStats best;
+    OnlineStats at_universal;
+    std::vector<double> best_sizes;
+  };
+
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    std::map<TraceFamily, FamilyAgg> agg;
+    for (std::size_t t = 0; t < n; ++t) {
+      const SweepRow& row = rows[s * n + t];
+      auto& a = agg[row.family];
+      const double best = row.best_ratio();
+      a.best.add(best);
+      a.at_universal.add(row.ratios[idx14]);
+      const auto it =
+          std::min_element(row.ratios.begin(), row.ratios.end());
+      a.best_sizes.push_back(static_cast<double>(
+          row.sizes[static_cast<std::size_t>(it - row.ratios.begin())]));
+    }
+    for (auto& [family, a] : agg) {
+      std::sort(a.best_sizes.begin(), a.best_sizes.end());
+      const double median_size =
+          percentile_sorted(a.best_sizes, 50);
+      table.add_row({to_string(family), specs[s].name(),
+                     fmt(a.best.mean(), 4), fmt(median_size, 0),
+                     fmt(a.at_universal.mean(), 4)});
+    }
+  }
+  table.print(std::cout);
+
+  bench::section("analysis");
+  // Representative observations checked as verdicts.
+  std::map<TraceFamily, OnlineStats> static_best;
+  for (std::size_t t = 0; t < n; ++t) {
+    static_best[rows[t].family].add(rows[t].best_ratio());
+  }
+  bench::verdict(
+      "structured SPMD (PVM) computations compress best; hub/random "
+      "controls worst",
+      "§2.3: efficacy follows communication locality — 'in many parallel "
+      "and distributed computations, most communication of most processes "
+      "is with a small number of other processes'",
+      "static best means — PVM " +
+          fmt(static_best[TraceFamily::kPvm].mean(), 3) + ", DCE " +
+          fmt(static_best[TraceFamily::kDce].mean(), 3) + ", Java " +
+          fmt(static_best[TraceFamily::kJava].mean(), 3) + ", control " +
+          fmt(static_best[TraceFamily::kControl].mean(), 3),
+      static_best[TraceFamily::kPvm].mean() <
+          static_best[TraceFamily::kControl].mean());
+  bench::verdict(
+      "every family beats Fidge/Mattern by a wide margin at its best",
+      "§1.2: 'up to an order-of-magnitude less space'",
+      "worst family mean best ratio = " +
+          fmt(std::max({static_best[TraceFamily::kPvm].mean(),
+                        static_best[TraceFamily::kJava].mean(),
+                        static_best[TraceFamily::kDce].mean(),
+                        static_best[TraceFamily::kControl].mean()}),
+              3),
+      std::max({static_best[TraceFamily::kPvm].mean(),
+                static_best[TraceFamily::kJava].mean(),
+                static_best[TraceFamily::kDce].mean(),
+                static_best[TraceFamily::kControl].mean()}) < 0.5);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Multi-level hierarchy ablation (E14).
+//
+// §2.3 defines clusters "grouped hierarchically into clusters of clusters
+// ... until one large cluster encompasses the entire computation", but the
+// paper's evaluation uses two levels: cluster receives pay the full
+// Fidge/Mattern width. This bench measures what deeper hierarchies buy on
+// the largest suite computations: a level-1 escape that lands in an
+// enclosing level-2 cluster pays that intermediate width instead of the
+// full vector.
+#include "bench_common.hpp"
+#include "cluster/comm_matrix.hpp"
+#include "core/hierarchy.hpp"
+
+int main() {
+  using namespace ct;
+  bench::header(
+      "table_hierarchy", "§2.3 design — multi-level cluster hierarchy",
+      "Two-level (paper) vs three-level hierarchies on the suite's largest\n"
+      "computations; level-1 size 13, level-2 size 60, FM width 300.");
+
+  const auto suite = bench::load_suite();
+
+  bench::section("csv");
+  std::cout << "trace,procs,scheme,ratio,full_vectors,mid_vectors\n";
+
+  AsciiTable table({"trace", "procs", "2-level ratio", "3-level ratio",
+                    "full FM events (2L->3L)"});
+  OnlineStats two_level, three_level;
+  std::size_t improved = 0, considered = 0;
+
+  for (std::size_t i = 0; i < suite.traces.size(); ++i) {
+    const Trace& trace = suite.traces[i];
+    if (trace.process_count() < 120) continue;  // hierarchy needs headroom
+    const CommMatrix comm(trace);
+
+    const std::array<std::size_t, 1> flat_sizes{13};
+    HierarchicalStaticEngine flat(trace.process_count(), 300,
+                                  build_hierarchy(comm, flat_sizes));
+    flat.observe_trace(trace);
+
+    const std::array<std::size_t, 2> deep_sizes{13, 60};
+    HierarchicalStaticEngine deep(trace.process_count(), 300,
+                                  build_hierarchy(comm, deep_sizes));
+    deep.observe_trace(trace);
+
+    const double flat_ratio = flat.stats().average_ratio(300);
+    const double deep_ratio = deep.stats().average_ratio(300);
+    std::printf("%s,%zu,2-level,%.4f,%zu,0\n", suite.ids[i].c_str(),
+                trace.process_count(), flat_ratio,
+                flat.stats().events_by_level.back());
+    std::printf("%s,%zu,3-level,%.4f,%zu,%zu\n", suite.ids[i].c_str(),
+                trace.process_count(), deep_ratio,
+                deep.stats().events_by_level.back(),
+                deep.stats().events_by_level[1]);
+    table.add_row(
+        {suite.ids[i], std::to_string(trace.process_count()),
+         fmt(flat_ratio, 4), fmt(deep_ratio, 4),
+         std::to_string(flat.stats().events_by_level.back()) + " -> " +
+             std::to_string(deep.stats().events_by_level.back())});
+    two_level.add(flat_ratio);
+    three_level.add(deep_ratio);
+    ++considered;
+    if (deep_ratio < flat_ratio - 1e-9) ++improved;
+  }
+
+  bench::section("summary");
+  table.print(std::cout);
+
+  bench::section("analysis");
+  std::printf("mean ratio: 2-level %.4f, 3-level %.4f (%zu of %zu improved)\n",
+              two_level.mean(), three_level.mean(), improved, considered);
+  bench::verdict(
+      "an intermediate level absorbs full-vector cluster receives",
+      "§2.3's recursive hierarchy generalizes the paper's 2-level "
+      "evaluation; nearby-cluster receives should pay an intermediate "
+      "width instead of the full Fidge/Mattern width",
+      "mean ratio 2-level=" + fmt(two_level.mean(), 4) +
+          " vs 3-level=" + fmt(three_level.mean(), 4) + "; improved on " +
+          std::to_string(improved) + "/" + std::to_string(considered),
+      three_level.mean() < two_level.mean() &&
+          improved * 2 >= considered);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// §4 merge-on-1st coverage analysis (E5) — Ward's negative result.
+//
+// Full suite, merge-on-1st-communication, maxCS 2..50. The paper (citing
+// Ward's analysis) reports that NO single maxCS suits all computations:
+// "for all but a couple of cases, less than 80% of the computations were
+// within 20% of the best for any given maximum cluster size." This is the
+// failure that motivates the whole paper.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ct;
+  bench::header(
+      "table_merge1st_coverage", "§4 text — merge-on-1st has no good maxCS",
+      "Fraction of suite computations within 20% of their best per maxCS,\n"
+      "merge-on-1st-communication clustering.");
+
+  const auto suite = bench::load_suite();
+  const auto sizes = default_sizes();
+  const std::vector<StrategySpec> specs{StrategySpec::merge_on_first()};
+  const auto rows = sweep_many(suite.traces, suite.ids, suite.families, specs,
+                               sizes);
+
+  bench::section("csv");
+  bench::print_sweep_csv(rows);
+
+  bench::section("coverage per maxCS");
+  const auto coverage = coverage_by_size(rows, 0.20);
+  AsciiTable table({"maxCS", "covered", "of", "fraction"});
+  std::size_t sizes_above_80 = 0;
+  double best_fraction = 0.0;
+  std::size_t best_size = 0;
+  for (const auto& point : coverage) {
+    table.add_row({std::to_string(point.size), std::to_string(point.covered),
+                   std::to_string(rows.size()), fmt(point.fraction, 3)});
+    if (point.fraction >= 0.80) ++sizes_above_80;
+    if (point.fraction > best_fraction) {
+      best_fraction = point.fraction;
+      best_size = point.size;
+    }
+  }
+  table.print(std::cout);
+
+  bench::section("analysis");
+  const auto universal = good_sizes(rows, 0.20, 0);
+  std::printf("best coverage: %.1f%% at maxCS=%zu; sizes with >=80%%: %zu of "
+              "%zu\n",
+              best_fraction * 100, best_size, sizes_above_80, sizes.size());
+
+  bench::verdict(
+      "no single maxCS covers every computation",
+      "'there was no single maximum cluster size that was suitable for all "
+      "computations'",
+      universal.empty()
+          ? "no universal size exists"
+          : "universal sizes unexpectedly exist (" +
+                std::to_string(universal.size()) + ")",
+      universal.empty());
+
+  bench::verdict(
+      "coverage is mediocre at most sizes",
+      "'for all but a couple of cases, less than 80% of the computations "
+      "were within 20% of the best for any given maximum cluster size'",
+      std::to_string(sizes_above_80) + " of " + std::to_string(sizes.size()) +
+          " sizes reach 80% coverage (best " + fmt(best_fraction * 100, 1) +
+          "%)",
+      sizes_above_80 <= sizes.size() / 3);
+
+  // Compare against fixed contiguous clusters, the other prior strategy the
+  // paper says lacks a good range.
+  bench::section("fixed-contiguous comparison");
+  const std::vector<StrategySpec> fixed{StrategySpec::fixed_contiguous()};
+  const auto fixed_rows = sweep_many(suite.traces, suite.ids, suite.families,
+                                     fixed, sizes);
+  const auto fixed_universal = good_sizes(fixed_rows, 0.20, 0);
+  double fixed_best = 0.0;
+  for (const auto& point : coverage_by_size(fixed_rows, 0.20)) {
+    fixed_best = std::max(fixed_best, point.fraction);
+  }
+  std::printf("fixed contiguous: best coverage %.1f%%, universal sizes %zu\n",
+              fixed_best * 100, fixed_universal.size());
+  bench::verdict(
+      "fixed contiguous clusters also lack an acceptable range",
+      "'such a range ... simply does not exist for either the merge-on-1st "
+      "strategy or for fixed contiguous clusters'",
+      "fixed-contiguous universal sizes: " +
+          std::to_string(fixed_universal.size()),
+      fixed_universal.empty());
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Merge-on-Nth threshold sweep (E15 — extension of §3.2/§4).
+//
+// The paper evaluates thresholds 5 and 10 and remarks that "as the merging
+// criteria was raised, the curve became less predictable" and that more
+// work is needed. This bench maps the whole quality-vs-tunability frontier:
+// for thresholds 0 (= merge-on-1st) through 50, the suite-wide mean best
+// ratio (quality), the coverage of the best single maxCS (tunability), and
+// the curve roughness (predictability).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ct;
+  bench::header(
+      "table_threshold_sweep", "extension of §3.2 — the threshold frontier",
+      "merge-on-Nth for thresholds 0..50 over the suite: quality (mean best\n"
+      "ratio), tunability (best single-size coverage), predictability\n"
+      "(mean curve roughness). maxCS swept 2..50 step 4.");
+
+  const auto suite = bench::load_suite();
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 2; s <= 50; s += 4) sizes.push_back(s);
+  const std::vector<double> thresholds{0, 1, 2, 5, 10, 20, 50};
+
+  std::vector<StrategySpec> specs;
+  specs.reserve(thresholds.size());
+  for (const double t : thresholds) {
+    specs.push_back(t == 0 ? StrategySpec::merge_on_first()
+                           : StrategySpec::merge_on_nth(t));
+  }
+  const auto rows = sweep_many(suite.traces, suite.ids, suite.families, specs,
+                               sizes);
+  const std::size_t n = suite.traces.size();
+
+  bench::section("csv");
+  std::cout << "threshold,mean_best_ratio,best_size_coverage,"
+               "mean_roughness\n";
+
+  AsciiTable table({"threshold", "mean best ratio", "best-size coverage",
+                    "mean roughness"});
+  std::vector<double> quality, coverage_frac, roughness_mean;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    const std::span<const SweepRow> slice(rows.data() + s * n, n);
+    OnlineStats best, rough;
+    for (const auto& row : slice) {
+      best.add(row.best_ratio());
+      rough.add(curve_roughness(row));
+    }
+    double top = 0.0;
+    for (const auto& point : coverage_by_size(slice, 0.20)) {
+      top = std::max(top, point.fraction);
+    }
+    quality.push_back(best.mean());
+    coverage_frac.push_back(top);
+    roughness_mean.push_back(rough.mean());
+    std::printf("%g,%.4f,%.3f,%.4f\n", thresholds[s], best.mean(), top,
+                rough.mean());
+    table.add_row({fmt(thresholds[s], 0), fmt(best.mean(), 4),
+                   fmt(top * 100, 1) + "%", fmt(rough.mean(), 4)});
+  }
+
+  bench::section("frontier");
+  table.print(std::cout);
+
+  bench::section("analysis");
+  bench::verdict(
+      "quality degrades monotonically-ish as the threshold rises",
+      "'we expected the overall curve to rise' (§4)",
+      "mean best ratio " + fmt(quality.front(), 3) + " at T=0 -> " +
+          fmt(quality.back(), 3) + " at T=50",
+      quality.back() > quality.front());
+  bench::verdict(
+      "tunability improves with the threshold before saturating",
+      "the paper picked T=10 'since that appeared to be the most promising' "
+      "— the frontier shows why: coverage gains flatten beyond ~10",
+      "best-size coverage " + fmt(coverage_frac[0] * 100, 0) + "% (T=0) -> " +
+          fmt(coverage_frac[4] * 100, 0) + "% (T=10) -> " +
+          fmt(coverage_frac.back() * 100, 0) + "% (T=50)",
+      coverage_frac[4] > coverage_frac[0]);
+  bench::verdict(
+      "curves flatten with the threshold",
+      "'the result was indeed the flatter curve that we had hoped for'",
+      "mean roughness " + fmt(roughness_mean.front(), 4) + " (T=0) -> " +
+          fmt(roughness_mean.back(), 4) + " (T=50)",
+      roughness_mean.back() < roughness_mean.front());
+  return 0;
+}

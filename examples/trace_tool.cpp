@@ -1,0 +1,182 @@
+// trace_tool: generate, inspect, and evaluate trace files.
+//
+// Subcommands:
+//   gen  --kind <name> --out <path> [generator flags]   synthesize a trace
+//   info --in <path>                                    summarize a trace
+//   eval --in <path> [--maxcs N] [--threshold T]        timestamp-size report
+//   suite --list                                        list the 54-entry suite
+//   suite --dump <dir>                                  write every suite trace
+//
+// Examples:
+//   ./build/examples/trace_tool gen --kind web --clients 40 --out /tmp/w.trace
+//   ./build/examples/trace_tool info --in /tmp/w.trace
+//   ./build/examples/trace_tool eval --in /tmp/w.trace --maxcs 13
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "cluster/comm_matrix.hpp"
+#include "core/static_pipeline.hpp"
+#include "eval/experiment.hpp"
+#include "trace/generators.hpp"
+#include "trace/suite.hpp"
+#include "trace/trace_io.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace ct;
+
+int usage() {
+  std::puts(
+      "usage: trace_tool <gen|info|eval|suite> [flags]\n"
+      "  gen   --kind ring|halo1d|halo2d|scatter|web|tiered|pubsub|rpc|chain|\n"
+      "               uniform|locality  --out FILE  [--processes N] [--seed S]\n"
+      "  info  --in FILE\n"
+      "  eval  --in FILE [--maxcs N] [--threshold T] [--fm-width W]\n"
+      "  suite --list | --dump DIR");
+  return 2;
+}
+
+Trace generate(const std::string& kind, std::size_t n, std::uint64_t seed) {
+  if (kind == "ring") return generate_ring({.processes = n, .seed = seed});
+  if (kind == "halo1d") return generate_halo1d({.processes = n, .seed = seed});
+  if (kind == "halo2d") {
+    const auto side = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::sqrt(static_cast<double>(n))));
+    Halo2dOptions opt;
+    opt.width = side;
+    opt.height = side;
+    opt.seed = seed;
+    return generate_halo2d(opt);
+  }
+  if (kind == "scatter") {
+    return generate_scatter_gather({.processes = n, .seed = seed});
+  }
+  if (kind == "web") {
+    return generate_web_server(
+        {.clients = n > 12 ? n - 12 : 8, .seed = seed});
+  }
+  if (kind == "tiered") return generate_tiered_service({.seed = seed});
+  if (kind == "pubsub") return generate_pubsub({.seed = seed});
+  if (kind == "rpc") return generate_rpc_business({.seed = seed});
+  if (kind == "chain") {
+    return generate_rpc_chain({.services = n, .seed = seed});
+  }
+  if (kind == "uniform") {
+    return generate_uniform_random({.processes = n, .seed = seed});
+  }
+  if (kind == "locality") {
+    return generate_locality_random({.processes = n, .seed = seed});
+  }
+  CT_CHECK_MSG(false, "unknown generator kind '" << kind << "'");
+  return {};
+}
+
+void print_info(const Trace& t) {
+  std::printf("name:      %s\n", t.name().c_str());
+  std::printf("family:    %s\n", to_string(t.family()));
+  std::printf("processes: %zu\n", t.process_count());
+  std::printf("events:    %zu  (unary %zu, send %zu, receive %zu, sync %zu)\n",
+              t.event_count(), t.count(EventKind::kUnary),
+              t.count(EventKind::kSend), t.count(EventKind::kReceive),
+              t.count(EventKind::kSync));
+  std::printf("communication occurrences: %zu\n",
+              t.communication_occurrences());
+  // Degree statistics of the communication graph.
+  const CommMatrix comm(t);
+  std::size_t max_partners = 0;
+  double mean_partners = 0;
+  for (ProcessId p = 0; p < t.process_count(); ++p) {
+    std::size_t partners = 0;
+    for (ProcessId q = 0; q < t.process_count(); ++q) {
+      partners += comm.occurrences(p, q) > 0;
+    }
+    max_partners = std::max(max_partners, partners);
+    mean_partners += static_cast<double>(partners);
+  }
+  mean_partners /= static_cast<double>(t.process_count());
+  std::printf("communication partners per process: mean %.1f, max %zu\n",
+              mean_partners, max_partners);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.positional().empty()) return usage();
+  const std::string& cmd = args.positional().front();
+
+  if (cmd == "gen") {
+    const auto kind = args.get("kind");
+    const auto out = args.get("out");
+    if (!kind || !out) return usage();
+    const Trace t =
+        generate(*kind,
+                 static_cast<std::size_t>(args.get_int_or("processes", 64)),
+                 static_cast<std::uint64_t>(args.get_int_or("seed", 1)));
+    save_trace(*out, t);
+    std::printf("wrote %s: %zu processes, %zu events\n", out->c_str(),
+                t.process_count(), t.event_count());
+    return 0;
+  }
+
+  if (cmd == "info") {
+    const auto in = args.get("in");
+    if (!in) return usage();
+    print_info(load_trace(*in));
+    return 0;
+  }
+
+  if (cmd == "eval") {
+    const auto in = args.get("in");
+    if (!in) return usage();
+    const Trace t = load_trace(*in);
+    const auto maxcs =
+        static_cast<std::size_t>(args.get_int_or("maxcs", 13));
+    const double threshold = args.get_double_or("threshold", 10.0);
+    const auto width =
+        static_cast<std::size_t>(args.get_int_or("fm-width", 300));
+    print_info(t);
+    std::printf("\ntimestamp-size ratios at maxCS=%zu (FM width %zu):\n",
+                maxcs, width);
+    std::printf("  static greedy:        %.4f\n",
+                run_static(t, StaticStrategy::kGreedy, maxcs, width).ratio);
+    std::printf("  merge-on-1st:         %.4f\n",
+                run_dynamic(t, -1.0, maxcs, width).ratio);
+    std::printf("  merge-on-Nth (CR>%g): %.4f\n", threshold,
+                run_dynamic(t, threshold, maxcs, width).ratio);
+    std::printf("  Fidge/Mattern:        1.0000\n");
+    return 0;
+  }
+
+  if (cmd == "suite") {
+    if (args.get_bool_or("list", false)) {
+      for (const auto& entry : standard_suite()) {
+        const Trace t = entry.make();
+        std::printf("%-28s %-8s %4zu procs %7zu events\n", entry.id.c_str(),
+                    to_string(entry.family), t.process_count(),
+                    t.event_count());
+      }
+      return 0;
+    }
+    if (const auto dir = args.get("dump")) {
+      std::filesystem::create_directories(*dir);
+      for (const auto& entry : standard_suite()) {
+        std::string file = entry.id;
+        for (char& c : file) {
+          if (c == '/') c = '_';
+        }
+        save_trace(*dir + "/" + file + ".trace", entry.make());
+      }
+      std::printf("wrote %zu traces to %s\n", standard_suite().size(),
+                  dir->c_str());
+      return 0;
+    }
+    return usage();
+  }
+
+  return usage();
+}

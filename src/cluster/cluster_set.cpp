@@ -1,0 +1,105 @@
+#include "cluster/cluster_set.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ct {
+
+ClusterSet::ClusterSet(std::size_t process_count)
+    : parent_(process_count),
+      members_(process_count),
+      cluster_count_(process_count) {
+  CT_CHECK(process_count > 0);
+  for (ProcessId p = 0; p < process_count; ++p) {
+    parent_[p] = p;
+    members_[p] = std::make_shared<std::vector<ProcessId>>(1, p);
+  }
+}
+
+ClusterSet::ClusterSet(std::size_t process_count,
+                       const std::vector<std::vector<ProcessId>>& partition)
+    : ClusterSet(process_count) {
+  std::vector<bool> seen(process_count, false);
+  for (const auto& part : partition) {
+    CT_CHECK_MSG(!part.empty(), "empty cluster in partition");
+    for (const ProcessId p : part) {
+      CT_CHECK_MSG(p < process_count, "process " << p << " out of range");
+      CT_CHECK_MSG(!seen[p], "process " << p << " in two clusters");
+      seen[p] = true;
+    }
+    ClusterId root = cluster_of(part.front());
+    for (std::size_t i = 1; i < part.size(); ++i) {
+      root = merge(root, cluster_of(part[i]));
+    }
+  }
+  for (ProcessId p = 0; p < process_count; ++p) {
+    CT_CHECK_MSG(seen[p], "process " << p << " missing from partition");
+  }
+}
+
+ClusterId ClusterSet::find(ProcessId p) const {
+  CT_CHECK_MSG(p < parent_.size(), "process " << p << " out of range");
+  ProcessId root = p;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[p] != root) {  // path compression
+    const ProcessId next = parent_[p];
+    parent_[p] = root;
+    p = next;
+  }
+  return root;
+}
+
+ClusterId ClusterSet::cluster_of(ProcessId p) const { return find(p); }
+
+std::size_t ClusterSet::size(ClusterId c) const {
+  CT_CHECK_MSG(c < parent_.size() && parent_[c] == c,
+               "stale cluster id " << c);
+  return members_[c]->size();
+}
+
+std::shared_ptr<const std::vector<ProcessId>> ClusterSet::members(
+    ClusterId c) const {
+  CT_CHECK_MSG(c < parent_.size() && parent_[c] == c,
+               "stale cluster id " << c);
+  return members_[c];
+}
+
+ClusterId ClusterSet::merge(ClusterId a, ClusterId b) {
+  CT_CHECK_MSG(a < parent_.size() && parent_[a] == a, "stale cluster " << a);
+  CT_CHECK_MSG(b < parent_.size() && parent_[b] == b, "stale cluster " << b);
+  CT_CHECK_MSG(a != b, "cannot merge cluster " << a << " with itself");
+  // Union by size; ties keep the smaller id for determinism.
+  if (members_[a]->size() < members_[b]->size() ||
+      (members_[a]->size() == members_[b]->size() && b < a)) {
+    std::swap(a, b);
+  }
+  parent_[b] = a;
+  auto merged = std::make_shared<std::vector<ProcessId>>();
+  merged->reserve(members_[a]->size() + members_[b]->size());
+  std::merge(members_[a]->begin(), members_[a]->end(), members_[b]->begin(),
+             members_[b]->end(), std::back_inserter(*merged));
+  members_[a] = std::move(merged);
+  members_[b].reset();
+  --cluster_count_;
+  return a;
+}
+
+std::vector<ClusterId> ClusterSet::clusters() const {
+  std::vector<ClusterId> out;
+  out.reserve(cluster_count_);
+  for (ProcessId p = 0; p < parent_.size(); ++p) {
+    if (parent_[p] == p) out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t ClusterSet::max_cluster_size() const {
+  std::size_t best = 0;
+  for (ProcessId p = 0; p < parent_.size(); ++p) {
+    if (parent_[p] == p) best = std::max(best, members_[p]->size());
+  }
+  return best;
+}
+
+}  // namespace ct

@@ -1,0 +1,65 @@
+// Partition of processes into clusters.
+//
+// Clusters are "simply a mechanism by which processes are grouped with the
+// intent of creating more efficient vector timestamps" (§2.3). The partition
+// only ever coarsens: dynamic strategies merge clusters and never split them,
+// and "once a process is placed in a cluster, that placement never changes"
+// (§1.2) — which is exactly the property the cluster-timestamp precedence
+// test's completeness proof relies on (DESIGN.md §3).
+//
+// Implementation: union-find with member lists and an eagerly-maintained
+// sorted member snapshot per root, shared via shared_ptr so that every event
+// stamped between two merges shares one covered-process vector.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "model/ids.hpp"
+
+namespace ct {
+
+/// A cluster is named by its union-find root (a process id). Ids of merged-
+/// away clusters become invalid; the surviving merge target keeps its id.
+using ClusterId = std::uint32_t;
+
+class ClusterSet {
+ public:
+  /// Every process starts in its own singleton cluster.
+  explicit ClusterSet(std::size_t process_count);
+
+  /// Starts from an explicit partition (static strategies). Every process
+  /// must appear in exactly one part; parts must be non-empty.
+  ClusterSet(std::size_t process_count,
+             const std::vector<std::vector<ProcessId>>& partition);
+
+  std::size_t process_count() const { return parent_.size(); }
+  std::size_t cluster_count() const { return cluster_count_; }
+
+  ClusterId cluster_of(ProcessId p) const;
+
+  std::size_t size(ClusterId c) const;
+
+  /// Sorted member processes of cluster `c`; the pointer is stable and
+  /// shared until the cluster next merges.
+  std::shared_ptr<const std::vector<ProcessId>> members(ClusterId c) const;
+
+  /// Merges the clusters `a` and `b` (a != b); returns the surviving id.
+  ClusterId merge(ClusterId a, ClusterId b);
+
+  /// All current cluster ids (roots), ascending.
+  std::vector<ClusterId> clusters() const;
+
+  /// Largest current cluster size.
+  std::size_t max_cluster_size() const;
+
+ private:
+  ClusterId find(ProcessId p) const;
+
+  mutable std::vector<ProcessId> parent_;  // path-compressed
+  std::vector<std::shared_ptr<const std::vector<ProcessId>>> members_;
+  std::size_t cluster_count_;
+};
+
+}  // namespace ct

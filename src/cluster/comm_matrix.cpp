@@ -1,0 +1,56 @@
+#include "cluster/comm_matrix.hpp"
+
+#include "util/check.hpp"
+
+namespace ct {
+
+CommMatrix::CommMatrix(std::size_t process_count,
+                       std::span<const Event> events)
+    : counts_(process_count, process_count, 0) {
+  for (const Event& e : events) {
+    // Count each pairing once, from the receive-like side. An async pair
+    // contributes 1; a sync pair contributes 1 from *each* half = 2 total,
+    // which is precisely the paper's double-count rule (§3.1).
+    if (!e.is_receive_like()) continue;
+    const ProcessId p = e.id.process;
+    const ProcessId q = e.partner.process;
+    CT_CHECK_MSG(p < process_count && q < process_count,
+                 "event " << e.id << " outside the process universe");
+    if (q == p) continue;  // self-message: never a cluster receive
+    counts_(p, q) += 1;
+    counts_(q, p) += 1;
+  }
+}
+
+CommMatrix::CommMatrix(const Trace& trace)
+    : counts_(trace.process_count(), trace.process_count(), 0) {
+  for (ProcessId p = 0; p < trace.process_count(); ++p) {
+    for (const Event& e : trace.process_events(p)) {
+      if (!e.is_receive_like()) continue;
+      const ProcessId q = e.partner.process;
+      if (q == p) continue;
+      counts_(p, q) += 1;
+      counts_(q, p) += 1;
+    }
+  }
+}
+
+std::uint64_t CommMatrix::between(const std::vector<ProcessId>& a,
+                                  const std::vector<ProcessId>& b) const {
+  std::uint64_t n = 0;
+  for (const ProcessId p : a) {
+    for (const ProcessId q : b) {
+      CT_DCHECK(p != q);
+      n += counts_(p, q);
+    }
+  }
+  return n;
+}
+
+std::uint64_t CommMatrix::total(ProcessId p) const {
+  std::uint64_t n = 0;
+  for (ProcessId q = 0; q < counts_.cols(); ++q) n += counts_(p, q);
+  return n;
+}
+
+}  // namespace ct

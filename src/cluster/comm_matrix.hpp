@@ -1,0 +1,47 @@
+// Pairwise communication-occurrence counts between processes.
+//
+// §3.1: "There is a communication occurrence between two clusters if there
+// is a send event in one cluster and its corresponding receive event is in
+// the other" — and each synchronous communication counts as TWO occurrences,
+// because merging would remove two cluster-receive events. The matrix is
+// symmetric; self-communication (a process messaging itself) never creates
+// cluster receives and is excluded.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "model/trace.hpp"
+#include "util/flat_matrix.hpp"
+
+namespace ct {
+
+/// Symmetric process-level communication matrix. occurrences(p, q) is the
+/// number of occurrences between p and q regardless of direction.
+class CommMatrix {
+ public:
+  explicit CommMatrix(const Trace& trace);
+
+  /// Builds from a raw event sequence (e.g. the buffered prefix of the
+  /// batch-then-cluster hybrid). Only receive-like events are counted, so
+  /// sends whose receive lies outside `events` contribute nothing.
+  CommMatrix(std::size_t process_count, std::span<const Event> events);
+
+  std::size_t process_count() const { return counts_.rows(); }
+
+  std::uint64_t occurrences(ProcessId p, ProcessId q) const {
+    return counts_(p, q);
+  }
+
+  /// Total occurrences between two disjoint process sets (both sorted).
+  std::uint64_t between(const std::vector<ProcessId>& a,
+                        const std::vector<ProcessId>& b) const;
+
+  /// Total occurrences process `p` participates in (row sum).
+  std::uint64_t total(ProcessId p) const;
+
+ private:
+  FlatMatrix<std::uint64_t> counts_;
+};
+
+}  // namespace ct

@@ -1,0 +1,23 @@
+#include "cluster/fixed_contiguous.hpp"
+
+#include "util/check.hpp"
+
+namespace ct {
+
+std::vector<std::vector<ProcessId>> fixed_contiguous_clusters(
+    std::size_t process_count, std::size_t cluster_size) {
+  CT_CHECK(process_count > 0);
+  CT_CHECK_MSG(cluster_size >= 1, "cluster size must be >= 1");
+  std::vector<std::vector<ProcessId>> out;
+  for (std::size_t base = 0; base < process_count; base += cluster_size) {
+    std::vector<ProcessId> part;
+    for (std::size_t p = base; p < process_count && p < base + cluster_size;
+         ++p) {
+      part.push_back(static_cast<ProcessId>(p));
+    }
+    out.push_back(std::move(part));
+  }
+  return out;
+}
+
+}  // namespace ct

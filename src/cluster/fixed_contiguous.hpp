@@ -1,0 +1,18 @@
+// Fixed contiguous clusters — the static baseline of the prior work (§1.2).
+//
+// Processes are grouped by identifier: [0, c), [c, 2c), … This captures
+// locality only when process numbering happens to reflect communication
+// structure (true for some SPMD codes, false for web-like applications),
+// which is why the paper found no universally good cluster size for it.
+#pragma once
+
+#include <vector>
+
+#include "model/ids.hpp"
+
+namespace ct {
+
+std::vector<std::vector<ProcessId>> fixed_contiguous_clusters(
+    std::size_t process_count, std::size_t cluster_size);
+
+}  // namespace ct

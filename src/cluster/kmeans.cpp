@@ -1,0 +1,120 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace ct {
+namespace {
+
+double sq_dist(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+std::vector<std::vector<ProcessId>> kmeans_clusters(
+    const CommMatrix& comm, const KMeansOptions& options) {
+  const std::size_t n = comm.process_count();
+  CT_CHECK(n > 0);
+  const std::size_t k = std::min(options.k, n);
+  CT_CHECK_MSG(k >= 1, "k must be >= 1");
+
+  // Feature vectors: sqrt-damped communication profiles. The damping keeps
+  // one hot channel from dominating the distance entirely.
+  std::vector<std::vector<double>> feat(n, std::vector<double>(n, 0.0));
+  for (ProcessId p = 0; p < n; ++p) {
+    for (ProcessId q = 0; q < n; ++q) {
+      if (p != q) {
+        feat[p][q] = std::sqrt(static_cast<double>(comm.occurrences(p, q)));
+      }
+    }
+  }
+
+  // k-means++-style seeding, deterministic via our PRNG.
+  Prng rng(options.seed);
+  std::vector<std::size_t> centers;
+  centers.push_back(rng.index(n));
+  std::vector<double> d2(n, 0.0);
+  while (centers.size() < k) {
+    double total = 0.0;
+    for (ProcessId p = 0; p < n; ++p) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const std::size_t c : centers) {
+        best = std::min(best, sq_dist(feat[p], feat[c]));
+      }
+      d2[p] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with a center; fill deterministically.
+      for (ProcessId p = 0; p < n && centers.size() < k; ++p) {
+        if (std::find(centers.begin(), centers.end(), p) == centers.end()) {
+          centers.push_back(p);
+        }
+      }
+      break;
+    }
+    double target = rng.real() * total;
+    std::size_t chosen = n - 1;
+    for (ProcessId p = 0; p < n; ++p) {
+      target -= d2[p];
+      if (target <= 0.0) {
+        chosen = p;
+        break;
+      }
+    }
+    centers.push_back(chosen);
+  }
+
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(centers.size());
+  for (const std::size_t c : centers) centroids.push_back(feat[c]);
+
+  std::vector<std::size_t> assignment(n, 0);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    for (ProcessId p = 0; p < n; ++p) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t m = 0; m < centroids.size(); ++m) {
+        const double d = sq_dist(feat[p], centroids[m]);
+        if (d < best_d) {
+          best_d = d;
+          best = m;
+        }
+      }
+      if (assignment[p] != best) {
+        assignment[p] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    for (auto& c : centroids) std::fill(c.begin(), c.end(), 0.0);
+    std::vector<std::size_t> counts(centroids.size(), 0);
+    for (ProcessId p = 0; p < n; ++p) {
+      auto& c = centroids[assignment[p]];
+      for (std::size_t i = 0; i < c.size(); ++i) c[i] += feat[p][i];
+      ++counts[assignment[p]];
+    }
+    for (std::size_t m = 0; m < centroids.size(); ++m) {
+      if (counts[m] == 0) continue;
+      for (double& v : centroids[m]) v /= static_cast<double>(counts[m]);
+    }
+  }
+
+  std::vector<std::vector<ProcessId>> out(centroids.size());
+  for (ProcessId p = 0; p < n; ++p) out[assignment[p]].push_back(p);
+  std::erase_if(out, [](const auto& g) { return g.empty(); });
+  return out;
+}
+
+}  // namespace ct

@@ -1,0 +1,27 @@
+// k-means-style clustering over communication profiles (rejected baseline).
+//
+// §3.1: "the problem with the k-means approach was that determining a
+// centroid is not obvious when dealing with communication events between
+// processes." We embed each process as its row of the communication matrix
+// (its "who-do-I-talk-to" profile) and run Lloyd's algorithm on those
+// vectors — the most charitable concrete reading of an abstract-centroid
+// k-means — to reproduce the paper's negative result (E7).
+#pragma once
+
+#include <vector>
+
+#include "cluster/comm_matrix.hpp"
+#include "model/ids.hpp"
+
+namespace ct {
+
+struct KMeansOptions {
+  std::size_t k = 8;
+  std::size_t max_iterations = 32;
+  std::uint64_t seed = 1;
+};
+
+std::vector<std::vector<ProcessId>> kmeans_clusters(
+    const CommMatrix& comm, const KMeansOptions& options);
+
+}  // namespace ct

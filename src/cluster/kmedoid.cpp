@@ -1,0 +1,90 @@
+#include "cluster/kmedoid.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ct {
+namespace {
+
+double distance(const CommMatrix& comm, ProcessId p, ProcessId q) {
+  if (p == q) return 0.0;
+  return 1.0 / (1.0 + static_cast<double>(comm.occurrences(p, q)));
+}
+
+}  // namespace
+
+std::vector<std::vector<ProcessId>> kmedoid_clusters(
+    const CommMatrix& comm, const KMedoidOptions& options) {
+  const std::size_t n = comm.process_count();
+  CT_CHECK(n > 0);
+  const std::size_t k = std::min(options.k, n);
+  CT_CHECK_MSG(k >= 1, "k must be >= 1");
+
+  // Seed medoids with the k busiest processes (deterministic, and a natural
+  // choice: hubs make plausible "central processes").
+  std::vector<ProcessId> order(n);
+  for (ProcessId p = 0; p < n; ++p) order[p] = p;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](ProcessId a, ProcessId b) {
+                     return comm.total(a) > comm.total(b);
+                   });
+  std::vector<ProcessId> medoids(order.begin(),
+                                 order.begin() + static_cast<long>(k));
+  std::sort(medoids.begin(), medoids.end());
+
+  std::vector<std::size_t> assignment(n, 0);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Assignment step: nearest medoid (ties to the lowest medoid index).
+    bool changed = false;
+    for (ProcessId p = 0; p < n; ++p) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t m = 0; m < medoids.size(); ++m) {
+        const double d = distance(comm, p, medoids[m]);
+        if (d < best_d) {
+          best_d = d;
+          best = m;
+        }
+      }
+      if (assignment[p] != best) {
+        assignment[p] = best;
+        changed = true;
+      }
+    }
+
+    // Update step: each medoid becomes the member minimizing the total
+    // in-cluster distance.
+    std::vector<std::vector<ProcessId>> groups(medoids.size());
+    for (ProcessId p = 0; p < n; ++p) groups[assignment[p]].push_back(p);
+    bool medoid_moved = false;
+    for (std::size_t m = 0; m < medoids.size(); ++m) {
+      if (groups[m].empty()) continue;
+      ProcessId best = medoids[m];
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (const ProcessId candidate : groups[m]) {
+        double cost = 0.0;
+        for (const ProcessId other : groups[m]) {
+          cost += distance(comm, candidate, other);
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = candidate;
+        }
+      }
+      if (best != medoids[m]) {
+        medoids[m] = best;
+        medoid_moved = true;
+      }
+    }
+    if (!changed && !medoid_moved) break;
+  }
+
+  std::vector<std::vector<ProcessId>> out(medoids.size());
+  for (ProcessId p = 0; p < n; ++p) out[assignment[p]].push_back(p);
+  std::erase_if(out, [](const auto& g) { return g.empty(); });
+  return out;
+}
+
+}  // namespace ct

@@ -1,0 +1,31 @@
+// k-medoid clustering over the communication graph (rejected baseline, §3.1).
+//
+// The paper "initially considered and implemented variations on the k-means
+// and k-medoid methods" and found them poor: they fix the *number* of
+// clusters rather than bounding their *size*, require a central process per
+// cluster (which "does not match the reality of parallel computations"), and
+// tend to produce one crowded cluster plus sparse leftovers. This
+// implementation exists to reproduce that negative result (E7).
+//
+// Distance between processes p and q: 1 / (1 + occurrences(p, q)) — heavy
+// communicators are close. PAM-style alternating assignment/medoid-update.
+#pragma once
+
+#include <vector>
+
+#include "cluster/comm_matrix.hpp"
+#include "model/ids.hpp"
+#include "util/prng.hpp"
+
+namespace ct {
+
+struct KMedoidOptions {
+  std::size_t k = 8;
+  std::size_t max_iterations = 32;
+  std::uint64_t seed = 1;
+};
+
+std::vector<std::vector<ProcessId>> kmedoid_clusters(
+    const CommMatrix& comm, const KMedoidOptions& options);
+
+}  // namespace ct

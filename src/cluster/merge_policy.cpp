@@ -1,0 +1,48 @@
+#include "cluster/merge_policy.hpp"
+
+#include "util/check.hpp"
+
+namespace ct {
+
+MergeOnNth::MergeOnNth(double threshold) : threshold_(threshold) {
+  CT_CHECK_MSG(threshold >= 0.0, "threshold must be non-negative");
+}
+
+bool MergeOnNth::should_merge(ClusterId a, std::size_t size_a, ClusterId b,
+                              std::size_t size_b, std::uint64_t occurrences) {
+  auto& count = counts_[key(a, b)];
+  count += occurrences;
+  const double normalized =
+      static_cast<double>(count) / static_cast<double>(size_a + size_b);
+  return normalized > threshold_;
+}
+
+void MergeOnNth::on_merge(ClusterId into, ClusterId from) {
+  // Fold every count involving `from` into the corresponding `into` pair.
+  // The map is small (live cluster pairs only); a linear sweep suffices.
+  for (auto it = counts_.begin(); it != counts_.end();) {
+    const auto [lo, hi] = it->first;
+    if (lo != from && hi != from) {
+      ++it;
+      continue;
+    }
+    const ClusterId other = lo == from ? hi : lo;
+    const std::uint64_t count = it->second;
+    it = counts_.erase(it);
+    if (other != into) counts_[key(into, other)] += count;
+  }
+}
+
+std::unique_ptr<MergePolicy> make_merge_on_first() {
+  return std::make_unique<MergeOnFirst>();
+}
+
+std::unique_ptr<MergePolicy> make_merge_on_nth(double threshold) {
+  return std::make_unique<MergeOnNth>(threshold);
+}
+
+std::unique_ptr<MergePolicy> make_never_merge() {
+  return std::make_unique<NeverMerge>();
+}
+
+}  // namespace ct

@@ -1,0 +1,94 @@
+// Dynamic clustering strategies (§3.2).
+//
+// A MergePolicy is consulted by the cluster-timestamp engine exactly at the
+// point §2.3 calls "the point of intersection of the two algorithms": a
+// cluster receive has occurred and the combined cluster size fits maxCS —
+// should the two clusters merge now?
+//
+// Contract: the engine never consults the policy when the merged size would
+// exceed maxCS (paper Fig. 3 line 7's analogue), and notifies it of every
+// merge so it can fold its bookkeeping. Policies see events exactly once, in
+// delivery order — the one-pass constraint of §1.2.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "cluster/cluster_set.hpp"
+
+namespace ct {
+
+class MergePolicy {
+ public:
+  virtual ~MergePolicy() = default;
+
+  /// A cluster receive occurred between clusters `a` (receiver side) and `b`
+  /// (sender side), a != b, with current sizes `size_a`/`size_b` whose sum
+  /// fits maxCS. `occurrences` is 1 for an async receive and 2 for a
+  /// synchronous pair (both halves would stop being cluster receives).
+  /// Returns true to merge the clusters now.
+  virtual bool should_merge(ClusterId a, std::size_t size_a, ClusterId b,
+                            std::size_t size_b, std::uint64_t occurrences) = 0;
+
+  /// Clusters `from` was merged into `into` (ids per ClusterSet::merge).
+  virtual void on_merge(ClusterId into, ClusterId from) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// merge-on-1st-communication (prior work, §1.2): merge the first time any
+/// cluster receive occurs between two clusters that fit maxCS together.
+class MergeOnFirst final : public MergePolicy {
+ public:
+  bool should_merge(ClusterId, std::size_t, ClusterId, std::size_t,
+                    std::uint64_t) override {
+    return true;
+  }
+  void on_merge(ClusterId, ClusterId) override {}
+  const char* name() const override { return "merge-on-1st"; }
+};
+
+/// merge-on-Nth-communication (this paper, §3.2): keep a matrix of cluster
+/// receives seen so far per cluster pair; merge when the count normalized by
+/// the combined cluster size exceeds `threshold`. threshold == 0 degenerates
+/// to merge-on-1st.
+class MergeOnNth final : public MergePolicy {
+ public:
+  explicit MergeOnNth(double threshold);
+
+  bool should_merge(ClusterId a, std::size_t size_a, ClusterId b,
+                    std::size_t size_b, std::uint64_t occurrences) override;
+  void on_merge(ClusterId into, ClusterId from) override;
+  const char* name() const override { return "merge-on-Nth"; }
+
+  double threshold() const { return threshold_; }
+
+ private:
+  using PairKey = std::pair<ClusterId, ClusterId>;
+  static PairKey key(ClusterId a, ClusterId b) {
+    return a < b ? PairKey{a, b} : PairKey{b, a};
+  }
+
+  double threshold_;
+  std::map<PairKey, std::uint64_t> counts_;
+};
+
+/// Never merges: used to run a *preset* static partition through the same
+/// engine (every cross-cluster receive stays a cluster receive).
+class NeverMerge final : public MergePolicy {
+ public:
+  bool should_merge(ClusterId, std::size_t, ClusterId, std::size_t,
+                    std::uint64_t) override {
+    return false;
+  }
+  void on_merge(ClusterId, ClusterId) override {}
+  const char* name() const override { return "never-merge"; }
+};
+
+std::unique_ptr<MergePolicy> make_merge_on_first();
+std::unique_ptr<MergePolicy> make_merge_on_nth(double threshold);
+std::unique_ptr<MergePolicy> make_never_merge();
+
+}  // namespace ct

@@ -1,0 +1,36 @@
+// The paper's static clustering algorithm (Figure 3).
+//
+// Agglomerative greedy merging: starting from singleton clusters, repeatedly
+// merge the pair with the highest *normalized* communication count
+// CR_ij / (|c_i| + |c_j|), skipping pairs whose merged size would exceed
+// maxCS, until no mergeable pair communicates. Normalization matters: raw
+// counts would favour big clusters "purely by virtue of their size" (§3.1) —
+// bench/table_normalization_ablation quantifies that (E11).
+//
+// Complexity: the outer loop runs at most N-1 times and each iteration scans
+// O(C^2) cluster pairs with an O(1) cached inter-cluster count, giving the
+// O(N^3) bound the paper quotes; "when implemented, we observed that the
+// performance was more than sufficient".
+#pragma once
+
+#include <vector>
+
+#include "cluster/comm_matrix.hpp"
+#include "model/ids.hpp"
+
+namespace ct {
+
+struct StaticGreedyOptions {
+  std::size_t max_cluster_size = 13;
+  /// E11 ablation switch: pick the pair with the highest RAW count instead
+  /// of the normalized count. The paper argues this is "probably a poor
+  /// choice"; keep it on `true` for the paper's algorithm.
+  bool normalize = true;
+};
+
+/// Runs the Figure-3 algorithm. Returns the final partition as sorted member
+/// lists, ordered by their smallest member (deterministic).
+std::vector<std::vector<ProcessId>> static_greedy_clusters(
+    const CommMatrix& comm, const StaticGreedyOptions& options);
+
+}  // namespace ct

@@ -1,0 +1,81 @@
+#include "core/batch_hybrid.hpp"
+
+#include "cluster/comm_matrix.hpp"
+#include "cluster/static_greedy.hpp"
+#include "util/check.hpp"
+
+namespace ct {
+
+BatchHybridEngine::BatchHybridEngine(std::size_t process_count,
+                                     BatchHybridConfig config)
+    : process_count_(process_count),
+      config_(config),
+      interim_fm_(std::make_unique<FmEngine>(process_count)),
+      interim_clocks_(process_count) {
+  CT_CHECK_MSG(config_.batch_size >= 1, "batch size must be >= 1");
+}
+
+void BatchHybridEngine::observe(const Event& e) {
+  if (engine_) {
+    engine_->observe(e);
+    return;
+  }
+  buffer_.push_back(e);
+  interim_clocks_[e.id.process].push_back(interim_fm_->observe(e));
+  peak_interim_words_ += process_count_;
+  // Never split a synchronous pair across the phase boundary: if the batch
+  // fills on the first half, wait for the partner (next in delivery order).
+  const bool pair_open = e.kind == EventKind::kSync &&
+                         interim_clocks_[e.partner.process].size() <
+                             e.partner.index;
+  if (buffer_.size() >= config_.batch_size && !pair_open) {
+    cluster_and_replay();
+  }
+}
+
+void BatchHybridEngine::finish() {
+  if (!engine_) cluster_and_replay();
+}
+
+void BatchHybridEngine::observe_trace(const Trace& trace) {
+  for (const EventId id : trace.delivery_order()) observe(trace.event(id));
+  finish();
+}
+
+void BatchHybridEngine::cluster_and_replay() {
+  CT_CHECK(engine_ == nullptr);
+  const CommMatrix comm(process_count_, buffer_);
+  partition_ = static_greedy_clusters(
+      comm, {.max_cluster_size = config_.engine.max_cluster_size,
+             .normalize = true});
+
+  auto policy = config_.nth_threshold < 0.0
+                    ? make_never_merge()
+                    : make_merge_on_nth(config_.nth_threshold);
+  engine_ = std::make_unique<ClusterTimestampEngine>(
+      process_count_, config_.engine, partition_, std::move(policy));
+  for (const Event& e : buffer_) engine_->observe(e);
+
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  interim_clocks_.clear();
+  interim_fm_.reset();
+}
+
+bool BatchHybridEngine::precedes(const Event& ev_e, const Event& ev_f) const {
+  if (engine_) return engine_->precedes(ev_e, ev_f);
+  const auto clock_of = [&](EventId id) -> const FmClock& {
+    CT_CHECK_MSG(id.process < interim_clocks_.size() && id.index >= 1 &&
+                     id.index <= interim_clocks_[id.process].size(),
+                 "event " << id << " has not been observed");
+    return interim_clocks_[id.process][id.index - 1];
+  };
+  return fm_precedes(ev_e, clock_of(ev_e.id), ev_f, clock_of(ev_f.id));
+}
+
+ClusterEngineStats BatchHybridEngine::stats() const {
+  CT_CHECK_MSG(engine_ != nullptr, "stats requested before clustering");
+  return engine_->stats();
+}
+
+}  // namespace ct

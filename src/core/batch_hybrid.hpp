@@ -1,0 +1,82 @@
+// Batch-then-cluster hybrid (§5 future work, variant 1).
+//
+// "Collect a significant number of events before performing a static
+// clustering and subsequent timestamp operation. Such an approach will
+// require a mechanism for precedence determination for those events that
+// have yet to receive a cluster timestamp."
+//
+// This engine buffers the first `batch_size` events, answering precedence
+// queries during that phase from interim full Fidge/Mattern vectors. When
+// the batch fills (or the stream ends), it clusters the prefix with the
+// static greedy algorithm, replays the buffered events through a
+// ClusterTimestampEngine seeded with that partition, discards the interim
+// vectors, and continues single-pass — optionally still self-organizing via
+// merge-on-Nth for communication the prefix did not predict (E12).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "model/trace.hpp"
+#include "timestamp/fm_engine.hpp"
+
+namespace ct {
+
+struct BatchHybridConfig {
+  std::size_t batch_size = 2000;
+  ClusterEngineConfig engine;
+  /// Threshold for post-batch self-organization; < 0 freezes the clusters.
+  double nth_threshold = 10.0;
+};
+
+class BatchHybridEngine {
+ public:
+  BatchHybridEngine(std::size_t process_count, BatchHybridConfig config);
+
+  /// Consumes the next event in delivery order.
+  void observe(const Event& e);
+
+  /// Forces clustering if the batch never filled (end of stream).
+  void finish();
+
+  /// Convenience: observes a whole trace, then finish().
+  void observe_trace(const Trace& trace);
+
+  /// True once the static clustering has been performed.
+  bool clustered() const { return engine_ != nullptr; }
+
+  /// Precedence; both events must have been observed. Valid in either phase
+  /// (interim full vectors before clustering, cluster timestamps after).
+  bool precedes(const Event& ev_e, const Event& ev_f) const;
+
+  /// Storage stats of the post-clustering engine. Requires clustered().
+  ClusterEngineStats stats() const;
+
+  /// Peak number of interim full-vector words held during phase 1 — the
+  /// price this variant pays for deferred clustering.
+  std::uint64_t peak_interim_words() const { return peak_interim_words_; }
+
+  const std::vector<std::vector<ProcessId>>& partition() const {
+    return partition_;
+  }
+
+ private:
+  void cluster_and_replay();
+
+  std::size_t process_count_;
+  BatchHybridConfig config_;
+
+  // Phase 1 state (cleared after clustering).
+  std::vector<Event> buffer_;
+  std::unique_ptr<FmEngine> interim_fm_;
+  std::vector<std::vector<FmClock>> interim_clocks_;  // [process][index-1]
+  std::uint64_t peak_interim_words_ = 0;
+
+  // Phase 2 state.
+  std::vector<std::vector<ProcessId>> partition_;
+  std::unique_ptr<ClusterTimestampEngine> engine_;
+};
+
+}  // namespace ct

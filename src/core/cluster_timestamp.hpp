@@ -1,0 +1,55 @@
+// The cluster-timestamp value type (§2.3).
+//
+// Two shapes exist:
+//  * projection — for events that are not (unmerged) cluster receives: the
+//    Fidge/Mattern vector restricted to the processes of the event's cluster
+//    at stamping time. `covered` names those processes (sorted) and is
+//    shared among all events stamped under the same cluster incarnation.
+//  * full — for non-mergeable cluster receives: the complete Fidge/Mattern
+//    vector (`covered == nullptr`).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "model/ids.hpp"
+
+namespace ct {
+
+struct ClusterTimestamp {
+  /// Sorted processes the projection covers; nullptr means a full vector
+  /// over every process of the computation.
+  std::shared_ptr<const std::vector<ProcessId>> covered;
+  /// Components aligned with `covered` (or indexed by process when full).
+  std::vector<EventIndex> values;
+  /// True when this event was stored as a non-mergeable cluster receive.
+  bool cluster_receive = false;
+
+  bool is_full() const { return covered == nullptr; }
+
+  /// Number of stored components.
+  std::size_t width() const { return values.size(); }
+
+  /// The component for process `q`, if covered.
+  std::optional<EventIndex> component(ProcessId q) const {
+    if (is_full()) {
+      return q < values.size() ? std::optional(values[q]) : std::nullopt;
+    }
+    const auto& procs = *covered;
+    // Binary search: covered sets are sorted and usually small.
+    std::size_t lo = 0, hi = procs.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (procs[mid] < q) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < procs.size() && procs[lo] == q) return values[lo];
+    return std::nullopt;
+  }
+};
+
+}  // namespace ct

@@ -1,0 +1,210 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ct {
+
+namespace {
+
+std::size_t encoded_projection_width(const ClusterEngineConfig& config) {
+  return config.encoded_cluster_width != 0 ? config.encoded_cluster_width
+                                           : config.max_cluster_size;
+}
+
+}  // namespace
+
+ClusterTimestampEngine::ClusterTimestampEngine(
+    std::size_t process_count, ClusterEngineConfig config,
+    std::unique_ptr<MergePolicy> policy)
+    : config_(config),
+      fm_(process_count),
+      clusters_(process_count),
+      policy_(std::move(policy)),
+      ts_(process_count),
+      cluster_receives_(process_count) {
+  CT_CHECK_MSG(policy_ != nullptr, "merge policy required");
+  CT_CHECK_MSG(config_.max_cluster_size >= 1, "maxCS must be >= 1");
+  CT_CHECK_MSG(process_count <= config_.fm_vector_width,
+               "fm_vector_width " << config_.fm_vector_width
+                                  << " cannot encode " << process_count
+                                  << " processes");
+}
+
+ClusterTimestampEngine::ClusterTimestampEngine(
+    std::size_t process_count, ClusterEngineConfig config,
+    const std::vector<std::vector<ProcessId>>& partition)
+    : ClusterTimestampEngine(process_count, config, partition,
+                             make_never_merge()) {}
+
+ClusterTimestampEngine::ClusterTimestampEngine(
+    std::size_t process_count, ClusterEngineConfig config,
+    const std::vector<std::vector<ProcessId>>& partition,
+    std::unique_ptr<MergePolicy> policy)
+    : config_(config),
+      fm_(process_count),
+      clusters_(process_count, partition),
+      policy_(std::move(policy)),
+      ts_(process_count),
+      cluster_receives_(process_count) {
+  CT_CHECK_MSG(policy_ != nullptr, "merge policy required");
+  CT_CHECK_MSG(config_.max_cluster_size >= 1, "maxCS must be >= 1");
+  CT_CHECK_MSG(process_count <= config_.fm_vector_width,
+               "fm_vector_width " << config_.fm_vector_width
+                                  << " cannot encode " << process_count
+                                  << " processes");
+  const std::size_t width = encoded_projection_width(config_);
+  CT_CHECK_MSG(clusters_.max_cluster_size() <= width,
+               "partition has a cluster of "
+                   << clusters_.max_cluster_size()
+                   << " processes, larger than the encoding width " << width);
+}
+
+bool ClusterTimestampEngine::classify_cluster_receive(
+    const Event& e, ProcessId q, std::uint64_t occurrences) {
+  const ClusterId a = clusters_.cluster_of(e.id.process);
+  const ClusterId b = clusters_.cluster_of(q);
+  if (a == b) return false;  // intra-cluster communication
+  const std::size_t size_a = clusters_.size(a);
+  const std::size_t size_b = clusters_.size(b);
+  if (size_a + size_b > config_.max_cluster_size) {
+    // Non-mergeable by the size bound (Fig. 3 line 7's analogue); the
+    // strategy is not consulted — the pair can never merge later, since
+    // cluster sizes only grow.
+    return true;
+  }
+  if (!policy_->should_merge(a, size_a, b, size_b, occurrences)) return true;
+  const ClusterId into = clusters_.merge(a, b);
+  policy_->on_merge(into, into == a ? b : a);
+  ++merges_;
+  return false;  // merged: the event is no longer a cluster receive
+}
+
+const ClusterTimestamp& ClusterTimestampEngine::store(const Event& e,
+                                                      ClusterTimestamp ts) {
+  auto& list = ts_[e.id.process];
+  CT_CHECK_MSG(list.size() + 1 == e.id.index,
+               "event " << e.id << " stored out of order");
+  ++events_;
+  if (ts.cluster_receive) {
+    ++cluster_receive_count_;
+    cluster_receives_[e.id.process].push_back(e.id.index);
+    encoded_words_ += config_.fm_vector_width;
+  } else {
+    const std::size_t width = encoded_projection_width(config_);
+    CT_CHECK_MSG(ts.values.size() <= width,
+                 "projection wider than the encoding width");
+    encoded_words_ += width;
+  }
+  exact_words_ += ts.values.size();
+  list.push_back(std::move(ts));
+  return list.back();
+}
+
+const ClusterTimestamp& ClusterTimestampEngine::observe(const Event& e) {
+  const FmClock& fm = fm_.observe(e);
+  const ProcessId p = e.id.process;
+
+  bool is_cluster_receive = false;
+  switch (e.kind) {
+    case EventKind::kUnary:
+    case EventKind::kSend:
+      break;
+    case EventKind::kReceive:
+      is_cluster_receive = classify_cluster_receive(e, e.partner.process, 1);
+      break;
+    case EventKind::kSync:
+      if (sync_decided_.erase(e.id) == 1) {
+        // The pair's merge decision was taken when the partner half was
+        // observed; just classify against the (possibly merged) clusters.
+        is_cluster_receive = clusters_.cluster_of(p) !=
+                             clusters_.cluster_of(e.partner.process);
+      } else {
+        // A synchronous pair counts as TWO communication occurrences
+        // (§3.1): merging would eliminate two cluster-receive events.
+        is_cluster_receive =
+            classify_cluster_receive(e, e.partner.process, 2);
+        sync_decided_.insert(e.partner);
+      }
+      break;
+  }
+
+  ClusterTimestamp ts;
+  ts.cluster_receive = is_cluster_receive;
+  if (is_cluster_receive) {
+    // Full Fidge/Mattern vector; this event becomes the greatest cluster
+    // receive of its process so far.
+    ts.values = fm;
+  } else {
+    ts.covered = clusters_.members(clusters_.cluster_of(p));
+    ts.values.reserve(ts.covered->size());
+    for (const ProcessId q : *ts.covered) ts.values.push_back(fm[q]);
+  }
+  return store(e, std::move(ts));
+}
+
+void ClusterTimestampEngine::observe_trace(const Trace& trace) {
+  CT_CHECK_MSG(trace.process_count() == ts_.size(),
+               "trace has " << trace.process_count()
+                            << " processes, engine built for " << ts_.size());
+  for (const EventId id : trace.delivery_order()) observe(trace.event(id));
+}
+
+const ClusterTimestamp& ClusterTimestampEngine::timestamp(EventId e) const {
+  CT_CHECK_MSG(e.process < ts_.size() && e.index >= 1 &&
+                   e.index <= ts_[e.process].size(),
+               "event " << e << " has not been observed");
+  return ts_[e.process][e.index - 1];
+}
+
+bool ClusterTimestampEngine::precedes(const Event& ev_e,
+                                      const Event& ev_f) const {
+  const EventId e = ev_e.id;
+  const EventId f = ev_f.id;
+  if (e == f) return false;
+  // Sync partners carry identical vectors but are mutually concurrent.
+  if (ev_e.kind == EventKind::kSync && ev_e.partner == f) return false;
+
+  const ClusterTimestamp& tf = timestamp(f);
+
+  // Direct test: FM(e)[p_e] is e's own index; exact whenever f's timestamp
+  // covers e's process (same cluster, or f is a full cluster receive).
+  ++comparisons_;
+  if (const auto comp = tf.component(e.process)) return e.index <= *comp;
+
+  // e's process is outside covered(f): any causal path from e into f's
+  // cluster must enter through a non-merged cluster receive. For each
+  // covered process q, test against the greatest cluster receive of q that
+  // f has seen (index ≤ TS(f)[q]).
+  const auto& covered = *tf.covered;
+  for (std::size_t i = 0; i < covered.size(); ++i) {
+    const ProcessId q = covered[i];
+    const EventIndex bound = tf.values[i];
+    const auto& receives = cluster_receives_[q];
+    const auto it =
+        std::upper_bound(receives.begin(), receives.end(), bound);
+    if (it == receives.begin()) continue;  // no cluster receive seen yet
+    const EventIndex r_index = *(it - 1);
+    const ClusterTimestamp& tr = ts_[q][r_index - 1];
+    CT_DCHECK(tr.is_full());
+    ++comparisons_;
+    if (e.index <= tr.values[e.process]) return true;
+  }
+  return false;
+}
+
+ClusterEngineStats ClusterTimestampEngine::stats() const {
+  ClusterEngineStats s;
+  s.process_count = ts_.size();
+  s.events = events_;
+  s.cluster_receives = cluster_receive_count_;
+  s.merges = merges_;
+  s.final_clusters = clusters_.cluster_count();
+  s.largest_cluster = clusters_.max_cluster_size();
+  s.encoded_words = encoded_words_;
+  s.exact_words = exact_words_;
+  return s;
+}
+
+}  // namespace ct

@@ -1,0 +1,139 @@
+// Self-organizing hierarchical cluster-timestamp engine (§2.3) — the
+// primary contribution this repository reproduces.
+//
+// One pass over the delivery order. For each event the engine first computes
+// its Fidge/Mattern timestamp, then:
+//  * not a cluster receive → store the projection over its cluster;
+//  * mergeable cluster receive (combined size fits maxCS and the strategy
+//    agrees) → merge the clusters; the event is no longer a cluster receive
+//    and stores the projection over the merged cluster;
+//  * non-mergeable cluster receive → store the full Fidge/Mattern vector and
+//    note it as the greatest cluster receive of its process so far.
+// Fidge/Mattern vectors that are no longer needed are not retained (the
+// FmEngine keeps only per-process heads and in-flight sends).
+//
+// Space accounting follows §4's conventions: full vectors are encoded with a
+// fixed width (default 300, the POET/OLT behaviour) and projections with a
+// fixed width equal to the maximum cluster size, "since any variation in
+// sizing of the vectors is likely to have a detrimental impact on the
+// memory-allocation system" (§3.1).
+//
+// The precedence test (constant-ish time, see DESIGN.md §3):
+//   e → f ⟺ p_e covered by TS(f):  index(e) ≤ TS(f)[p_e]          (exact)
+//          otherwise:  ∃ q ∈ covered(f) with a cluster receive r_q at
+//                      index ≤ TS(f)[q] and index(e) ≤ FM(r_q)[p_e]
+// using the fact that FM(e)[p_e] is just e's own index, and that any causal
+// path entering covered(f) from outside must pass through a non-merged
+// cluster receive (whose full vector the engine retained).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/cluster_set.hpp"
+#include "cluster/merge_policy.hpp"
+#include "core/cluster_timestamp.hpp"
+#include "model/trace.hpp"
+#include "timestamp/fm_engine.hpp"
+
+namespace ct {
+
+struct ClusterEngineConfig {
+  /// maxCS of paper Fig. 3 / §3.2 — the single tunable parameter.
+  std::size_t max_cluster_size = 13;
+  /// Fixed encoding width of full (Fidge/Mattern) vectors; §4 default 300.
+  std::size_t fm_vector_width = 300;
+  /// Fixed encoding width of projections; 0 means max_cluster_size. Set
+  /// explicitly for unbounded static partitions (k-means/k-medoid ablation).
+  std::size_t encoded_cluster_width = 0;
+};
+
+struct ClusterEngineStats {
+  std::size_t process_count = 0;
+  std::size_t events = 0;
+  std::size_t cluster_receives = 0;
+  std::size_t merges = 0;
+  std::size_t final_clusters = 0;
+  std::size_t largest_cluster = 0;
+  /// Padded storage per §4's encoding convention, in 32-bit words.
+  std::uint64_t encoded_words = 0;
+  /// Unpadded storage (actual projection widths), in 32-bit words.
+  std::uint64_t exact_words = 0;
+
+  /// Average encoded timestamp size divided by the FM encoding width —
+  /// the y axis of the paper's Figures 4 and 5.
+  double average_ratio(std::size_t fm_vector_width) const {
+    if (events == 0) return 0.0;
+    return static_cast<double>(encoded_words) /
+           (static_cast<double>(events) *
+            static_cast<double>(fm_vector_width));
+  }
+};
+
+class ClusterTimestampEngine {
+ public:
+  /// Dynamic mode: singleton clusters, self-organizing via `policy`.
+  ClusterTimestampEngine(std::size_t process_count, ClusterEngineConfig config,
+                         std::unique_ptr<MergePolicy> policy);
+
+  /// Static mode: preset partition, no further merging. Cross-partition
+  /// receives are permanent cluster receives.
+  ClusterTimestampEngine(std::size_t process_count, ClusterEngineConfig config,
+                         const std::vector<std::vector<ProcessId>>& partition);
+
+  /// Hybrid mode (§5 future work, variant 1): preset partition that keeps
+  /// self-organizing through `policy` afterwards.
+  ClusterTimestampEngine(std::size_t process_count, ClusterEngineConfig config,
+                         const std::vector<std::vector<ProcessId>>& partition,
+                         std::unique_ptr<MergePolicy> policy);
+
+  /// Consumes the next event in delivery order; returns its timestamp
+  /// (stable reference — timestamps are retained in the store).
+  const ClusterTimestamp& observe(const Event& e);
+
+  /// Convenience: observes an entire trace.
+  void observe_trace(const Trace& trace);
+
+  /// Timestamp of a previously-observed event.
+  const ClusterTimestamp& timestamp(EventId e) const;
+
+  /// Precedence: did `e` happen before `f`? Both must have been observed.
+  /// `ev_e`/`ev_f` are the event records (needed for the sync-partner rule).
+  bool precedes(const Event& ev_e, const Event& ev_f) const;
+
+  const ClusterSet& clusters() const { return clusters_; }
+  ClusterEngineStats stats() const;
+
+  /// Component-comparison count across precedes() calls (query-cost probe).
+  std::uint64_t comparisons() const { return comparisons_; }
+
+ private:
+  const ClusterTimestamp& store(const Event& e, ClusterTimestamp ts);
+  /// Handles classification + merge decision for a receive-like event whose
+  /// partner process is `q`. Returns true if the event is a (non-merged)
+  /// cluster receive.
+  bool classify_cluster_receive(const Event& e, ProcessId q,
+                                std::uint64_t occurrences);
+
+  ClusterEngineConfig config_;
+  FmEngine fm_;
+  ClusterSet clusters_;
+  std::unique_ptr<MergePolicy> policy_;
+
+  std::vector<std::vector<ClusterTimestamp>> ts_;  // [process][index-1]
+  /// Indices of non-merged cluster receives per process, ascending.
+  std::vector<std::vector<EventIndex>> cluster_receives_;
+  /// Sync halves whose pair decision was taken at the partner's observation.
+  std::unordered_set<EventId> sync_decided_;
+
+  std::size_t events_ = 0;
+  std::size_t cluster_receive_count_ = 0;
+  std::size_t merges_ = 0;
+  std::uint64_t encoded_words_ = 0;
+  std::uint64_t exact_words_ = 0;
+  mutable std::uint64_t comparisons_ = 0;
+};
+
+}  // namespace ct

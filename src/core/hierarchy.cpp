@@ -1,0 +1,251 @@
+#include "core/hierarchy.hpp"
+
+#include <algorithm>
+
+#include "cluster/static_greedy.hpp"
+#include "core/recursive_precedence.hpp"
+#include "util/check.hpp"
+#include "util/flat_matrix.hpp"
+
+namespace ct {
+namespace {
+
+/// Greedy agglomeration of weighted units (clusters of the previous level):
+/// repeatedly merge the pair with the highest communication normalized by
+/// combined process weight, capped at `cap` processes — Figure 3 lifted to
+/// the quotient graph.
+std::vector<std::vector<std::size_t>> weighted_greedy(
+    FlatMatrix<std::uint64_t> comm, std::vector<std::size_t> weights,
+    std::size_t cap) {
+  const std::size_t n = weights.size();
+  std::vector<std::vector<std::size_t>> groups(n);
+  for (std::size_t i = 0; i < n; ++i) groups[i] = {i};
+  std::vector<bool> alive(n, true);
+
+  for (;;) {
+    double best = 0.0;
+    std::size_t best_a = 0, best_b = 0;
+    bool found = false;
+    for (std::size_t a = 0; a < n; ++a) {
+      if (!alive[a]) continue;
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (!alive[b]) continue;
+        if (weights[a] + weights[b] > cap) continue;
+        const std::uint64_t count = comm(a, b);
+        if (count == 0) continue;
+        const double score = static_cast<double>(count) /
+                             static_cast<double>(weights[a] + weights[b]);
+        if (score > best) {
+          best = score;
+          best_a = a;
+          best_b = b;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    // Fold b into a.
+    alive[best_b] = false;
+    weights[best_a] += weights[best_b];
+    groups[best_a].insert(groups[best_a].end(), groups[best_b].begin(),
+                          groups[best_b].end());
+    groups[best_b].clear();
+    for (std::size_t other = 0; other < n; ++other) {
+      if (other == best_a || other == best_b) continue;
+      comm(best_a, other) += comm(best_b, other);
+      comm(other, best_a) = comm(best_a, other);
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alive[i]) out.push_back(std::move(groups[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+void Hierarchy::validate(std::size_t process_count) const {
+  CT_CHECK_MSG(!levels.empty(), "hierarchy needs at least one level");
+  for (std::size_t k = 0; k < levels.size(); ++k) {
+    std::vector<bool> seen(process_count, false);
+    for (const auto& part : levels[k]) {
+      CT_CHECK_MSG(!part.empty(), "empty cluster at level " << k);
+      for (const ProcessId p : part) {
+        CT_CHECK_MSG(p < process_count, "process out of range");
+        CT_CHECK_MSG(!seen[p], "process " << p << " duplicated at level "
+                                          << k);
+        seen[p] = true;
+      }
+    }
+    for (std::size_t p = 0; p < process_count; ++p) {
+      CT_CHECK_MSG(seen[p],
+                   "process " << p << " missing from level " << k);
+    }
+  }
+  // Nesting: every finer cluster lies inside one coarser cluster.
+  for (std::size_t k = 0; k + 1 < levels.size(); ++k) {
+    std::vector<std::size_t> coarse(process_count);
+    for (std::size_t c = 0; c < levels[k + 1].size(); ++c) {
+      for (const ProcessId p : levels[k + 1][c]) coarse[p] = c;
+    }
+    for (const auto& part : levels[k]) {
+      for (const ProcessId p : part) {
+        CT_CHECK_MSG(coarse[p] == coarse[part.front()],
+                     "level " << k << " cluster splits across level "
+                              << k + 1);
+      }
+    }
+  }
+}
+
+Hierarchy build_hierarchy(const CommMatrix& comm,
+                          std::span<const std::size_t> level_sizes) {
+  CT_CHECK_MSG(!level_sizes.empty(), "need at least one level size");
+  for (std::size_t i = 1; i < level_sizes.size(); ++i) {
+    CT_CHECK_MSG(level_sizes[i] > level_sizes[i - 1],
+                 "level sizes must be strictly increasing");
+  }
+
+  Hierarchy h;
+  h.levels.push_back(static_greedy_clusters(
+      comm, {.max_cluster_size = level_sizes[0], .normalize = true}));
+
+  for (std::size_t k = 1; k < level_sizes.size(); ++k) {
+    const auto& fine = h.levels.back();
+    // Quotient communication matrix over the previous level's clusters.
+    const std::size_t units = fine.size();
+    std::vector<std::size_t> unit_of(comm.process_count());
+    std::vector<std::size_t> weights(units, 0);
+    for (std::size_t c = 0; c < units; ++c) {
+      for (const ProcessId p : fine[c]) unit_of[p] = c;
+      weights[c] = fine[c].size();
+    }
+    FlatMatrix<std::uint64_t> quotient(units, units, 0);
+    for (ProcessId p = 0; p < comm.process_count(); ++p) {
+      for (ProcessId q = static_cast<ProcessId>(p + 1);
+           q < comm.process_count(); ++q) {
+        const std::uint64_t occ = comm.occurrences(p, q);
+        if (occ == 0 || unit_of[p] == unit_of[q]) continue;
+        quotient(unit_of[p], unit_of[q]) += occ;
+        quotient(unit_of[q], unit_of[p]) += occ;
+      }
+    }
+    const auto grouped =
+        weighted_greedy(std::move(quotient), weights, level_sizes[k]);
+    std::vector<std::vector<ProcessId>> coarse;
+    coarse.reserve(grouped.size());
+    for (const auto& group : grouped) {
+      std::vector<ProcessId> members;
+      for (const std::size_t unit : group) {
+        members.insert(members.end(), fine[unit].begin(), fine[unit].end());
+      }
+      std::sort(members.begin(), members.end());
+      coarse.push_back(std::move(members));
+    }
+    // Deterministic order by smallest member.
+    std::sort(coarse.begin(), coarse.end(),
+              [](const auto& a, const auto& b) {
+                return a.front() < b.front();
+              });
+    h.levels.push_back(std::move(coarse));
+  }
+  return h;
+}
+
+HierarchicalStaticEngine::HierarchicalStaticEngine(std::size_t process_count,
+                                                   std::size_t fm_vector_width,
+                                                   Hierarchy hierarchy)
+    : process_count_(process_count),
+      fm_vector_width_(fm_vector_width),
+      hierarchy_(std::move(hierarchy)),
+      fm_(process_count),
+      ts_(process_count) {
+  CT_CHECK_MSG(process_count <= fm_vector_width,
+               "fm_vector_width cannot encode this many processes");
+  hierarchy_.validate(process_count);
+
+  const std::size_t depth = hierarchy_.depth();
+  cluster_of_.assign(depth, std::vector<std::size_t>(process_count, 0));
+  members_.resize(depth);
+  stats_.level_widths.assign(depth + 1, 0);
+  stats_.events_by_level.assign(depth + 1, 0);
+  for (std::size_t k = 0; k < depth; ++k) {
+    members_[k].reserve(hierarchy_.levels[k].size());
+    for (std::size_t c = 0; c < hierarchy_.levels[k].size(); ++c) {
+      const auto& part = hierarchy_.levels[k][c];
+      for (const ProcessId p : part) cluster_of_[k][p] = c;
+      members_[k].push_back(
+          std::make_shared<const std::vector<ProcessId>>(part));
+      stats_.level_widths[k] =
+          std::max(stats_.level_widths[k], part.size());
+    }
+  }
+  stats_.level_widths[depth] = fm_vector_width;
+}
+
+std::size_t HierarchicalStaticEngine::enclosing_level(ProcessId p,
+                                                      ProcessId q) const {
+  for (std::size_t k = 0; k < hierarchy_.depth(); ++k) {
+    if (cluster_of_[k][p] == cluster_of_[k][q]) return k;
+  }
+  return hierarchy_.depth();
+}
+
+const ClusterTimestamp& HierarchicalStaticEngine::observe(const Event& e) {
+  const FmClock& fm = fm_.observe(e);
+  const ProcessId p = e.id.process;
+
+  std::size_t level = 0;
+  if (e.is_receive_like()) {
+    level = enclosing_level(p, e.partner.process);
+  }
+
+  ClusterTimestamp ts;
+  if (level >= hierarchy_.depth()) {
+    // Escapes the top configured level: full Fidge/Mattern vector.
+    ts.cluster_receive = true;
+    ts.values = fm;
+  } else {
+    ts.covered = members_[level][cluster_of_[level][p]];
+    ts.values.reserve(ts.covered->size());
+    for (const ProcessId q : *ts.covered) ts.values.push_back(fm[q]);
+    ts.cluster_receive = level > 0;  // receive that escaped level 0
+  }
+  ++stats_.events;
+  ++stats_.events_by_level[std::min(level, hierarchy_.depth())];
+  stats_.encoded_words += stats_.level_widths[level];
+  stats_.exact_words += ts.values.size();
+
+  auto& list = ts_[p];
+  CT_CHECK_MSG(list.size() + 1 == e.id.index,
+               "event " << e.id << " observed out of order");
+  list.push_back(std::move(ts));
+  return list.back();
+}
+
+void HierarchicalStaticEngine::observe_trace(const Trace& trace) {
+  CT_CHECK_MSG(trace.process_count() == process_count_,
+               "trace/engine process count mismatch");
+  for (const EventId id : trace.delivery_order()) observe(trace.event(id));
+}
+
+const ClusterTimestamp& HierarchicalStaticEngine::timestamp(EventId e) const {
+  CT_CHECK_MSG(e.process < ts_.size() && e.index >= 1 &&
+                   e.index <= ts_[e.process].size(),
+               "event " << e << " has not been observed");
+  return ts_[e.process][e.index - 1];
+}
+
+bool HierarchicalStaticEngine::precedes(const Event& ev_e,
+                                        const Event& ev_f) const {
+  return recursive_precedes(
+      ev_e, ev_f, process_count_,
+      [this](EventId id) -> const ClusterTimestamp& {
+        return timestamp(id);
+      },
+      &comparisons_);
+}
+
+}  // namespace ct

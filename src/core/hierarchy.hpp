@@ -1,0 +1,102 @@
+// Multi-level hierarchical cluster timestamps.
+//
+// §2.3: "Clusters in turn are grouped hierarchically into clusters of
+// clusters, and so on recursively, until one large cluster encompasses the
+// entire computation" — but "in this paper, we are just exploring two levels
+// of clusters", i.e. cluster receives pay a full Fidge/Mattern vector. This
+// module implements the general design: a cluster receive at level k is
+// stored as the projection over the smallest *enclosing* cluster that
+// contains both partners, so a receive from a nearby cluster pays an
+// intermediate width instead of the full vector. Only communication that
+// escapes the top configured level stores full FM. Precedence uses the
+// generalized recursive test (rules R1/R2 hold level-wise by construction).
+//
+// bench/table_hierarchy quantifies what the extra levels buy (E14).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/comm_matrix.hpp"
+#include "core/cluster_timestamp.hpp"
+#include "core/engine.hpp"
+#include "model/trace.hpp"
+#include "timestamp/fm_engine.hpp"
+
+namespace ct {
+
+/// Nested partitions: levels[0] is the finest clustering; every part of
+/// levels[k+1] is a union of parts of levels[k].
+struct Hierarchy {
+  std::vector<std::vector<std::vector<ProcessId>>> levels;
+
+  std::size_t depth() const { return levels.size(); }
+  /// Validates nesting/partition properties; throws CheckFailure.
+  void validate(std::size_t process_count) const;
+};
+
+/// Builds a hierarchy by repeated greedy agglomeration: the finest level via
+/// the paper's Figure-3 algorithm at `level_sizes[0]`, then each coarser
+/// level by merging the previous level's clusters (normalized inter-cluster
+/// communication, total process count capped at level_sizes[k]).
+/// `level_sizes` must be strictly increasing.
+Hierarchy build_hierarchy(const CommMatrix& comm,
+                          std::span<const std::size_t> level_sizes);
+
+struct HierarchicalStats {
+  std::size_t events = 0;
+  /// events_by_level[k] = events stored at level k's width; the final slot
+  /// counts events stored as full FM vectors.
+  std::vector<std::size_t> events_by_level;
+  /// Encoding width of each level (largest cluster, actual-width rule) and
+  /// of the full slot (fm_vector_width).
+  std::vector<std::size_t> level_widths;
+  std::uint64_t encoded_words = 0;
+  std::uint64_t exact_words = 0;
+
+  double average_ratio(std::size_t fm_vector_width) const {
+    if (events == 0) return 0.0;
+    return static_cast<double>(encoded_words) /
+           (static_cast<double>(events) *
+            static_cast<double>(fm_vector_width));
+  }
+};
+
+class HierarchicalStaticEngine {
+ public:
+  HierarchicalStaticEngine(std::size_t process_count,
+                           std::size_t fm_vector_width, Hierarchy hierarchy);
+
+  const ClusterTimestamp& observe(const Event& e);
+  void observe_trace(const Trace& trace);
+
+  const ClusterTimestamp& timestamp(EventId e) const;
+  bool precedes(const Event& ev_e, const Event& ev_f) const;
+
+  const HierarchicalStats& stats() const { return stats_; }
+  std::uint64_t comparisons() const { return comparisons_; }
+
+ private:
+  /// Smallest level whose cluster around `p` also contains `q`;
+  /// hierarchy.depth() means "not even the top level" (full vector).
+  std::size_t enclosing_level(ProcessId p, ProcessId q) const;
+
+  std::size_t process_count_;
+  std::size_t fm_vector_width_;
+  Hierarchy hierarchy_;
+  /// cluster_of_[k][p] = index of p's cluster within level k.
+  std::vector<std::vector<std::size_t>> cluster_of_;
+  /// members_[k][c] = shared sorted member snapshot.
+  std::vector<std::vector<std::shared_ptr<const std::vector<ProcessId>>>>
+      members_;
+
+  FmEngine fm_;
+  std::vector<std::vector<ClusterTimestamp>> ts_;
+  HierarchicalStats stats_;
+  mutable std::uint64_t comparisons_ = 0;
+};
+
+}  // namespace ct

@@ -1,0 +1,257 @@
+#include "core/migrating_engine.hpp"
+
+#include <algorithm>
+
+#include "core/recursive_precedence.hpp"
+#include "util/check.hpp"
+
+namespace ct {
+
+MigratingClusterEngine::MigratingClusterEngine(std::size_t process_count,
+                                               MigratingEngineConfig config)
+    : config_(config),
+      fm_(process_count),
+      assign_(process_count),
+      clusters_(process_count),
+      live_clusters_(process_count),
+      recent_(process_count),
+      recent_total_(process_count, 0),
+      cooldown_(process_count, 0),
+      ts_(process_count) {
+  CT_CHECK_MSG(config_.max_cluster_size >= 1, "maxCS must be >= 1");
+  CT_CHECK_MSG(process_count <= config_.fm_vector_width,
+               "fm_vector_width cannot encode this many processes");
+  CT_CHECK_MSG(config_.window >= 1, "migration window must be >= 1");
+  CT_CHECK_MSG(config_.home_share_low > 0.0 && config_.home_share_low <= 1.0,
+               "home_share_low must be in (0, 1]");
+  for (ProcessId p = 0; p < process_count; ++p) {
+    assign_[p] = p;
+    clusters_[p].members =
+        std::make_shared<std::vector<ProcessId>>(1, p);
+  }
+}
+
+std::size_t MigratingClusterEngine::cluster_size(ClusterId c) const {
+  CT_CHECK_MSG(c < clusters_.size() && clusters_[c].members != nullptr,
+               "dead cluster id " << c);
+  return clusters_[c].members->size();
+}
+
+void MigratingClusterEngine::rebuild_members(ClusterId c,
+                                             std::vector<ProcessId> members) {
+  if (members.empty()) {
+    clusters_[c].members.reset();
+    --live_clusters_;
+    return;
+  }
+  std::sort(members.begin(), members.end());
+  clusters_[c].members =
+      std::make_shared<const std::vector<ProcessId>>(std::move(members));
+}
+
+void MigratingClusterEngine::merge(ClusterId a, ClusterId b) {
+  CT_CHECK(a != b);
+  std::vector<ProcessId> merged(*clusters_[a].members);
+  merged.insert(merged.end(), clusters_[b].members->begin(),
+                clusters_[b].members->end());
+  for (const ProcessId p : *clusters_[b].members) assign_[p] = a;
+  clusters_[b].members.reset();
+  --live_clusters_;
+  rebuild_members(a, std::move(merged));
+  ++merges_;
+
+  // Fold Nth counts of b into a.
+  for (auto it = nth_counts_.begin(); it != nth_counts_.end();) {
+    const auto [lo, hi] = it->first;
+    if (lo != b && hi != b) {
+      ++it;
+      continue;
+    }
+    const ClusterId other = lo == b ? hi : lo;
+    const std::uint64_t count = it->second;
+    it = nth_counts_.erase(it);
+    if (other != a) {
+      nth_counts_[{std::min(a, other), std::max(a, other)}] += count;
+    }
+  }
+}
+
+void MigratingClusterEngine::migrate(ProcessId p, ClusterId target) {
+  const ClusterId source = assign_[p];
+  CT_CHECK(source != target);
+  std::vector<ProcessId> rest;
+  for (const ProcessId q : *clusters_[source].members) {
+    if (q != p) rest.push_back(q);
+  }
+  rebuild_members(source, std::move(rest));
+  std::vector<ProcessId> grown(*clusters_[target].members);
+  grown.push_back(p);
+  rebuild_members(target, std::move(grown));
+  assign_[p] = target;
+  ++migrations_;
+}
+
+void MigratingClusterEngine::note_receive(ProcessId p,
+                                          ClusterId from_cluster) {
+  ++recent_[p][from_cluster];
+  if (++recent_total_[p] >= config_.window) {
+    maybe_migrate(p);
+    recent_[p].clear();
+    recent_total_[p] = 0;
+  }
+}
+
+void MigratingClusterEngine::maybe_migrate(ProcessId p) {
+  if (cooldown_[p] > 0) {
+    --cooldown_[p];
+    return;
+  }
+  const ClusterId home = assign_[p];
+  std::size_t home_count = 0;
+  ClusterId best = home;
+  std::size_t best_count = 0;
+  for (const auto& [cluster, count] : recent_[p]) {
+    // Entries may reference clusters that merged or died since the window
+    // started; skip stale ids (their traffic stays attributed to the old
+    // id, which just weakens this window's signal).
+    if (cluster >= clusters_.size() || !clusters_[cluster].members) continue;
+    if (cluster == home) {
+      home_count = count;
+    } else if (count > best_count) {
+      best_count = count;
+      best = cluster;
+    }
+  }
+  // Stay when home still serves this process, or nothing clearly better.
+  if (static_cast<double>(home_count) >=
+      config_.home_share_low * static_cast<double>(recent_total_[p])) {
+    return;
+  }
+  if (best == home || best_count <= home_count) return;
+  if (cluster_size(best) + 1 > config_.max_cluster_size) return;
+  migrate(p, best);
+  cooldown_[p] = config_.cooldown;
+}
+
+bool MigratingClusterEngine::classify(const Event& e, ProcessId q,
+                                      std::uint64_t occurrences) {
+  const ClusterId a = cluster_of(e.id.process);
+  const ClusterId b = cluster_of(q);
+  if (a == b) return false;
+
+  const std::size_t size_a = cluster_size(a);
+  const std::size_t size_b = cluster_size(b);
+  if (size_a + size_b <= config_.max_cluster_size) {
+    bool do_merge;
+    if (config_.nth_threshold < 0.0) {
+      do_merge = true;  // merge-on-1st
+    } else {
+      auto& count = nth_counts_[{std::min(a, b), std::max(a, b)}];
+      count += occurrences;
+      do_merge = static_cast<double>(count) /
+                     static_cast<double>(size_a + size_b) >
+                 config_.nth_threshold;
+    }
+    if (do_merge) {
+      merge(a, b);
+      return false;
+    }
+  }
+  return true;
+}
+
+const ClusterTimestamp& MigratingClusterEngine::observe(const Event& e) {
+  const FmClock& fm = fm_.observe(e);
+  const ProcessId p = e.id.process;
+
+  bool is_cluster_receive = false;
+  bool receive_like = false;
+  switch (e.kind) {
+    case EventKind::kUnary:
+    case EventKind::kSend:
+      break;
+    case EventKind::kReceive:
+      is_cluster_receive = classify(e, e.partner.process, 1);
+      receive_like = true;
+      break;
+    case EventKind::kSync:
+      if (sync_decided_.erase(e.id) == 1) {
+        is_cluster_receive =
+            cluster_of(p) != cluster_of(e.partner.process);
+      } else {
+        is_cluster_receive = classify(e, e.partner.process, 2);
+        sync_decided_.insert(e.partner);
+      }
+      receive_like = true;
+      break;
+  }
+
+  // Snapshot BEFORE migration bookkeeping: rule R2 requires that a
+  // non-cluster-receive's stored snapshot covers its sender, which holds for
+  // the cluster as classified above but could be destroyed if this very
+  // event's window tipped the process into migrating first.
+  ClusterTimestamp ts;
+  ts.cluster_receive = is_cluster_receive;
+  if (is_cluster_receive) {
+    ts.values = fm;
+    encoded_words_ += config_.fm_vector_width;
+  } else {
+    ts.covered = clusters_[cluster_of(p)].members;
+    ts.values.reserve(ts.covered->size());
+    for (const ProcessId q : *ts.covered) ts.values.push_back(fm[q]);
+    encoded_words_ += config_.max_cluster_size;
+  }
+  exact_words_ += ts.values.size();
+  ++events_;
+  if (is_cluster_receive) ++cluster_receive_count_;
+
+  auto& list = ts_[p];
+  CT_CHECK_MSG(list.size() + 1 == e.id.index,
+               "event " << e.id << " observed out of order");
+  list.push_back(std::move(ts));
+
+  if (receive_like) note_receive(p, cluster_of(e.partner.process));
+  return list.back();
+}
+
+void MigratingClusterEngine::observe_trace(const Trace& trace) {
+  CT_CHECK_MSG(trace.process_count() == ts_.size(),
+               "trace/engine process count mismatch");
+  for (const EventId id : trace.delivery_order()) observe(trace.event(id));
+}
+
+const ClusterTimestamp& MigratingClusterEngine::timestamp(EventId e) const {
+  CT_CHECK_MSG(e.process < ts_.size() && e.index >= 1 &&
+                   e.index <= ts_[e.process].size(),
+               "event " << e << " has not been observed");
+  return ts_[e.process][e.index - 1];
+}
+
+bool MigratingClusterEngine::precedes(const Event& ev_e,
+                                      const Event& ev_f) const {
+  return recursive_precedes(
+      ev_e, ev_f, ts_.size(),
+      [this](EventId id) -> const ClusterTimestamp& {
+        return timestamp(id);
+      },
+      &comparisons_);
+}
+
+ClusterEngineStats MigratingClusterEngine::stats() const {
+  ClusterEngineStats s;
+  s.process_count = ts_.size();
+  s.events = events_;
+  s.cluster_receives = cluster_receive_count_;
+  s.merges = merges_;
+  s.final_clusters = live_clusters_;
+  std::size_t largest = 0;
+  for (const auto& c : clusters_) {
+    if (c.members) largest = std::max(largest, c.members->size());
+  }
+  s.largest_cluster = largest;
+  s.encoded_words = encoded_words_;
+  s.exact_words = exact_words_;
+  return s;
+}
+
+}  // namespace ct

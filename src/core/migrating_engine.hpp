@@ -1,0 +1,113 @@
+// Cluster timestamps with process migration (§5 future work, variant 2).
+//
+// "The second variant we are examining is one in which processes will be
+// permitted to migrate between clusters in the event that it is apparent
+// that the clustering initially selected is a poor one."
+//
+// Self-organizing engine like ClusterTimestampEngine (singleton clusters,
+// merge-on-Nth growth), plus a migration rule: the engine tracks, per
+// process, a sliding window of cross-cluster receives by peer cluster; when
+// one foreign cluster dominates a process's recent communication and has
+// room, the process moves there. Migration breaks the clusters-only-grow
+// property the fast precedence test depends on, so queries go through the
+// generalized recursive test (core/recursive_precedence.hpp), which needs
+// only the local rules R1/R2 that this engine maintains.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cluster_timestamp.hpp"
+#include "core/engine.hpp"
+#include "model/trace.hpp"
+#include "timestamp/fm_engine.hpp"
+
+namespace ct {
+
+struct MigratingEngineConfig {
+  std::size_t max_cluster_size = 13;
+  std::size_t fm_vector_width = 300;
+  /// Merge-on-Nth threshold for cluster growth (< 0 → merge-on-1st).
+  double nth_threshold = 10.0;
+
+  /// Migration rule: evaluate a process after every `window` of its
+  /// receive-like events. It migrates when its own cluster supplies less
+  /// than `home_share_low` of that window, some foreign cluster supplies
+  /// strictly more than home does, and the target has room under the size
+  /// cap. `cooldown` windows must pass between migrations of one process.
+  std::size_t window = 24;
+  double home_share_low = 0.35;
+  std::size_t cooldown = 2;
+};
+
+class MigratingClusterEngine {
+ public:
+  MigratingClusterEngine(std::size_t process_count,
+                         MigratingEngineConfig config);
+
+  /// Consumes the next event in delivery order.
+  const ClusterTimestamp& observe(const Event& e);
+  void observe_trace(const Trace& trace);
+
+  const ClusterTimestamp& timestamp(EventId e) const;
+
+  /// Precedence via the generalized recursive test.
+  bool precedes(const Event& ev_e, const Event& ev_f) const;
+
+  ClusterEngineStats stats() const;
+  std::size_t migrations() const { return migrations_; }
+  std::uint64_t comparisons() const { return comparisons_; }
+
+ private:
+  struct Cluster {
+    std::shared_ptr<const std::vector<ProcessId>> members;
+  };
+
+  ClusterId cluster_of(ProcessId p) const { return assign_[p]; }
+  std::size_t cluster_size(ClusterId c) const;
+  void rebuild_members(ClusterId c, std::vector<ProcessId> members);
+  /// Moves `p` from its cluster into `target`.
+  void migrate(ProcessId p, ClusterId target);
+  /// Merges cluster `b` into cluster `a`.
+  void merge(ClusterId a, ClusterId b);
+  /// Handles classification + merge bookkeeping for a receive-like event
+  /// with partner process `q`.
+  bool classify(const Event& e, ProcessId q, std::uint64_t occurrences);
+  /// Records a receive-like event of `p` whose partner currently sits in
+  /// `from_cluster` (own cluster included), and evaluates migration when
+  /// the window fills.
+  void note_receive(ProcessId p, ClusterId from_cluster);
+  void maybe_migrate(ProcessId p);
+
+  MigratingEngineConfig config_;
+  FmEngine fm_;
+
+  std::vector<ClusterId> assign_;  // process -> cluster id
+  std::vector<Cluster> clusters_;  // indexed by cluster id; empty = dead
+  std::size_t live_clusters_ = 0;
+
+  // merge-on-Nth counts keyed by unordered cluster-id pair.
+  std::map<std::pair<ClusterId, ClusterId>, std::uint64_t> nth_counts_;
+
+  // Per-process migration window: recent receive counts by peer cluster
+  // (own cluster included), window fill, and cooldown.
+  std::vector<std::map<ClusterId, std::size_t>> recent_;
+  std::vector<std::size_t> recent_total_;
+  std::vector<std::size_t> cooldown_;
+
+  std::vector<std::vector<ClusterTimestamp>> ts_;
+  std::unordered_set<EventId> sync_decided_;
+
+  std::size_t events_ = 0;
+  std::size_t cluster_receive_count_ = 0;
+  std::size_t merges_ = 0;
+  std::size_t migrations_ = 0;
+  std::uint64_t encoded_words_ = 0;
+  std::uint64_t exact_words_ = 0;
+  mutable std::uint64_t comparisons_ = 0;
+};
+
+}  // namespace ct

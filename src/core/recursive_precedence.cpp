@@ -1,0 +1,88 @@
+#include "core/recursive_precedence.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ct {
+namespace {
+
+// DFS over "does e reach event (q, c)?" requests.
+//
+//  * Monotone memo: if (q, c) conclusively failed, every (q, c' <= c) fails
+//    too (event (q,c') precedes (q,c)), so only the per-process maximum
+//    failed index is kept.
+//  * Cycle cut: a request already on the DFS stack returns false. Exact
+//    request cycles can only arise between the two halves of a synchronous
+//    pair (mutual knowledge of each other's index implies, in a partial
+//    order, the collapsed sync node); the halves carry identical timestamps,
+//    so the in-progress twin explores the same branches and no evidence is
+//    lost — the failure markings stay sound.
+//  * Own-process descent: entries into a node's snapshot may sit earlier in
+//    the node's own process, so after exhausting cross-process branches the
+//    walker steps to (q, c-1). Branch bounds shrink monotonically along the
+//    descent, so the cross-process branches of deeper steps are pruned by
+//    the memo and the descent costs O(1) amortized per step.
+struct Walker {
+  const TimestampLookup& timestamp;
+  ProcessId target_process;
+  EventIndex target_index;
+  std::uint64_t comparisons = 0;
+  std::vector<EventIndex> failed_up_to;  // per process
+  std::unordered_set<EventId> on_stack;
+
+  bool reaches(EventId node) {
+    if (node.index == 0) return false;
+    if (failed_up_to[node.process] >= node.index) return false;
+    if (!on_stack.insert(node).second) return false;  // sync-pair cycle
+
+    const ClusterTimestamp& ts = timestamp(node);
+    ++comparisons;
+    bool result;
+    if (const auto comp = ts.component(target_process)) {
+      // Exact: FM(e)[p_e] equals e's own index.
+      result = target_index <= *comp;
+    } else {
+      CT_DCHECK(!ts.is_full());  // full vectors cover every process
+      result = false;
+      const auto& covered = *ts.covered;
+      for (std::size_t i = 0; i < covered.size() && !result; ++i) {
+        const ProcessId q = covered[i];
+        if (q == node.process) continue;  // own chain handled below
+        result = reaches(EventId{q, ts.values[i]});
+      }
+      if (!result) {
+        result = reaches(EventId{node.process, node.index - 1});
+      }
+    }
+
+    on_stack.erase(node);
+    if (!result && failed_up_to[node.process] < node.index) {
+      failed_up_to[node.process] = node.index;
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+bool recursive_precedes(const Event& ev_e, const Event& ev_f,
+                        std::size_t process_count,
+                        const TimestampLookup& timestamp,
+                        std::uint64_t* comparisons) {
+  const EventId e = ev_e.id;
+  const EventId f = ev_f.id;
+  if (e == f) return false;
+  // Sync partners carry identical vectors but are mutually concurrent.
+  if (ev_e.kind == EventKind::kSync && ev_e.partner == f) return false;
+
+  Walker walker{timestamp, e.process, e.index, 0,
+                std::vector<EventIndex>(process_count, 0),
+                {}};
+  const bool result = walker.reaches(f);
+  if (comparisons) *comparisons += walker.comparisons;
+  return result;
+}
+
+}  // namespace ct

@@ -1,0 +1,106 @@
+#include "core/static_pipeline.hpp"
+
+#include <algorithm>
+
+#include "cluster/comm_matrix.hpp"
+#include "cluster/fixed_contiguous.hpp"
+#include "cluster/kmeans.hpp"
+#include "cluster/kmedoid.hpp"
+#include "cluster/static_greedy.hpp"
+#include "util/check.hpp"
+
+namespace ct {
+
+const char* to_string(StaticStrategy s) {
+  switch (s) {
+    case StaticStrategy::kGreedy:
+      return "static-greedy";
+    case StaticStrategy::kGreedyRawCount:
+      return "static-greedy-raw";
+    case StaticStrategy::kFixedContiguous:
+      return "fixed-contiguous";
+    case StaticStrategy::kKMedoid:
+      return "k-medoid";
+    case StaticStrategy::kKMeans:
+      return "k-means";
+  }
+  return "?";
+}
+
+StaticRunResult run_static(const Trace& trace, StaticStrategy strategy,
+                           std::size_t max_cluster_size,
+                           std::size_t fm_vector_width) {
+  const std::size_t n = trace.process_count();
+  CT_CHECK(max_cluster_size >= 1);
+
+  // Pass 1: cluster.
+  StaticRunResult result;
+  const CommMatrix comm(trace);
+  switch (strategy) {
+    case StaticStrategy::kGreedy:
+      result.partition = static_greedy_clusters(
+          comm, {.max_cluster_size = max_cluster_size, .normalize = true});
+      break;
+    case StaticStrategy::kGreedyRawCount:
+      result.partition = static_greedy_clusters(
+          comm, {.max_cluster_size = max_cluster_size, .normalize = false});
+      break;
+    case StaticStrategy::kFixedContiguous:
+      result.partition = fixed_contiguous_clusters(n, max_cluster_size);
+      break;
+    case StaticStrategy::kKMedoid: {
+      KMedoidOptions opt;
+      opt.k = (n + max_cluster_size - 1) / max_cluster_size;
+      result.partition = kmedoid_clusters(comm, opt);
+      break;
+    }
+    case StaticStrategy::kKMeans: {
+      KMeansOptions opt;
+      opt.k = (n + max_cluster_size - 1) / max_cluster_size;
+      result.partition = kmeans_clusters(comm, opt);
+      break;
+    }
+  }
+
+  std::size_t largest = 1;
+  for (const auto& part : result.partition) {
+    largest = std::max(largest, part.size());
+  }
+
+  // Pass 2: timestamp with the preset partition. A two-pass tool knows
+  // every cluster size before allocating timestamp vectors, so projections
+  // are encoded at the width of the largest cluster actually formed — §3.1's
+  // "vectors of size equal to the maximum cluster size" for a static
+  // clustering. (Dynamic strategies cannot know this and must allocate at
+  // the maxCS cap; see run_dynamic.) For the unbounded ablation strategies
+  // the largest formed cluster can exceed the cap — that *is* the cost of
+  // not bounding cluster size.
+  ClusterEngineConfig config;
+  config.max_cluster_size = std::max(max_cluster_size, largest);
+  config.fm_vector_width = fm_vector_width;
+  config.encoded_cluster_width = largest;
+  ClusterTimestampEngine engine(n, config, result.partition);
+  engine.observe_trace(trace);
+  result.stats = engine.stats();
+  result.ratio = result.stats.average_ratio(fm_vector_width);
+  return result;
+}
+
+DynamicRunResult run_dynamic(const Trace& trace, double nth_threshold,
+                             std::size_t max_cluster_size,
+                             std::size_t fm_vector_width) {
+  ClusterEngineConfig config;
+  config.max_cluster_size = max_cluster_size;
+  config.fm_vector_width = fm_vector_width;
+  auto policy = nth_threshold < 0.0 ? make_merge_on_first()
+                                    : make_merge_on_nth(nth_threshold);
+  ClusterTimestampEngine engine(trace.process_count(), config,
+                                std::move(policy));
+  engine.observe_trace(trace);
+  DynamicRunResult result;
+  result.stats = engine.stats();
+  result.ratio = result.stats.average_ratio(fm_vector_width);
+  return result;
+}
+
+}  // namespace ct

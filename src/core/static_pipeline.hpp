@@ -1,0 +1,55 @@
+// Two-pass static timestamping (§3.2): pass 1 clusters the event data,
+// pass 2 timestamps it — the mode in which any static clustering strategy
+// can drive the cluster-timestamp algorithm.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "model/trace.hpp"
+
+namespace ct {
+
+enum class StaticStrategy {
+  kGreedy,           ///< the paper's Figure-3 algorithm
+  kGreedyRawCount,   ///< E11 ablation: un-normalized greedy
+  kFixedContiguous,  ///< prior work's baseline
+  kKMedoid,          ///< rejected approach (E7)
+  kKMeans,           ///< rejected approach (E7)
+};
+
+const char* to_string(StaticStrategy s);
+
+struct StaticRunResult {
+  std::vector<std::vector<ProcessId>> partition;
+  ClusterEngineStats stats;
+  /// Ratio of average encoded timestamp size to the FM encoding width —
+  /// the y value of the paper's figures.
+  double ratio = 0.0;
+};
+
+/// Clusters `trace` with `strategy` under `max_cluster_size`, then runs the
+/// cluster-timestamp engine over the trace with that preset partition.
+/// For the unbounded strategies (k-means / k-medoid) the projection encoding
+/// width is the largest cluster produced, not maxCS.
+StaticRunResult run_static(const Trace& trace, StaticStrategy strategy,
+                           std::size_t max_cluster_size,
+                           std::size_t fm_vector_width = 300);
+
+struct DynamicRunResult {
+  ClusterEngineStats stats;
+  double ratio = 0.0;
+};
+
+/// Single-pass dynamic run: merge-on-1st if `nth_threshold` < 0, else
+/// merge-on-Nth with that normalized threshold.
+DynamicRunResult run_dynamic(const Trace& trace, double nth_threshold,
+                             std::size_t max_cluster_size,
+                             std::size_t fm_vector_width = 300);
+
+/// Fidge/Mattern reference ratio under the same encoding convention
+/// (always 1.0 by definition; provided for table symmetry).
+inline double fm_ratio() { return 1.0; }
+
+}  // namespace ct

@@ -1,0 +1,87 @@
+#include "eval/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ct {
+
+std::vector<CoveragePoint> coverage_by_size(std::span<const SweepRow> rows,
+                                            double tolerance) {
+  CT_CHECK(!rows.empty());
+  const auto& sizes = rows.front().sizes;
+  for (const auto& row : rows) {
+    CT_CHECK_MSG(row.sizes == sizes, "rows have mismatched size axes");
+  }
+  std::vector<CoveragePoint> out(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    out[i].size = sizes[i];
+    for (const auto& row : rows) {
+      if (row.ratios[i] <= row.best_ratio() * (1.0 + tolerance)) {
+        ++out[i].covered;
+      }
+    }
+    out[i].fraction =
+        static_cast<double>(out[i].covered) / static_cast<double>(rows.size());
+  }
+  return out;
+}
+
+std::vector<std::size_t> good_sizes(std::span<const SweepRow> rows,
+                                    double tolerance,
+                                    std::size_t allowed_misses) {
+  std::vector<std::size_t> out;
+  for (const CoveragePoint& point : coverage_by_size(rows, tolerance)) {
+    if (point.covered + allowed_misses >= rows.size()) {
+      out.push_back(point.size);
+    }
+  }
+  return out;
+}
+
+std::vector<Miss> misses_at_size(std::span<const SweepRow> rows,
+                                 std::size_t size, double tolerance) {
+  std::vector<Miss> out;
+  for (const auto& row : rows) {
+    const auto it = std::find(row.sizes.begin(), row.sizes.end(), size);
+    CT_CHECK_MSG(it != row.sizes.end(), "size " << size << " not in sweep");
+    const std::size_t i =
+        static_cast<std::size_t>(it - row.sizes.begin());
+    const double best = row.best_ratio();
+    if (row.ratios[i] > best * (1.0 + tolerance)) {
+      out.push_back(Miss{row.trace_id, row.ratios[i], best});
+    }
+  }
+  return out;
+}
+
+SizeRange longest_contiguous_range(std::span<const std::size_t> sorted_sizes) {
+  SizeRange best;
+  std::size_t run_start = 0;
+  for (std::size_t i = 0; i < sorted_sizes.size(); ++i) {
+    if (i > 0 && sorted_sizes[i] != sorted_sizes[i - 1] + 1) run_start = i;
+    const std::size_t run_len = i - run_start + 1;
+    if (run_len > best.length()) {
+      best.lo = sorted_sizes[run_start];
+      best.hi = sorted_sizes[i];
+    }
+  }
+  return best;
+}
+
+double curve_roughness(const SweepRow& row) {
+  CT_CHECK(row.ratios.size() >= 2);
+  double total_step = 0.0;
+  double mean = 0.0;
+  for (const double r : row.ratios) mean += r;
+  mean /= static_cast<double>(row.ratios.size());
+  for (std::size_t i = 1; i < row.ratios.size(); ++i) {
+    total_step += std::abs(row.ratios[i] - row.ratios[i - 1]);
+  }
+  const double mean_step =
+      total_step / static_cast<double>(row.ratios.size() - 1);
+  return mean > 0.0 ? mean_step / mean : 0.0;
+}
+
+}  // namespace ct

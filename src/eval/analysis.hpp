@@ -1,0 +1,58 @@
+// Cross-computation analyses of §4.
+//
+// The paper's headline numbers are not per-computation curves but *range*
+// statements over the whole suite: which maxCS values put every computation
+// (or all but k) within 20 % of its own best achievable timestamp size.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hpp"
+
+namespace ct {
+
+/// Per-size coverage: how many of the given rows (one per computation, all
+/// the same strategy) are within `tolerance` of their own best at that size.
+struct CoveragePoint {
+  std::size_t size = 0;        ///< maxCS
+  std::size_t covered = 0;     ///< computations within tolerance
+  double fraction = 0.0;       ///< covered / rows
+};
+
+std::vector<CoveragePoint> coverage_by_size(std::span<const SweepRow> rows,
+                                            double tolerance);
+
+/// All maxCS values whose coverage misses at most `allowed_misses`
+/// computations.
+std::vector<std::size_t> good_sizes(std::span<const SweepRow> rows,
+                                    double tolerance,
+                                    std::size_t allowed_misses);
+
+/// Identifies, for a given size, the computations NOT within tolerance of
+/// their best, together with their ratio and their best.
+struct Miss {
+  std::string trace_id;
+  double ratio = 0.0;
+  double best = 0.0;
+};
+std::vector<Miss> misses_at_size(std::span<const SweepRow> rows,
+                                 std::size_t size, double tolerance);
+
+/// Largest contiguous run of sizes in `sorted_sizes` (helper for reporting
+/// ranges like the paper's [9,17] and [22,24]).
+struct SizeRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;  ///< inclusive; lo==hi==0 means empty
+  bool empty() const { return lo == 0 && hi == 0; }
+  std::size_t length() const { return empty() ? 0 : hi - lo + 1; }
+};
+SizeRange longest_contiguous_range(std::span<const std::size_t> sorted_sizes);
+
+/// Jaggedness of a ratio curve: mean absolute difference between successive
+/// ratios, normalized by the curve mean. Quantifies the paper's "relatively
+/// smooth ratio curves" claim (static) vs merge-on-1st's sensitivity.
+double curve_roughness(const SweepRow& row);
+
+}  // namespace ct

@@ -1,0 +1,134 @@
+#include "eval/experiment.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ct {
+
+std::string StrategySpec::name() const {
+  if (kind == Kind::kStatic) return to_string(static_strategy);
+  if (nth_threshold < 0.0) return "merge-on-1st";
+  return "merge-on-Nth(CR>" + std::to_string(static_cast<int>(nth_threshold)) +
+         ")";
+}
+
+StrategySpec StrategySpec::static_greedy() {
+  return {.kind = Kind::kStatic, .static_strategy = StaticStrategy::kGreedy};
+}
+StrategySpec StrategySpec::static_greedy_raw() {
+  return {.kind = Kind::kStatic,
+          .static_strategy = StaticStrategy::kGreedyRawCount};
+}
+StrategySpec StrategySpec::fixed_contiguous() {
+  return {.kind = Kind::kStatic,
+          .static_strategy = StaticStrategy::kFixedContiguous};
+}
+StrategySpec StrategySpec::k_medoid() {
+  return {.kind = Kind::kStatic, .static_strategy = StaticStrategy::kKMedoid};
+}
+StrategySpec StrategySpec::k_means() {
+  return {.kind = Kind::kStatic, .static_strategy = StaticStrategy::kKMeans};
+}
+StrategySpec StrategySpec::merge_on_first() {
+  return {.kind = Kind::kDynamic, .nth_threshold = -1.0};
+}
+StrategySpec StrategySpec::merge_on_nth(double threshold) {
+  CT_CHECK(threshold >= 0.0);
+  return {.kind = Kind::kDynamic, .nth_threshold = threshold};
+}
+
+double SweepRow::best_ratio() const {
+  CT_CHECK(!ratios.empty());
+  return *std::min_element(ratios.begin(), ratios.end());
+}
+
+std::vector<std::size_t> SweepRow::sizes_within(double tolerance) const {
+  const double limit = best_ratio() * (1.0 + tolerance);
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (ratios[i] <= limit) out.push_back(sizes[i]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> default_sizes() {
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 2; s <= 50; ++s) sizes.push_back(s);
+  return sizes;
+}
+
+double run_cell(const Trace& trace, const StrategySpec& spec,
+                std::size_t max_cluster_size, std::size_t fm_vector_width) {
+  if (spec.kind == StrategySpec::Kind::kStatic) {
+    return run_static(trace, spec.static_strategy, max_cluster_size,
+                      fm_vector_width)
+        .ratio;
+  }
+  return run_dynamic(trace, spec.nth_threshold, max_cluster_size,
+                     fm_vector_width)
+      .ratio;
+}
+
+SweepRow run_sweep(const Trace& trace, const std::string& trace_id,
+                   const StrategySpec& spec,
+                   std::span<const std::size_t> sizes,
+                   std::size_t fm_vector_width) {
+  SweepRow row;
+  row.trace_id = trace_id;
+  row.family = trace.family();
+  row.strategy = spec.name();
+  row.sizes.assign(sizes.begin(), sizes.end());
+  row.ratios.resize(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    row.ratios[i] = run_cell(trace, spec, sizes[i], fm_vector_width);
+  }
+  return row;
+}
+
+std::vector<SweepRow> sweep_many(std::span<const Trace> traces,
+                                 std::span<const std::string> trace_ids,
+                                 std::span<const TraceFamily> families,
+                                 std::span<const StrategySpec> specs,
+                                 std::span<const std::size_t> sizes,
+                                 std::size_t fm_vector_width) {
+  CT_CHECK(traces.size() == trace_ids.size());
+  CT_CHECK(traces.size() == families.size());
+  std::vector<SweepRow> rows(specs.size() * traces.size());
+
+  // Shard at (strategy, trace, size) granularity: big traces under the
+  // static strategies dominate, so per-row sharding would straggle.
+  struct Cell {
+    std::size_t row;
+    std::size_t size_index;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(rows.size() * sizes.size());
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      const std::size_t r = s * traces.size() + t;
+      rows[r].trace_id = trace_ids[t];
+      rows[r].family = families[t];
+      rows[r].strategy = specs[s].name();
+      rows[r].sizes.assign(sizes.begin(), sizes.end());
+      rows[r].ratios.assign(sizes.size(), 0.0);
+      for (std::size_t i = 0; i < sizes.size(); ++i) {
+        cells.push_back(Cell{r, i});
+      }
+    }
+  }
+
+  ThreadPool pool;
+  parallel_for_index(pool, cells.size(), [&](std::size_t c) {
+    const Cell cell = cells[c];
+    const std::size_t spec_index = cell.row / traces.size();
+    const std::size_t trace_index = cell.row % traces.size();
+    rows[cell.row].ratios[cell.size_index] =
+        run_cell(traces[trace_index], specs[spec_index],
+                 sizes[cell.size_index], fm_vector_width);
+  });
+  return rows;
+}
+
+}  // namespace ct

@@ -1,0 +1,74 @@
+// Experiment driver: (computation × strategy × maxCS) → timestamp-size ratio.
+//
+// §4's method: vary the single tunable parameter, maximum cluster size, from
+// 2 to 50 and observe the ratio of average cluster-timestamp size to
+// Fidge/Mattern timestamp size, with FM encoded at a fixed width (default
+// 300) and cluster vectors at width maxCS. Sweeps are sharded over a thread
+// pool — each (trace, strategy, size) cell is independent.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/static_pipeline.hpp"
+#include "model/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ct {
+
+/// A clustering strategy under evaluation.
+struct StrategySpec {
+  enum class Kind { kStatic, kDynamic };
+  Kind kind = Kind::kDynamic;
+  StaticStrategy static_strategy = StaticStrategy::kGreedy;
+  /// Dynamic only: < 0 → merge-on-1st, otherwise merge-on-Nth threshold.
+  double nth_threshold = -1.0;
+
+  std::string name() const;
+
+  static StrategySpec static_greedy();
+  static StrategySpec static_greedy_raw();
+  static StrategySpec fixed_contiguous();
+  static StrategySpec k_medoid();
+  static StrategySpec k_means();
+  static StrategySpec merge_on_first();
+  static StrategySpec merge_on_nth(double threshold);
+};
+
+/// Ratio curve of one computation under one strategy.
+struct SweepRow {
+  std::string trace_id;
+  TraceFamily family = TraceFamily::kControl;
+  std::string strategy;
+  std::vector<std::size_t> sizes;  ///< maxCS values (x axis)
+  std::vector<double> ratios;      ///< aligned with sizes (y axis)
+
+  double best_ratio() const;
+  /// Size values (not indices) whose ratio is within `tolerance` (relative)
+  /// of the row's best ratio.
+  std::vector<std::size_t> sizes_within(double tolerance) const;
+};
+
+/// The paper's x axis: maxCS from 2 to 50 inclusive.
+std::vector<std::size_t> default_sizes();
+
+/// Runs one cell.
+double run_cell(const Trace& trace, const StrategySpec& spec,
+                std::size_t max_cluster_size, std::size_t fm_vector_width);
+
+/// Runs a full curve for one computation.
+SweepRow run_sweep(const Trace& trace, const std::string& trace_id,
+                   const StrategySpec& spec, std::span<const std::size_t> sizes,
+                   std::size_t fm_vector_width = 300);
+
+/// Runs curves for many computations × strategies in parallel. Row order:
+/// for each strategy (outer), for each trace (inner).
+std::vector<SweepRow> sweep_many(std::span<const Trace> traces,
+                                 std::span<const std::string> trace_ids,
+                                 std::span<const TraceFamily> families,
+                                 std::span<const StrategySpec> specs,
+                                 std::span<const std::size_t> sizes,
+                                 std::size_t fm_vector_width = 300);
+
+}  // namespace ct

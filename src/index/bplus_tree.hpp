@@ -1,0 +1,398 @@
+// In-memory B+-tree map.
+//
+// §1 of the paper: the partial-order data structure is "typically accessed
+// with a B-tree-like index" keyed by (process identifier, event number).
+// This is that substrate. Keys live only in internal routing nodes and
+// sorted leaf arrays; leaves are chained for ordered scans (the partial-order
+// scrolling access pattern of §1.1).
+//
+// Design notes:
+//  * `MaxKeys` is the maximum number of keys per node; nodes split when they
+//    would exceed it and rebalance (borrow or merge) when they drop below
+//    MaxKeys/2. The default of 32 keeps nodes within a couple of cache lines
+//    for small keys.
+//  * All child ownership is std::unique_ptr; the structure is exception-safe
+//    and leak-free by construction.
+//  * validate() re-checks every structural invariant and is exercised by the
+//    randomized model tests against std::map.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ct {
+
+template <typename Key, typename Value, std::size_t MaxKeys = 32,
+          typename Compare = std::less<Key>>
+class BPlusTree {
+  static_assert(MaxKeys >= 4, "nodes must hold at least 4 keys");
+
+ public:
+  BPlusTree() : root_(std::make_unique<Node>(/*leaf=*/true)) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts or overwrites. Returns true if a new key was inserted.
+  bool insert_or_assign(const Key& key, Value value) {
+    InsertResult res = insert_rec(*root_, key, std::move(value));
+    if (res.split_right) {
+      // Root split: grow the tree by one level.
+      auto new_root = std::make_unique<Node>(/*leaf=*/false);
+      new_root->keys.push_back(res.split_key);
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(res.split_right));
+      root_ = std::move(new_root);
+    }
+    if (res.inserted) ++size_;
+    return res.inserted;
+  }
+
+  /// Returns a pointer to the mapped value, or nullptr.
+  Value* find(const Key& key) {
+    Node* n = root_.get();
+    while (!n->leaf) n = n->children[child_slot(*n, key)].get();
+    const std::size_t i = leaf_slot(*n, key);
+    if (i < n->keys.size() && equal(n->keys[i], key)) return &n->values[i];
+    return nullptr;
+  }
+  const Value* find(const Key& key) const {
+    return const_cast<BPlusTree*>(this)->find(key);
+  }
+
+  bool contains(const Key& key) const { return find(key) != nullptr; }
+
+  /// Removes `key`. Returns true if it was present.
+  bool erase(const Key& key) {
+    const bool removed = erase_rec(*root_, key);
+    if (!root_->leaf && root_->children.size() == 1) {
+      // Shrink the tree when the root holds a single child.
+      root_ = std::move(root_->children[0]);
+    }
+    if (removed) --size_;
+    return removed;
+  }
+
+  /// Visits entries with key >= `from` in ascending order; stops when the
+  /// visitor returns false. Visitation cost is O(log n + visited).
+  void scan_from(const Key& from,
+                 const std::function<bool(const Key&, const Value&)>& visit)
+      const {
+    const Node* n = root_.get();
+    while (!n->leaf) n = n->children[child_slot(*n, from)].get();
+    std::size_t i = leaf_slot(*n, from);
+    while (n) {
+      for (; i < n->keys.size(); ++i) {
+        if (!visit(n->keys[i], n->values[i])) return;
+      }
+      n = n->next;
+      i = 0;
+    }
+  }
+
+  /// Visits every entry in ascending key order.
+  void for_each(const std::function<bool(const Key&, const Value&)>& visit)
+      const {
+    const Node* n = leftmost();
+    while (n) {
+      for (std::size_t i = 0; i < n->keys.size(); ++i) {
+        if (!visit(n->keys[i], n->values[i])) return;
+      }
+      n = n->next;
+    }
+  }
+
+  /// Greatest entry with key <= `key`, or nullptr. Used for
+  /// greatest-cluster-receive lookups in the precedence test.
+  const std::pair<const Key*, const Value*> find_le(const Key& key) const {
+    const Node* n = root_.get();
+    while (!n->leaf) n = n->children[child_slot(*n, key)].get();
+    std::size_t i = leaf_slot(*n, key);
+    if (i < n->keys.size() && equal(n->keys[i], key)) {
+      return {&n->keys[i], &n->values[i]};
+    }
+    if (i > 0) return {&n->keys[i - 1], &n->values[i - 1]};
+    const Node* p = n->prev;
+    if (p && !p->keys.empty()) {
+      return {&p->keys.back(), &p->values.back()};
+    }
+    return {nullptr, nullptr};
+  }
+
+  /// Depth of the tree (1 for a lone leaf). Exposed for tests/benches.
+  std::size_t depth() const {
+    std::size_t d = 1;
+    const Node* n = root_.get();
+    while (!n->leaf) {
+      n = n->children[0].get();
+      ++d;
+    }
+    return d;
+  }
+
+  /// Re-checks all structural invariants; throws CheckFailure on violation.
+  void validate() const {
+    std::size_t counted = 0;
+    const Key* prev_key = nullptr;
+    validate_rec(*root_, /*is_root=*/true, nullptr, nullptr, depth(), 1,
+                 counted, prev_key);
+    CT_CHECK_MSG(counted == size_, "size " << size_ << " != counted entries "
+                                           << counted);
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    std::vector<Key> keys;
+    // Internal only: children.size() == keys.size() + 1; child i covers
+    // keys in [keys[i-1], keys[i]).
+    std::vector<std::unique_ptr<Node>> children;
+    // Leaf only:
+    std::vector<Value> values;
+    Node* next = nullptr;
+    Node* prev = nullptr;
+  };
+
+  static bool less(const Key& a, const Key& b) { return Compare{}(a, b); }
+  static bool equal(const Key& a, const Key& b) {
+    return !less(a, b) && !less(b, a);
+  }
+
+  /// First slot i in a leaf with keys[i] >= key.
+  static std::size_t leaf_slot(const Node& n, const Key& key) {
+    std::size_t lo = 0, hi = n.keys.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (less(n.keys[mid], key)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Child index to descend into for `key` in an internal node.
+  static std::size_t child_slot(const Node& n, const Key& key) {
+    // child i covers [keys[i-1], keys[i]): descend past keys <= key.
+    std::size_t lo = 0, hi = n.keys.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (less(key, n.keys[mid])) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  struct InsertResult {
+    bool inserted = false;
+    Key split_key{};
+    std::unique_ptr<Node> split_right;  // non-null if the child split
+  };
+
+  InsertResult insert_rec(Node& n, const Key& key, Value&& value) {
+    InsertResult res;
+    if (n.leaf) {
+      const std::size_t i = leaf_slot(n, key);
+      if (i < n.keys.size() && equal(n.keys[i], key)) {
+        n.values[i] = std::move(value);
+        return res;
+      }
+      n.keys.insert(n.keys.begin() + static_cast<std::ptrdiff_t>(i), key);
+      n.values.insert(n.values.begin() + static_cast<std::ptrdiff_t>(i),
+                      std::move(value));
+      res.inserted = true;
+      if (n.keys.size() > MaxKeys) split_leaf(n, res);
+      return res;
+    }
+    const std::size_t slot = child_slot(n, key);
+    InsertResult child_res =
+        insert_rec(*n.children[slot], key, std::move(value));
+    res.inserted = child_res.inserted;
+    if (child_res.split_right) {
+      n.keys.insert(n.keys.begin() + static_cast<std::ptrdiff_t>(slot),
+                    child_res.split_key);
+      n.children.insert(
+          n.children.begin() + static_cast<std::ptrdiff_t>(slot) + 1,
+          std::move(child_res.split_right));
+      if (n.keys.size() > MaxKeys) split_internal(n, res);
+    }
+    return res;
+  }
+
+  void split_leaf(Node& n, InsertResult& res) {
+    auto right = std::make_unique<Node>(/*leaf=*/true);
+    const std::size_t half = n.keys.size() / 2;
+    right->keys.assign(n.keys.begin() + static_cast<std::ptrdiff_t>(half),
+                       n.keys.end());
+    right->values.assign(
+        std::make_move_iterator(n.values.begin() +
+                                static_cast<std::ptrdiff_t>(half)),
+        std::make_move_iterator(n.values.end()));
+    n.keys.resize(half);
+    n.values.resize(half);
+    right->next = n.next;
+    right->prev = &n;
+    if (right->next) right->next->prev = right.get();
+    n.next = right.get();
+    res.split_key = right->keys.front();
+    res.split_right = std::move(right);
+  }
+
+  void split_internal(Node& n, InsertResult& res) {
+    auto right = std::make_unique<Node>(/*leaf=*/false);
+    const std::size_t mid = n.keys.size() / 2;
+    res.split_key = n.keys[mid];  // promoted, not kept in either half
+    right->keys.assign(n.keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+                       n.keys.end());
+    right->children.assign(
+        std::make_move_iterator(n.children.begin() +
+                                static_cast<std::ptrdiff_t>(mid) + 1),
+        std::make_move_iterator(n.children.end()));
+    n.keys.resize(mid);
+    n.children.resize(mid + 1);
+    res.split_right = std::move(right);
+  }
+
+  bool erase_rec(Node& n, const Key& key) {
+    if (n.leaf) {
+      const std::size_t i = leaf_slot(n, key);
+      if (i >= n.keys.size() || !equal(n.keys[i], key)) return false;
+      n.keys.erase(n.keys.begin() + static_cast<std::ptrdiff_t>(i));
+      n.values.erase(n.values.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+    const std::size_t slot = child_slot(n, key);
+    const bool removed = erase_rec(*n.children[slot], key);
+    if (removed && n.children[slot]->keys.size() < MaxKeys / 2) {
+      rebalance_child(n, slot);
+    }
+    return removed;
+  }
+
+  void rebalance_child(Node& parent, std::size_t slot) {
+    Node& child = *parent.children[slot];
+    // Try borrowing from the left sibling.
+    if (slot > 0 && parent.children[slot - 1]->keys.size() > MaxKeys / 2) {
+      Node& left = *parent.children[slot - 1];
+      if (child.leaf) {
+        child.keys.insert(child.keys.begin(), left.keys.back());
+        child.values.insert(child.values.begin(),
+                            std::move(left.values.back()));
+        left.keys.pop_back();
+        left.values.pop_back();
+        parent.keys[slot - 1] = child.keys.front();
+      } else {
+        child.keys.insert(child.keys.begin(), parent.keys[slot - 1]);
+        parent.keys[slot - 1] = left.keys.back();
+        left.keys.pop_back();
+        child.children.insert(child.children.begin(),
+                              std::move(left.children.back()));
+        left.children.pop_back();
+      }
+      return;
+    }
+    // Try borrowing from the right sibling.
+    if (slot + 1 < parent.children.size() &&
+        parent.children[slot + 1]->keys.size() > MaxKeys / 2) {
+      Node& right = *parent.children[slot + 1];
+      if (child.leaf) {
+        child.keys.push_back(right.keys.front());
+        child.values.push_back(std::move(right.values.front()));
+        right.keys.erase(right.keys.begin());
+        right.values.erase(right.values.begin());
+        parent.keys[slot] = right.keys.front();
+      } else {
+        child.keys.push_back(parent.keys[slot]);
+        parent.keys[slot] = right.keys.front();
+        right.keys.erase(right.keys.begin());
+        child.children.push_back(std::move(right.children.front()));
+        right.children.erase(right.children.begin());
+      }
+      return;
+    }
+    // Merge with a sibling (prefer left so the surviving node is children
+    // [slot-1]; otherwise merge right sibling into child).
+    const std::size_t left_slot = slot > 0 ? slot - 1 : slot;
+    merge_children(parent, left_slot);
+  }
+
+  /// Merges children[slot+1] into children[slot] and drops keys[slot].
+  void merge_children(Node& parent, std::size_t slot) {
+    Node& left = *parent.children[slot];
+    Node& right = *parent.children[slot + 1];
+    if (left.leaf) {
+      left.keys.insert(left.keys.end(), right.keys.begin(), right.keys.end());
+      left.values.insert(left.values.end(),
+                         std::make_move_iterator(right.values.begin()),
+                         std::make_move_iterator(right.values.end()));
+      left.next = right.next;
+      if (left.next) left.next->prev = &left;
+    } else {
+      left.keys.push_back(parent.keys[slot]);
+      left.keys.insert(left.keys.end(), right.keys.begin(), right.keys.end());
+      left.children.insert(left.children.end(),
+                           std::make_move_iterator(right.children.begin()),
+                           std::make_move_iterator(right.children.end()));
+    }
+    parent.keys.erase(parent.keys.begin() + static_cast<std::ptrdiff_t>(slot));
+    parent.children.erase(parent.children.begin() +
+                          static_cast<std::ptrdiff_t>(slot) + 1);
+  }
+
+  const Node* leftmost() const {
+    const Node* n = root_.get();
+    while (!n->leaf) n = n->children[0].get();
+    return n;
+  }
+
+  void validate_rec(const Node& n, bool is_root, const Key* lo, const Key* hi,
+                    std::size_t expected_depth, std::size_t depth_so_far,
+                    std::size_t& counted, const Key*& prev_key) const {
+    CT_CHECK_MSG(n.keys.size() <= MaxKeys, "node overfull");
+    if (!is_root) {
+      CT_CHECK_MSG(n.keys.size() >= MaxKeys / 2 ||
+                       (n.leaf && size_ <= MaxKeys),
+                   "node underfull");
+    }
+    for (std::size_t i = 1; i < n.keys.size(); ++i) {
+      CT_CHECK_MSG(less(n.keys[i - 1], n.keys[i]), "keys out of order");
+    }
+    if (!n.keys.empty()) {
+      if (lo) CT_CHECK_MSG(!less(n.keys.front(), *lo), "key below subtree lo");
+      if (hi) CT_CHECK_MSG(less(n.keys.back(), *hi), "key above subtree hi");
+    }
+    if (n.leaf) {
+      CT_CHECK_MSG(depth_so_far == expected_depth, "leaves at unequal depth");
+      CT_CHECK(n.keys.size() == n.values.size());
+      counted += n.keys.size();
+      for (const Key& k : n.keys) {
+        if (prev_key) CT_CHECK_MSG(less(*prev_key, k), "leaf chain disorder");
+        prev_key = &k;
+      }
+      return;
+    }
+    CT_CHECK(n.children.size() == n.keys.size() + 1);
+    for (std::size_t i = 0; i < n.children.size(); ++i) {
+      const Key* child_lo = i == 0 ? lo : &n.keys[i - 1];
+      const Key* child_hi = i == n.keys.size() ? hi : &n.keys[i];
+      validate_rec(*n.children[i], false, child_lo, child_hi, expected_depth,
+                   depth_so_far + 1, counted, prev_key);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ct

@@ -1,0 +1,35 @@
+#include "index/event_index.hpp"
+
+namespace ct {
+
+bool EventStoreIndex::insert(EventId id, RecordHandle handle) {
+  CT_CHECK_MSG(id.valid(), "cannot index the invalid event id");
+  return tree_.insert_or_assign(id, handle);
+}
+
+std::optional<RecordHandle> EventStoreIndex::lookup(EventId id) const {
+  const RecordHandle* h = tree_.find(id);
+  if (!h) return std::nullopt;
+  return *h;
+}
+
+bool EventStoreIndex::erase(EventId id) { return tree_.erase(id); }
+
+void EventStoreIndex::scan_process(
+    ProcessId p, EventIndex from,
+    const std::function<bool(EventId, RecordHandle)>& visit) const {
+  tree_.scan_from(EventId{p, from == 0 ? 1 : from},
+                  [&](const EventId& id, const RecordHandle& h) {
+                    if (id.process != p) return false;  // left the process
+                    return visit(id, h);
+                  });
+}
+
+std::optional<std::pair<EventId, RecordHandle>> EventStoreIndex::floor(
+    ProcessId p, EventIndex at) const {
+  const auto [key, value] = tree_.find_le(EventId{p, at});
+  if (!key || key->process != p) return std::nullopt;
+  return std::make_pair(*key, *value);
+}
+
+}  // namespace ct

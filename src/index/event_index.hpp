@@ -1,0 +1,51 @@
+// (process, event number) → record-handle index over the partial-order store.
+//
+// §1: "the transitive reduction of the partial order, typically accessed
+// with a B-tree-like index. This enables the efficient querying of events
+// given a process identifier and event number." EventId's ordering is
+// (process, index), so one tree serves both point lookups and in-process
+// range scans (the scrolling access pattern of §1.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "index/bplus_tree.hpp"
+#include "model/ids.hpp"
+
+namespace ct {
+
+/// Opaque handle to a record in the monitoring entity's event store.
+using RecordHandle = std::uint64_t;
+
+class EventStoreIndex {
+ public:
+  /// Registers an event. Returns true if newly inserted.
+  bool insert(EventId id, RecordHandle handle);
+
+  std::optional<RecordHandle> lookup(EventId id) const;
+
+  bool erase(EventId id);
+
+  std::size_t size() const { return tree_.size(); }
+  std::size_t depth() const { return tree_.depth(); }
+
+  /// Visits events of process `p` with index >= `from`, in ascending index
+  /// order, until the visitor returns false or the process is exhausted.
+  void scan_process(ProcessId p, EventIndex from,
+                    const std::function<bool(EventId, RecordHandle)>& visit)
+      const;
+
+  /// Greatest indexed event of process `p` with index <= `at`.
+  std::optional<std::pair<EventId, RecordHandle>> floor(ProcessId p,
+                                                        EventIndex at) const;
+
+  /// Structural self-check (test hook).
+  void validate() const { tree_.validate(); }
+
+ private:
+  BPlusTree<EventId, RecordHandle> tree_;
+};
+
+}  // namespace ct

@@ -1,0 +1,59 @@
+// The event record captured by the monitoring code (paper Fig. 1).
+//
+// Per §1, instrumentation reports each event's process identifier, number,
+// type, and partner-event identification. That is precisely what `Event`
+// stores — the monitoring entity reconstructs everything else (the partial
+// order, timestamps) from this.
+#pragma once
+
+#include <ostream>
+
+#include "model/ids.hpp"
+
+namespace ct {
+
+/// Event types of the computation model (§2.1). Synchronous communication
+/// (e.g. DCE RPC, CSP-style rendezvous) is modelled as a *pair* of kSync
+/// events, one per participating process, that carry identical timestamps
+/// and are mutually concurrent (POET's model; see DESIGN.md §3).
+enum class EventKind : std::uint8_t {
+  kUnary,
+  kSend,
+  kReceive,
+  kSync,
+};
+
+inline const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kUnary:
+      return "unary";
+    case EventKind::kSend:
+      return "send";
+    case EventKind::kReceive:
+      return "receive";
+    case EventKind::kSync:
+      return "sync";
+  }
+  return "?";
+}
+
+inline std::ostream& operator<<(std::ostream& os, EventKind k) {
+  return os << to_string(k);
+}
+
+struct Event {
+  EventId id;
+  EventKind kind = EventKind::kUnary;
+  /// For kReceive: the matching send. For kSend: the matching receive
+  /// (kNoEvent while unreceived). For kSync: the other half of the pair.
+  /// For kUnary: kNoEvent.
+  EventId partner = kNoEvent;
+
+  bool is_receive_like() const {
+    return kind == EventKind::kReceive || kind == EventKind::kSync;
+  }
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+}  // namespace ct

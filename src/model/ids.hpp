@@ -1,0 +1,47 @@
+// Identifier types for processes and events.
+//
+// Following the paper (§2.1), a "process" is any sequential entity — an OS
+// process, a thread, an EJB, a TCP stream. Processes are dense 0-based
+// indices. Events within a process are numbered from 1, matching the
+// Fidge/Mattern convention that FM(e)[p_e] equals e's position in its
+// process (paper Fig. 2: the first event of P1 has component 1).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace ct {
+
+using ProcessId = std::uint32_t;   ///< dense process index, 0-based
+using EventIndex = std::uint32_t;  ///< position within a process, 1-based
+
+/// Identifies one event as (process, position-within-process).
+/// This is exactly the key the paper's B-tree-like index uses (§1).
+struct EventId {
+  ProcessId process = 0;
+  EventIndex index = 0;  ///< 0 means "invalid / no event"
+
+  bool valid() const { return index != 0; }
+
+  friend auto operator<=>(const EventId&, const EventId&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const EventId& id) {
+  return os << 'P' << id.process << '.' << id.index;
+}
+
+/// Sentinel for "no partner" / "no event".
+inline constexpr EventId kNoEvent{};
+
+}  // namespace ct
+
+template <>
+struct std::hash<ct::EventId> {
+  std::size_t operator()(const ct::EventId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(id.process) << 32) | id.index);
+  }
+};

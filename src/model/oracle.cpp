@@ -1,0 +1,71 @@
+#include "model/oracle.hpp"
+
+#include "util/check.hpp"
+
+namespace ct {
+
+CausalityOracle::CausalityOracle(const Trace& trace, std::size_t max_nodes)
+    : trace_(trace) {
+  node_ids_.resize(trace.process_count());
+  for (ProcessId p = 0; p < trace.process_count(); ++p) {
+    node_ids_[p].assign(trace.process_size(p), SIZE_MAX);
+  }
+
+  // First pass: assign dense node ids in delivery order, collapsing the two
+  // halves of each synchronous pair onto one node. The first half creates
+  // the node; the second half (whose partner already has an id) reuses it.
+  std::size_t next_node = 0;
+  for (const EventId id : trace.delivery_order()) {
+    const Event& e = trace.event(id);
+    std::size_t node;
+    if (e.kind == EventKind::kSync &&
+        node_ids_[e.partner.process][e.partner.index - 1] != SIZE_MAX) {
+      node = node_ids_[e.partner.process][e.partner.index - 1];
+    } else {
+      node = next_node++;
+    }
+    node_ids_[id.process][id.index - 1] = node;
+  }
+  CT_CHECK_MSG(next_node <= max_nodes,
+               "trace too large for oracle: " << next_node << " nodes");
+
+  // Second pass: accumulate strict-ancestor sets in delivery order, which is
+  // a valid topological order of the collapsed DAG (TraceBuilder guarantees
+  // receives follow their sends and sync halves are adjacent).
+  ancestors_.assign(next_node, DynBitset(next_node));
+  for (const EventId id : trace.delivery_order()) {
+    const std::size_t node = node_ids_[id.process][id.index - 1];
+    auto absorb = [&](EventId pred) {
+      const std::size_t pn = node_ids_[pred.process][pred.index - 1];
+      if (pn == node) return;  // sync partner collapsed onto the same node
+      ancestors_[node].or_with(ancestors_[pn]);
+      ancestors_[node].set(pn);
+    };
+    if (id.index > 1) absorb(EventId{id.process, id.index - 1});
+    const Event& e = trace.event(id);
+    if (e.kind == EventKind::kReceive) absorb(e.partner);
+    // kSync: the partner half contributes its own process predecessor when
+    // it is processed; nothing extra to do here.
+  }
+}
+
+std::size_t CausalityOracle::node_of(EventId e) const {
+  CT_CHECK_MSG(e.process < node_ids_.size() && e.index >= 1 &&
+                   e.index <= node_ids_[e.process].size(),
+               "unknown event " << e);
+  return node_ids_[e.process][e.index - 1];
+}
+
+bool CausalityOracle::happened_before(EventId e, EventId f) const {
+  const std::size_t ne = node_of(e);
+  const std::size_t nf = node_of(f);
+  if (ne == nf) return false;  // same event, or mutually-concurrent sync pair
+  return ancestors_[nf].test(ne);
+}
+
+bool CausalityOracle::concurrent(EventId e, EventId f) const {
+  if (e == f) return false;
+  return !happened_before(e, f) && !happened_before(f, e);
+}
+
+}  // namespace ct

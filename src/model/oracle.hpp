@@ -1,0 +1,47 @@
+// Ground-truth causality: explicit transitive closure of happened-before.
+//
+// The oracle exists so that every timestamp scheme in this repository —
+// Fidge/Mattern, cluster timestamps under any clustering strategy,
+// direct-dependency vectors — can be verified *exhaustively* against
+// Definition 1 of the paper on every test trace. It is O(M^2) space and is
+// therefore a test/verification tool, not a production query path.
+//
+// Synchronous semantics: the two halves of a sync pair are collapsed into a
+// single node of the precedence DAG. They share all causal predecessors and
+// successors and are mutually concurrent (neither happened-before the other),
+// matching POET's model and the identical Fidge/Mattern vectors they carry.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/trace.hpp"
+#include "util/bitset.hpp"
+
+namespace ct {
+
+class CausalityOracle {
+ public:
+  /// Builds the closure. Traces above `max_nodes` collapsed events are
+  /// rejected (memory guard); raise the limit explicitly for big runs.
+  explicit CausalityOracle(const Trace& trace, std::size_t max_nodes = 20000);
+
+  /// Definition 1: e happened-before f.
+  bool happened_before(EventId e, EventId f) const;
+
+  /// e ∥ f  ⟺  e !→ f ∧ f !→ e (and e != f, not sync partners).
+  bool concurrent(EventId e, EventId f) const;
+
+  /// Number of DAG nodes (events, with sync pairs collapsed).
+  std::size_t node_count() const { return ancestors_.size(); }
+
+  /// Dense DAG-node id of an event (sync partners share a node).
+  std::size_t node_of(EventId e) const;
+
+ private:
+  const Trace& trace_;
+  std::vector<std::vector<std::size_t>> node_ids_;  // [process][index-1]
+  std::vector<DynBitset> ancestors_;                // per node: strict ancestors
+};
+
+}  // namespace ct

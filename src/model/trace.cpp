@@ -1,0 +1,56 @@
+#include "model/trace.hpp"
+
+#include "util/check.hpp"
+
+namespace ct {
+
+const char* to_string(TraceFamily f) {
+  switch (f) {
+    case TraceFamily::kPvm:
+      return "PVM";
+    case TraceFamily::kJava:
+      return "Java";
+    case TraceFamily::kDce:
+      return "DCE";
+    case TraceFamily::kControl:
+      return "control";
+  }
+  return "?";
+}
+
+std::span<const Event> Trace::process_events(ProcessId p) const {
+  CT_CHECK_MSG(p < by_process_.size(), "process " << p << " out of range");
+  return by_process_[p];
+}
+
+EventIndex Trace::process_size(ProcessId p) const {
+  CT_CHECK_MSG(p < by_process_.size(), "process " << p << " out of range");
+  return static_cast<EventIndex>(by_process_[p].size());
+}
+
+const Event& Trace::event(EventId id) const {
+  CT_CHECK_MSG(id.process < by_process_.size(),
+               "process " << id.process << " out of range");
+  const auto& events = by_process_[id.process];
+  CT_CHECK_MSG(id.index >= 1 && id.index <= events.size(),
+               "event " << id << " out of range");
+  return events[id.index - 1];
+}
+
+std::size_t Trace::count(EventKind k) const {
+  std::size_t n = 0;
+  for (const auto& events : by_process_) {
+    for (const auto& e : events) {
+      if (e.kind == k) ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t Trace::communication_occurrences() const {
+  // One per matched receive; each sync *pair* contributes two (§3.1), which
+  // is exactly one per kSync event.
+  return count(EventKind::kReceive) + count(EventKind::kSync);
+}
+
+}  // namespace ct

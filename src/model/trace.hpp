@@ -1,0 +1,71 @@
+// Immutable event trace of one parallel computation.
+//
+// A Trace is what the monitoring entity has received once a computation has
+// been fully observed: all events of all processes, plus the canonical
+// delivery order (a linear extension of the partial order) in which the
+// central observer consumed them. Dynamic algorithms must process events in
+// delivery order, single pass (§3.2); static algorithms may scan the trace
+// repeatedly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/event.hpp"
+#include "model/ids.hpp"
+
+namespace ct {
+
+/// Source environment of a computation; the paper's suite spans three (§4)
+/// plus we add adversarial controls.
+enum class TraceFamily : std::uint8_t {
+  kPvm,      ///< SPMD-style parallel programs (Cowichan-like)
+  kJava,     ///< web-like applications
+  kDce,      ///< business applications, synchronous RPC
+  kControl,  ///< synthetic controls (random, locality-random)
+};
+
+const char* to_string(TraceFamily f);
+
+class Trace {
+ public:
+  /// An empty trace (no processes); populate via TraceBuilder::build.
+  Trace() = default;
+
+  const std::string& name() const { return name_; }
+  TraceFamily family() const { return family_; }
+
+  std::size_t process_count() const { return by_process_.size(); }
+  std::size_t event_count() const { return order_.size(); }
+
+  /// Events of one process, in process order (index i holds event i+1).
+  std::span<const Event> process_events(ProcessId p) const;
+
+  /// Number of events in process `p`.
+  EventIndex process_size(ProcessId p) const;
+
+  const Event& event(EventId id) const;
+
+  /// Canonical delivery order: a valid linear extension of happened-before
+  /// with the two halves of each synchronous pair adjacent.
+  std::span<const EventId> delivery_order() const { return order_; }
+
+  /// Count of events by kind, for reporting.
+  std::size_t count(EventKind k) const;
+
+  /// Number of communication *occurrences* as defined in §3.1: one per
+  /// matched send/receive pair, two per synchronous pair.
+  std::size_t communication_occurrences() const;
+
+ private:
+  friend class TraceBuilder;
+
+  std::string name_;
+  TraceFamily family_ = TraceFamily::kControl;
+  std::vector<std::vector<Event>> by_process_;
+  std::vector<EventId> order_;
+};
+
+}  // namespace ct

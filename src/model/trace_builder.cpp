@@ -1,0 +1,109 @@
+#include "model/trace_builder.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ct {
+
+ProcessId TraceBuilder::add_process() {
+  CT_CHECK_MSG(events_.size() < std::numeric_limits<ProcessId>::max(),
+               "too many processes");
+  events_.emplace_back();
+  return static_cast<ProcessId>(events_.size() - 1);
+}
+
+ProcessId TraceBuilder::add_processes(std::size_t n) {
+  CT_CHECK(n > 0);
+  const ProcessId first = add_process();
+  for (std::size_t i = 1; i < n; ++i) add_process();
+  return first;
+}
+
+EventIndex TraceBuilder::process_size(ProcessId p) const {
+  CT_CHECK_MSG(p < events_.size(), "unknown process " << p);
+  return static_cast<EventIndex>(events_[p].size());
+}
+
+EventId TraceBuilder::append(ProcessId p, EventKind kind, EventId partner) {
+  CT_CHECK_MSG(p < events_.size(), "unknown process " << p);
+  auto& list = events_[p];
+  CT_CHECK_MSG(list.size() < std::numeric_limits<EventIndex>::max() - 1,
+               "too many events in process " << p);
+  const EventId id{p, static_cast<EventIndex>(list.size() + 1)};
+  list.push_back(Event{id, kind, partner});
+  order_.push_back(id);
+  return id;
+}
+
+Event& TraceBuilder::event_ref(EventId id) {
+  CT_CHECK_MSG(id.process < events_.size(), "unknown process in " << id);
+  auto& list = events_[id.process];
+  CT_CHECK_MSG(id.index >= 1 && id.index <= list.size(),
+               "unknown event " << id);
+  return list[id.index - 1];
+}
+
+EventId TraceBuilder::unary(ProcessId p) {
+  return append(p, EventKind::kUnary, kNoEvent);
+}
+
+EventId TraceBuilder::send(ProcessId p) {
+  const EventId id = append(p, EventKind::kSend, kNoEvent);
+  in_flight_.emplace(id, true);
+  return id;
+}
+
+EventId TraceBuilder::receive(ProcessId p, EventId send_id) {
+  Event& snd = event_ref(send_id);
+  CT_CHECK_MSG(snd.kind == EventKind::kSend,
+               "receive names non-send event " << send_id);
+  CT_CHECK_MSG(in_flight_.erase(send_id) == 1,
+               "send " << send_id << " already received");
+  const EventId id = append(p, EventKind::kReceive, send_id);
+  snd.partner = id;
+  return id;
+}
+
+std::pair<EventId, EventId> TraceBuilder::message(ProcessId from,
+                                                  ProcessId to) {
+  const EventId s = send(from);
+  const EventId r = receive(to, s);
+  return {s, r};
+}
+
+std::pair<EventId, EventId> TraceBuilder::sync(ProcessId p, ProcessId q) {
+  CT_CHECK_MSG(p != q, "synchronous event requires two distinct processes");
+  // Append the first half with a forward reference we patch immediately;
+  // the two halves are adjacent in delivery order by construction.
+  const EventId a = append(p, EventKind::kSync, kNoEvent);
+  const EventId b = append(q, EventKind::kSync, a);
+  event_ref(a).partner = b;
+  return {a, b};
+}
+
+Trace TraceBuilder::build(std::string name, TraceFamily family) {
+  CT_CHECK_MSG(!events_.empty(), "trace has no processes");
+  // All structural invariants (partner symmetry, receive-after-send in the
+  // order) hold by construction; verify partner symmetry as a cheap seatbelt.
+  for (const auto& list : events_) {
+    for (const auto& e : list) {
+      if (e.kind == EventKind::kReceive || e.kind == EventKind::kSync) {
+        const Event& partner = event_ref(e.partner);
+        CT_CHECK_MSG(partner.partner == e.id,
+                     "asymmetric partner link at " << e.id);
+      }
+    }
+  }
+  Trace t;
+  t.name_ = std::move(name);
+  t.family_ = family;
+  t.by_process_ = std::move(events_);
+  t.order_ = std::move(order_);
+  events_.clear();
+  order_.clear();
+  in_flight_.clear();
+  return t;
+}
+
+}  // namespace ct

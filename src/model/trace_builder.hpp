@@ -1,0 +1,68 @@
+// Validating constructor for traces.
+//
+// Trace generators and the trace-file reader both go through TraceBuilder,
+// which enforces the computation model of §2.1 at construction time:
+// events are appended per process in order, receives name an existing send,
+// each send is received at most once, and the append order (which becomes
+// the canonical delivery order) is a valid linear extension by construction
+// (a receive can only be appended after its send already exists).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "model/trace.hpp"
+
+namespace ct {
+
+class TraceBuilder {
+ public:
+  /// Registers a new process; returns its id (dense, starting at 0).
+  ProcessId add_process();
+
+  /// Registers `n` processes at once; returns the id of the first.
+  ProcessId add_processes(std::size_t n);
+
+  std::size_t process_count() const { return events_.size(); }
+
+  /// Number of events appended so far to process `p`.
+  EventIndex process_size(ProcessId p) const;
+
+  /// Appends an internal event to process `p`.
+  EventId unary(ProcessId p);
+
+  /// Appends a send event to process `p`. The message is "in flight" until
+  /// a matching receive() names it; unreceived sends are permitted (messages
+  /// still in transit when observation stops) and behave like unary events
+  /// for causality.
+  EventId send(ProcessId p);
+
+  /// Appends the receive matching `send_id` to process `p`.
+  /// The send must exist and must not have been received already.
+  EventId receive(ProcessId p, EventId send_id);
+
+  /// Convenience: send from `from` immediately received by `to`.
+  std::pair<EventId, EventId> message(ProcessId from, ProcessId to);
+
+  /// Appends a synchronous communication between `p` and `q` (p != q):
+  /// one kSync event in each process, partnered with each other.
+  std::pair<EventId, EventId> sync(ProcessId p, ProcessId q);
+
+  /// Number of sends still unmatched.
+  std::size_t in_flight() const { return in_flight_.size(); }
+
+  /// Finalizes the trace. The builder is left empty and reusable.
+  Trace build(std::string name, TraceFamily family);
+
+ private:
+  EventId append(ProcessId p, EventKind kind, EventId partner);
+  Event& event_ref(EventId id);
+
+  std::vector<std::vector<Event>> events_;
+  std::vector<EventId> order_;
+  std::unordered_map<EventId, bool> in_flight_;  // send id -> true
+};
+
+}  // namespace ct

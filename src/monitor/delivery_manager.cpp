@@ -1,0 +1,86 @@
+#include "monitor/delivery_manager.hpp"
+
+#include "util/check.hpp"
+
+namespace ct {
+
+DeliveryManager::DeliveryManager(std::size_t process_count, Sink sink)
+    : sink_(std::move(sink)),
+      queues_(process_count),
+      arrived_(process_count, 0),
+      delivered_(process_count, 0) {
+  CT_CHECK(process_count > 0);
+  CT_CHECK(sink_ != nullptr);
+}
+
+void DeliveryManager::ingest(const Event& e) {
+  const ProcessId p = e.id.process;
+  CT_CHECK_MSG(p < queues_.size(), "process " << p << " out of range");
+  CT_CHECK_MSG(e.id.index == arrived_[p] + 1,
+               "stream of process " << p << " is not FIFO: got " << e.id
+                                    << ", expected index " << arrived_[p] + 1);
+  arrived_[p] = e.id.index;
+  queues_[p].push_back(e);
+  ++pending_;
+  drain();
+}
+
+bool DeliveryManager::releasable_head(ProcessId p) const {
+  if (queues_[p].empty()) return false;
+  const Event& e = queues_[p].front();
+  switch (e.kind) {
+    case EventKind::kUnary:
+    case EventKind::kSend:
+      return true;
+    case EventKind::kReceive:
+      // The matching send must already be part of the delivered order.
+      return delivered_[e.partner.process] >= e.partner.index;
+    case EventKind::kSync: {
+      // Both halves must be at the heads of their queues so they can be
+      // released back-to-back.
+      const ProcessId q = e.partner.process;
+      return !queues_[q].empty() && queues_[q].front().id == e.partner;
+    }
+  }
+  return false;
+}
+
+void DeliveryManager::release(ProcessId p) {
+  Event e = queues_[p].front();
+  queues_[p].pop_front();
+  --pending_;
+  delivered_[p] = e.id.index;
+  ++delivered_count_;
+  sink_(e);
+}
+
+void DeliveryManager::drain() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (ProcessId p = 0; p < queues_.size(); ++p) {
+      while (releasable_head(p)) {
+        const Event head = queues_[p].front();
+        release(p);
+        if (head.kind == EventKind::kSync) {
+          // Release the partner half immediately after (adjacency).
+          const ProcessId q = head.partner.process;
+          CT_CHECK_MSG(!queues_[q].empty() &&
+                           queues_[q].front().id == head.partner,
+                       "sync partner of " << head.id << " not at queue head");
+          release(q);
+        }
+        progress = true;
+      }
+    }
+  }
+}
+
+std::vector<Event> DeliveryManager::pending_events() const {
+  std::vector<Event> out;
+  out.reserve(pending_);
+  for (const auto& q : queues_) out.insert(out.end(), q.begin(), q.end());
+  return out;
+}
+
+}  // namespace ct

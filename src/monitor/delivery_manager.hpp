@@ -1,0 +1,58 @@
+// Delivery manager: turns per-process event streams arriving in arbitrary
+// interleaving into a valid delivery order.
+//
+// §1: "event data is forwarded from each process to a central monitoring
+// entity". Streams from different processes race; the timestamp algorithms
+// require that an event is processed only after its causal prerequisites.
+// The manager buffers events until they are releasable:
+//   * events of one process release in index order;
+//   * a receive releases only after its matching send;
+//   * the two halves of a synchronous pair release back-to-back (the
+//     FmEngine's joint-vector computation relies on their adjacency).
+// Orphan receives (naming a send that never arrives) are detectable via
+// pending()/pending_events() once the streams close.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "model/event.hpp"
+
+namespace ct {
+
+class DeliveryManager {
+ public:
+  using Sink = std::function<void(const Event&)>;
+
+  DeliveryManager(std::size_t process_count, Sink sink);
+
+  /// Feeds one event from its process stream. Events of a single process
+  /// must arrive in index order (the stream is FIFO); across processes any
+  /// interleaving is accepted. Triggers zero or more sink deliveries.
+  void ingest(const Event& e);
+
+  /// Events buffered but not yet deliverable.
+  std::size_t pending() const { return pending_; }
+
+  /// Snapshot of buffered events (diagnosis of orphaned receives).
+  std::vector<Event> pending_events() const;
+
+  /// Number of events delivered to the sink so far.
+  std::size_t delivered() const { return delivered_count_; }
+
+ private:
+  bool releasable_head(ProcessId p) const;
+  void drain();
+  void release(ProcessId p);
+
+  Sink sink_;
+  std::vector<std::deque<Event>> queues_;     // undelivered, per process
+  std::vector<EventIndex> arrived_;           // highest index ingested
+  std::vector<EventIndex> delivered_;         // highest index delivered
+  std::size_t pending_ = 0;
+  std::size_t delivered_count_ = 0;
+};
+
+}  // namespace ct

@@ -1,0 +1,93 @@
+#include "monitor/monitor.hpp"
+
+#include "util/check.hpp"
+
+namespace ct {
+
+MonitoringEntity::MonitoringEntity(std::size_t process_count,
+                                   MonitorOptions options)
+    : options_(options),
+      process_count_(process_count),
+      events_(process_count),
+      delivery_(process_count, [this](const Event& e) { deliver(e); }) {
+  switch (options_.backend) {
+    case TimestampBackend::kPrecomputedFm:
+      fm_ = std::make_unique<FmEngine>(process_count);
+      fm_clocks_.resize(process_count);
+      break;
+    case TimestampBackend::kClusterDynamic: {
+      auto policy = options_.nth_threshold < 0.0
+                        ? make_merge_on_first()
+                        : make_merge_on_nth(options_.nth_threshold);
+      cluster_ = std::make_unique<ClusterTimestampEngine>(
+          process_count, options_.cluster, std::move(policy));
+      break;
+    }
+  }
+}
+
+void MonitoringEntity::ingest(const Event& e) { delivery_.ingest(e); }
+
+void MonitoringEntity::deliver(const Event& e) {
+  const ProcessId p = e.id.process;
+  CT_CHECK_MSG(events_[p].size() + 1 == e.id.index,
+               "delivery out of order at " << e.id);
+  events_[p].push_back(e);
+  // The record handle encodes the event's position directly.
+  index_.insert(e.id, (static_cast<RecordHandle>(p) << 32) | e.id.index);
+  ++store_count_;
+
+  if (fm_) {
+    fm_clocks_[p].push_back(fm_->observe(e));
+  } else {
+    cluster_->observe(e);
+  }
+}
+
+const Event& MonitoringEntity::stored_event(EventId id) const {
+  CT_CHECK_MSG(id.process < events_.size() && id.index >= 1 &&
+                   id.index <= events_[id.process].size(),
+               "event " << id << " has not been delivered");
+  return events_[id.process][id.index - 1];
+}
+
+std::optional<Event> MonitoringEntity::find(EventId id) const {
+  const auto handle = index_.lookup(id);
+  if (!handle) return std::nullopt;
+  const auto p = static_cast<ProcessId>(*handle >> 32);
+  const auto i = static_cast<EventIndex>(*handle & 0xffffffffu);
+  return events_[p][i - 1];
+}
+
+void MonitoringEntity::scroll(
+    ProcessId p, EventIndex from,
+    const std::function<bool(const Event&)>& visit) const {
+  index_.scan_process(p, from, [&](EventId id, RecordHandle) {
+    return visit(stored_event(id));
+  });
+}
+
+bool MonitoringEntity::precedes(EventId e, EventId f) const {
+  const Event& ev_e = stored_event(e);
+  const Event& ev_f = stored_event(f);
+  if (fm_) {
+    return fm_precedes(ev_e, fm_clocks_[e.process][e.index - 1], ev_f,
+                       fm_clocks_[f.process][f.index - 1]);
+  }
+  return cluster_->precedes(ev_e, ev_f);
+}
+
+std::uint64_t MonitoringEntity::timestamp_words() const {
+  if (fm_) {
+    return static_cast<std::uint64_t>(store_count_) *
+           options_.cluster.fm_vector_width;
+  }
+  return cluster_->stats().encoded_words;
+}
+
+std::optional<ClusterEngineStats> MonitoringEntity::cluster_stats() const {
+  if (!cluster_) return std::nullopt;
+  return cluster_->stats();
+}
+
+}  // namespace ct

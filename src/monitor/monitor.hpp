@@ -1,0 +1,93 @@
+// The monitoring entity of Figure 1.
+//
+// Composes the substrates: a DeliveryManager that linearizes racing process
+// streams, an event store with a B+-tree (process, event-number) index, and
+// a pluggable timestamp backend — pre-computed Fidge/Mattern vectors (the
+// "store everything" strategy of §1.1) or self-organizing cluster timestamps
+// (the paper's contribution). Visualization engines and control entities
+// query it for events and precedence.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "index/event_index.hpp"
+#include "model/event.hpp"
+#include "monitor/delivery_manager.hpp"
+#include "timestamp/fm_clock.hpp"
+#include "timestamp/fm_engine.hpp"
+#include "util/check.hpp"
+
+namespace ct {
+
+enum class TimestampBackend {
+  kPrecomputedFm,   ///< full FM vector stored per event (§1.1 baseline)
+  kClusterDynamic,  ///< cluster timestamps, self-organizing (merge policy)
+};
+
+struct MonitorOptions {
+  TimestampBackend backend = TimestampBackend::kClusterDynamic;
+  ClusterEngineConfig cluster;
+  /// Dynamic strategy when backend == kClusterDynamic:
+  /// < 0 → merge-on-1st; otherwise merge-on-Nth with this threshold.
+  double nth_threshold = 10.0;
+};
+
+class MonitoringEntity {
+ public:
+  MonitoringEntity(std::size_t process_count, MonitorOptions options);
+
+  /// Feeds one event from its process stream (any cross-process
+  /// interleaving; per-process FIFO).
+  void ingest(const Event& e);
+
+  /// Events buffered awaiting causal prerequisites.
+  std::size_t pending() const { return delivery_.pending(); }
+  std::size_t stored() const { return store_count_; }
+
+  /// Delivered events of one process.
+  EventIndex delivered_count(ProcessId p) const {
+    CT_CHECK_MSG(p < events_.size(), "process " << p << " out of range");
+    return static_cast<EventIndex>(events_[p].size());
+  }
+
+  /// Point lookup through the B+-tree index.
+  std::optional<Event> find(EventId id) const;
+
+  /// In-process range scan (partial-order scrolling): visits stored events
+  /// of `p` starting at index `from` until the visitor returns false.
+  void scroll(ProcessId p, EventIndex from,
+              const std::function<bool(const Event&)>& visit) const;
+
+  /// Precedence query; both events must have been delivered and stored.
+  bool precedes(EventId e, EventId f) const;
+
+  /// Timestamp storage in 32-bit words under §4's encoding conventions.
+  std::uint64_t timestamp_words() const;
+
+  /// Cluster statistics (cluster backend only).
+  std::optional<ClusterEngineStats> cluster_stats() const;
+
+ private:
+  void deliver(const Event& e);
+  const Event& stored_event(EventId id) const;
+
+  MonitorOptions options_;
+  std::size_t process_count_;
+
+  std::vector<std::vector<Event>> events_;  // record store, per process
+  EventStoreIndex index_;
+  std::size_t store_count_ = 0;
+
+  // Backends (exactly one active).
+  std::unique_ptr<FmEngine> fm_;
+  std::vector<std::vector<FmClock>> fm_clocks_;
+  std::unique_ptr<ClusterTimestampEngine> cluster_;
+
+  DeliveryManager delivery_;  // must outlive nothing that deliver() touches
+};
+
+}  // namespace ct

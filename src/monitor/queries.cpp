@@ -1,0 +1,13 @@
+#include "monitor/queries.hpp"
+
+namespace ct {
+
+CausalFrontiers compute_frontiers(const MonitoringEntity& monitor,
+                                  std::size_t process_count, EventId e) {
+  return compute_frontiers_with(
+      process_count, e,
+      [&](EventId a, EventId b) { return monitor.precedes(a, b); },
+      [&](ProcessId q) { return monitor.delivered_count(q); });
+}
+
+}  // namespace ct

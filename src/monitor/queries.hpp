@@ -1,0 +1,93 @@
+// Visualization-engine query operations over the monitoring entity.
+//
+// §1.1 motivates the whole paper with one of these: "to do something as
+// simple as computing the greatest-concurrent elements of an event would
+// require about 12,000 pages of virtual memory to be read" under stored FM
+// vectors, and minutes under compute-on-demand. Tools like POET use these
+// *frontier* queries to draw cuts and drive partial-order scrolling:
+//
+//   * greatest predecessor per process: the latest event of each process in
+//     e's causal history — the upper edge of e's past cone;
+//   * greatest concurrent per process: the latest event of each process
+//     concurrent with e — what a "concurrent cut" display shows.
+//
+// Both are computed through the public precedence interface with binary
+// searches over each process's timeline (precedence against a fixed event
+// is monotone along a process), so their cost is process_count × log(events)
+// precedence tests — which is exactly why per-test cost dominates tool
+// responsiveness (bench/gbench_frontier measures this end to end).
+#pragma once
+
+#include <vector>
+
+#include "model/ids.hpp"
+#include "monitor/monitor.hpp"
+
+namespace ct {
+
+struct CausalFrontiers {
+  /// Per process q: the greatest index i with (q,i) → e, or 0 if none.
+  std::vector<EventIndex> greatest_predecessor;
+  /// Per process q: the greatest index i with (q,i) ∥ e, or 0 if none.
+  std::vector<EventIndex> greatest_concurrent;
+  /// Precedence tests issued to compute the frontiers.
+  std::size_t precedence_tests = 0;
+};
+
+/// Computes both frontiers of `e` over all delivered events.
+CausalFrontiers compute_frontiers(const MonitoringEntity& monitor,
+                                  std::size_t process_count, EventId e);
+
+/// Generic version over any precedence oracle: `precedes(a, b)` for
+/// delivered events, `process_size(q)` = delivered events of process q.
+template <typename PrecedesFn, typename SizeFn>
+CausalFrontiers compute_frontiers_with(std::size_t process_count,
+                                       EventId e, PrecedesFn&& precedes,
+                                       SizeFn&& process_size) {
+  CausalFrontiers out;
+  out.greatest_predecessor.assign(process_count, 0);
+  out.greatest_concurrent.assign(process_count, 0);
+
+  for (ProcessId q = 0; q < process_count; ++q) {
+    const EventIndex count = process_size(q);
+    if (count == 0) continue;
+
+    // Largest i with (q,i) -> e. Precedence toward a fixed target is a
+    // prefix property along q's timeline.
+    EventIndex lo = 0, hi = count;  // invariant: [1..lo] -> e, (hi..] not
+    while (lo < hi) {
+      const EventIndex mid = static_cast<EventIndex>(lo + (hi - lo + 1) / 2);
+      ++out.precedence_tests;
+      if (precedes(EventId{q, mid}, e)) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    out.greatest_predecessor[q] = lo;
+
+    // Smallest i with e -> (q,i): a suffix property; events in between are
+    // concurrent with e. (For e's own process the "concurrent interval" is
+    // empty and succ = e.index + 1... handled by the searches themselves.)
+    EventIndex slo = lo + 1, shi = static_cast<EventIndex>(count + 1);
+    while (slo < shi) {
+      const EventIndex mid = static_cast<EventIndex>(slo + (shi - slo) / 2);
+      ++out.precedence_tests;
+      if (precedes(e, EventId{q, mid})) {
+        shi = mid;
+      } else {
+        slo = mid + 1;
+      }
+    }
+    // Concurrent events of q occupy (greatest_predecessor, slo); exclude e
+    // itself (its slot is neither predecessor nor concurrent).
+    EventIndex top = static_cast<EventIndex>(slo - 1);
+    if (q == e.process && top >= e.index) {
+      top = e.index - 1;  // e is not concurrent with itself
+    }
+    out.greatest_concurrent[q] = top > lo ? top : 0;
+  }
+  return out;
+}
+
+}  // namespace ct

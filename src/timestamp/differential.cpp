@@ -1,0 +1,72 @@
+#include "timestamp/differential.hpp"
+
+#include "timestamp/fm_engine.hpp"
+#include "util/check.hpp"
+
+namespace ct {
+
+DifferentialStore::DifferentialStore(const Trace& trace,
+                                     std::size_t checkpoint_interval)
+    : trace_(trace), interval_(checkpoint_interval) {
+  CT_CHECK_MSG(interval_ >= 1, "checkpoint interval must be >= 1");
+  const std::size_t n = trace.process_count();
+
+  checkpoints_.resize(n);
+  deltas_.resize(n);
+  std::vector<FmClock> prev(n, FmClock(n, 0));  // previous event's clock
+
+  FmEngine engine(n);
+  for (const EventId id : trace.delivery_order()) {
+    const FmClock& clock = engine.observe(trace.event(id));
+    const ProcessId p = id.process;
+    auto& deltas = deltas_[p];
+    deltas.resize(id.index);
+    stored_words_ += 1;  // per-event descriptor
+    if ((id.index - 1) % interval_ == 0) {
+      checkpoints_[p].push_back(clock);
+      stored_words_ += n;
+    } else {
+      Delta& d = deltas[id.index - 1];
+      for (ProcessId q = 0; q < n; ++q) {
+        if (clock[q] != prev[p][q]) {
+          d.changed.emplace_back(q, clock[q]);
+          stored_words_ += 2;
+        }
+      }
+    }
+    prev[p] = clock;
+  }
+}
+
+FmClock DifferentialStore::clock(EventId e) const {
+  CT_CHECK_MSG(e.process < trace_.process_count() && e.index >= 1 &&
+                   e.index <= trace_.process_size(e.process),
+               "unknown event " << e);
+  const std::size_t slot = (e.index - 1) / interval_;
+  FmClock clock = checkpoints_[e.process][slot];
+  const EventIndex checkpoint_index =
+      static_cast<EventIndex>(slot * interval_ + 1);
+  for (EventIndex i = checkpoint_index + 1; i <= e.index; ++i) {
+    for (const auto& [q, v] : deltas_[e.process][i - 1].changed) clock[q] = v;
+    ++events_replayed_;
+  }
+  return clock;
+}
+
+bool DifferentialStore::precedes(EventId e, EventId f) const {
+  const FmClock fm_e = clock(e);
+  const FmClock fm_f = clock(f);
+  return fm_precedes(trace_.event(e), fm_e, trace_.event(f), fm_f);
+}
+
+std::size_t DifferentialStore::full_words() const {
+  return trace_.event_count() * trace_.process_count();
+}
+
+double DifferentialStore::saving_factor() const {
+  if (stored_words_ == 0) return 0.0;
+  return static_cast<double>(full_words()) /
+         static_cast<double>(stored_words_);
+}
+
+}  // namespace ct

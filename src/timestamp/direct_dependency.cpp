@@ -1,0 +1,78 @@
+#include "timestamp/direct_dependency.hpp"
+
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace ct {
+
+DirectDependencyStore::DirectDependencyStore(const Trace& trace)
+    : trace_(trace) {
+  for (ProcessId p = 0; p < trace.process_count(); ++p) {
+    for (const Event& e : trace.process_events(p)) {
+      stored_words_ += 1;  // descriptor
+      if (e.kind == EventKind::kReceive || e.kind == EventKind::kSync) {
+        stored_words_ += 2;  // (process, index) of the cross-process dep
+      }
+    }
+  }
+}
+
+void DirectDependencyStore::dependencies(EventId id,
+                                         std::vector<EventId>& out) const {
+  if (id.index > 1) out.push_back(EventId{id.process, id.index - 1});
+  const Event& e = trace_.event(id);
+  if (e.kind == EventKind::kReceive) {
+    out.push_back(e.partner);
+  } else if (e.kind == EventKind::kSync && e.partner.index > 1) {
+    out.push_back(EventId{e.partner.process, e.partner.index - 1});
+  }
+}
+
+bool DirectDependencyStore::precedes(EventId e, EventId f) const {
+  if (e == f) return false;
+  const Event& ev_e = trace_.event(e);
+  const Event& ev_f = trace_.event(f);
+  const bool partners = ev_e.kind == EventKind::kSync && ev_e.partner == f;
+  if (partners) return false;
+
+  // Backward DFS from f. Reaching e — or e's sync partner, which shares its
+  // causal position — proves e → f.
+  const EventId alias =
+      ev_e.kind == EventKind::kSync ? ev_e.partner : kNoEvent;
+  std::unordered_set<EventId> visited;
+  std::vector<EventId> stack;
+  std::vector<EventId> deps;
+  dependencies(f, deps);
+  if (ev_f.kind == EventKind::kSync) {
+    // f's sync partner shares f's node; its dependencies are also f's.
+    dependencies(ev_f.partner, deps);
+  }
+  for (const EventId d : deps) stack.push_back(d);
+  deps.clear();
+
+  while (!stack.empty()) {
+    const EventId id = stack.back();
+    stack.pop_back();
+    ++edges_traversed_;
+    if (id == e || id == alias) return true;
+    if (!visited.insert(id).second) continue;
+    // Prune: nothing at-or-before `id` in e's process beyond index can
+    // reach e... (no vector info available — this is the whole point; the
+    // only safe prune is the visited set).
+    dependencies(id, deps);
+    const Event& ev = trace_.event(id);
+    if (ev.kind == EventKind::kSync) {
+      if (ev.partner == e || ev.partner == alias) return true;
+      dependencies(ev.partner, deps);
+      visited.insert(ev.partner);
+    }
+    for (const EventId d : deps) {
+      if (!visited.count(d)) stack.push_back(d);
+    }
+    deps.clear();
+  }
+  return false;
+}
+
+}  // namespace ct

@@ -1,0 +1,43 @@
+// Fowler/Zwaenepoel direct-dependency vectors (related work, §2.4).
+//
+// Each event records only its *direct* dependencies: the previous event in
+// its own process (implicit) plus, for a receive, the matching send (and for
+// a sync half, the partner's predecessor). Storage is tiny — O(1) words per
+// event — but a precedence test must search the dependency graph; the worst
+// case is linear in the number of messages, which is exactly the trade-off
+// the paper cites as the reason these vectors are unsuitable for
+// observation tools (E10 measures it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/trace.hpp"
+
+namespace ct {
+
+class DirectDependencyStore {
+ public:
+  explicit DirectDependencyStore(const Trace& trace);
+
+  /// Precedence by backward search from `f` toward `e`.
+  bool precedes(EventId e, EventId f) const;
+
+  /// Storage in 32-bit words: one descriptor word per event plus two words
+  /// per explicit cross-process dependency.
+  std::size_t stored_words() const { return stored_words_; }
+
+  /// Dependency edges traversed by precedes() calls so far.
+  std::uint64_t edges_traversed() const { return edges_traversed_; }
+  void reset_counters() const { edges_traversed_ = 0; }
+
+ private:
+  /// Direct predecessors of `id` in the event DAG.
+  void dependencies(EventId id, std::vector<EventId>& out) const;
+
+  const Trace& trace_;
+  std::size_t stored_words_ = 0;
+  mutable std::uint64_t edges_traversed_ = 0;
+};
+
+}  // namespace ct

@@ -1,0 +1,74 @@
+#include "timestamp/fm_engine.hpp"
+
+#include "util/check.hpp"
+
+namespace ct {
+
+FmEngine::FmEngine(std::size_t process_count) {
+  CT_CHECK(process_count > 0);
+  cur_.assign(process_count, FmClock(process_count, 0));
+}
+
+const FmClock& FmEngine::current(ProcessId p) const {
+  CT_CHECK_MSG(p < cur_.size(), "process " << p << " out of range");
+  return cur_[p];
+}
+
+const FmClock& FmEngine::observe(const Event& e) {
+  const ProcessId p = e.id.process;
+  CT_CHECK_MSG(p < cur_.size(), "process " << p << " out of range");
+  FmClock& clock = cur_[p];
+
+  if (e.kind == EventKind::kSync && pre_observed_.erase(e.id) == 1) {
+    // Partner half already computed the joint vector into cur_[p].
+    CT_CHECK_MSG(clock[p] == e.id.index,
+                 "sync half " << e.id << " inconsistent with partner");
+    return clock;
+  }
+
+  CT_CHECK_MSG(clock[p] + 1 == e.id.index,
+               "event " << e.id << " observed out of order (expected index "
+                        << clock[p] + 1 << ")");
+
+  switch (e.kind) {
+    case EventKind::kUnary:
+      clock[p] = e.id.index;
+      break;
+
+    case EventKind::kSend:
+      clock[p] = e.id.index;
+      // Retain a copy until the matching receive consumes it. Sends that
+      // are never received simply stay until the engine is destroyed.
+      in_flight_.emplace(e.id, clock);
+      break;
+
+    case EventKind::kReceive: {
+      const auto it = in_flight_.find(e.partner);
+      CT_CHECK_MSG(it != in_flight_.end(),
+                   "receive " << e.id << " before its send " << e.partner);
+      clock_max(clock, it->second);
+      in_flight_.erase(it);
+      clock[p] = e.id.index;
+      break;
+    }
+
+    case EventKind::kSync: {
+      const ProcessId q = e.partner.process;
+      CT_CHECK_MSG(q < cur_.size() && q != p, "bad sync partner for " << e.id);
+      CT_CHECK_MSG(cur_[q][q] + 1 == e.partner.index,
+                   "sync half " << e.partner << " out of order in process "
+                                << q);
+      // Joint vector: the union of both sides' histories, with both own
+      // components advanced — the two halves carry identical timestamps.
+      clock_max(clock, cur_[q]);
+      clock[p] = e.id.index;
+      clock[q] = e.partner.index;
+      cur_[q] = clock;
+      pre_observed_.insert(e.partner);
+      break;
+    }
+  }
+  return clock;
+}
+
+}  // namespace ct

@@ -1,0 +1,50 @@
+// Central (monitoring-entity) computation of Fidge/Mattern timestamps.
+//
+// §2.2: in the observation-tool setting, timestamps are computed centrally
+// as events arrive, not carried on messages. The engine consumes events in
+// a valid delivery order and produces FM(e) for each; it retains only what
+// future events can still reference — the latest clock per process and the
+// clocks of in-flight sends — mirroring the paper's note that timestamps no
+// longer needed are deleted.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "model/event.hpp"
+#include "timestamp/fm_clock.hpp"
+
+namespace ct {
+
+class FmEngine {
+ public:
+  explicit FmEngine(std::size_t process_count);
+
+  std::size_t process_count() const { return cur_.size(); }
+
+  /// Consumes the next event in delivery order and returns its timestamp.
+  /// The returned reference is invalidated by the next observe() call that
+  /// touches the same process.
+  ///
+  /// Ordering requirements (guaranteed by TraceBuilder / DeliveryManager):
+  /// events of one process arrive in index order; a receive arrives after
+  /// its send; the two halves of a sync pair arrive adjacently.
+  const FmClock& observe(const Event& e);
+
+  /// FM timestamp of the most recent event observed in process `p`
+  /// (all-zero before the first event).
+  const FmClock& current(ProcessId p) const;
+
+  /// Number of send clocks currently retained for unmatched sends.
+  std::size_t in_flight() const { return in_flight_.size(); }
+
+ private:
+  std::vector<FmClock> cur_;
+  std::unordered_map<EventId, FmClock> in_flight_;
+  /// Sync halves fully computed when their partner was observed first.
+  std::unordered_set<EventId> pre_observed_;
+};
+
+}  // namespace ct

@@ -1,0 +1,38 @@
+#include "timestamp/fm_store.hpp"
+
+#include "timestamp/fm_engine.hpp"
+#include "util/check.hpp"
+
+namespace ct {
+
+FmStore::FmStore(const Trace& trace) : trace_(trace) {
+  clocks_.resize(trace.process_count());
+  for (ProcessId p = 0; p < trace.process_count(); ++p) {
+    clocks_[p].resize(trace.process_size(p));
+  }
+  FmEngine engine(trace.process_count());
+  for (const EventId id : trace.delivery_order()) {
+    clocks_[id.process][id.index - 1] = engine.observe(trace.event(id));
+  }
+}
+
+const FmClock& FmStore::clock(EventId e) const {
+  CT_CHECK_MSG(e.process < clocks_.size() && e.index >= 1 &&
+                   e.index <= clocks_[e.process].size(),
+               "unknown event " << e);
+  return clocks_[e.process][e.index - 1];
+}
+
+bool FmStore::precedes(EventId e, EventId f) const {
+  return fm_precedes(trace_.event(e), clock(e), trace_.event(f), clock(f));
+}
+
+std::size_t FmStore::stored_elements() const {
+  std::size_t n = 0;
+  for (const auto& per_process : clocks_) {
+    n += per_process.size() * trace_.process_count();
+  }
+  return n;
+}
+
+}  // namespace ct

@@ -1,0 +1,162 @@
+// Control-suite generators: synthetic extremes that bracket the recorded
+// traces — no locality at all (clustering cannot win) and planted locality
+// (clustering should recover the groups exactly).
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "model/trace_builder.hpp"
+#include "trace/generators.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace ct {
+namespace {
+
+std::string seeded_name(const char* base, std::size_t n, std::uint64_t seed) {
+  return std::string(base) + "-p" + std::to_string(n) + "-s" +
+         std::to_string(seed);
+}
+
+}  // namespace
+
+Trace generate_uniform_random(const UniformRandomOptions& options) {
+  CT_CHECK(options.processes >= 2);
+  TraceBuilder b;
+  b.add_processes(options.processes);
+  Prng rng(options.seed);
+  // Keep a small in-flight window so sends and receives interleave rather
+  // than pairing back-to-back.
+  std::vector<std::pair<ProcessId, EventId>> window;  // (dst, send)
+  for (std::size_t m = 0; m < options.messages; ++m) {
+    const ProcessId src =
+        static_cast<ProcessId>(rng.index(options.processes));
+    ProcessId dst = static_cast<ProcessId>(rng.index(options.processes));
+    if (dst == src) dst = (dst + 1) % static_cast<ProcessId>(options.processes);
+    for (std::size_t k = 0; k < options.compute_events; ++k) b.unary(src);
+    window.emplace_back(dst, b.send(src));
+    while (window.size() > 4 || (!window.empty() && rng.chance(0.5))) {
+      const std::size_t slot = rng.index(window.size());
+      b.receive(window[slot].first, window[slot].second);
+      window.erase(window.begin() + static_cast<std::ptrdiff_t>(slot));
+    }
+  }
+  for (const auto& [dst, send] : window) b.receive(dst, send);
+  return b.build(
+      seeded_name("uniform-random", options.processes, options.seed),
+      TraceFamily::kControl);
+}
+
+Trace generate_phased_locality(const PhasedLocalityOptions& options) {
+  CT_CHECK(options.processes >= 2);
+  CT_CHECK(options.group_size >= 2 &&
+           options.group_size <= options.processes);
+  CT_CHECK(options.phases >= 1);
+  TraceBuilder b;
+  b.add_processes(options.processes);
+  Prng rng(options.seed);
+  const std::size_t groups =
+      (options.processes + options.group_size - 1) / options.group_size;
+
+  // group_of[p] is reshuffled at every phase boundary.
+  std::vector<std::size_t> group_of(options.processes);
+  std::vector<std::vector<ProcessId>> group_members;
+  const auto reshuffle = [&] {
+    std::vector<ProcessId> order(options.processes);
+    for (ProcessId p = 0; p < options.processes; ++p) order[p] = p;
+    // Fisher–Yates with our PRNG for determinism.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.index(i)]);
+    }
+    group_members.assign(groups, {});
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const std::size_t g = i / options.group_size;
+      group_of[order[i]] = g;
+      group_members[g].push_back(order[i]);
+    }
+  };
+
+  std::vector<std::pair<ProcessId, EventId>> window;
+  for (std::size_t phase = 0; phase < options.phases; ++phase) {
+    reshuffle();
+    for (std::size_t m = 0; m < options.messages_per_phase; ++m) {
+      const ProcessId src =
+          static_cast<ProcessId>(rng.index(options.processes));
+      ProcessId dst;
+      if (rng.chance(options.intra_rate)) {
+        const auto& peers = group_members[group_of[src]];
+        if (peers.size() < 2) continue;
+        do {
+          dst = peers[rng.index(peers.size())];
+        } while (dst == src);
+      } else {
+        dst = static_cast<ProcessId>(rng.index(options.processes));
+        if (dst == src) {
+          dst = (dst + 1) % static_cast<ProcessId>(options.processes);
+        }
+      }
+      for (std::size_t k = 0; k < options.compute_events; ++k) b.unary(src);
+      window.emplace_back(dst, b.send(src));
+      while (window.size() > 4 || (!window.empty() && rng.chance(0.5))) {
+        const std::size_t slot = rng.index(window.size());
+        b.receive(window[slot].first, window[slot].second);
+        window.erase(window.begin() + static_cast<std::ptrdiff_t>(slot));
+      }
+    }
+  }
+  for (const auto& [dst, send] : window) b.receive(dst, send);
+  return b.build(
+      seeded_name("phased-locality", options.processes, options.seed),
+      TraceFamily::kControl);
+}
+
+Trace generate_locality_random(const LocalityRandomOptions& options) {
+  CT_CHECK(options.processes >= 2);
+  CT_CHECK(options.group_size >= 1 &&
+           options.group_size <= options.processes);
+  TraceBuilder b;
+  b.add_processes(options.processes);
+  Prng rng(options.seed);
+
+  const auto group_of = [&](ProcessId p) { return p / options.group_size; };
+  const auto group_base = [&](std::size_t g) { return g * options.group_size; };
+  const auto group_extent = [&](std::size_t g) {
+    const std::size_t base = group_base(g);
+    return std::min(options.group_size, options.processes - base);
+  };
+
+  std::vector<std::pair<ProcessId, EventId>> window;
+  for (std::size_t m = 0; m < options.messages; ++m) {
+    const ProcessId src =
+        static_cast<ProcessId>(rng.index(options.processes));
+    ProcessId dst;
+    if (rng.chance(options.intra_rate)) {
+      const std::size_t g = group_of(src);
+      dst = static_cast<ProcessId>(group_base(g) +
+                                   rng.index(group_extent(g)));
+      if (dst == src) {
+        dst = static_cast<ProcessId>(
+            group_base(g) + (dst - group_base(g) + 1) % group_extent(g));
+      }
+      if (dst == src) continue;  // singleton tail group: skip this message
+    } else {
+      dst = static_cast<ProcessId>(rng.index(options.processes));
+      if (dst == src) {
+        dst = (dst + 1) % static_cast<ProcessId>(options.processes);
+      }
+    }
+    for (std::size_t k = 0; k < options.compute_events; ++k) b.unary(src);
+    window.emplace_back(dst, b.send(src));
+    while (window.size() > 4 || (!window.empty() && rng.chance(0.5))) {
+      const std::size_t slot = rng.index(window.size());
+      b.receive(window[slot].first, window[slot].second);
+      window.erase(window.begin() + static_cast<std::ptrdiff_t>(slot));
+    }
+  }
+  for (const auto& [dst, send] : window) b.receive(dst, send);
+  return b.build(
+      seeded_name("locality-random", options.processes, options.seed),
+      TraceFamily::kControl);
+}
+
+}  // namespace ct

@@ -1,0 +1,107 @@
+// DCE-suite generators: business applications over synchronous RPC (§4).
+// Every call is a synchronous-event *pair* — the case §3.1 singles out:
+// each synchronous communication counts as two communication occurrences,
+// and an unmerged cross-cluster call produces two cluster receives.
+#include <string>
+#include <vector>
+
+#include "model/trace_builder.hpp"
+#include "trace/generators.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace ct {
+namespace {
+
+std::string seeded_name(const char* base, std::size_t n, std::uint64_t seed) {
+  return std::string(base) + "-p" + std::to_string(n) + "-s" +
+         std::to_string(seed);
+}
+
+}  // namespace
+
+Trace generate_rpc_business(const RpcBusinessOptions& options) {
+  CT_CHECK(options.groups >= 1 && options.clients_per_group >= 1 &&
+           options.servers_per_group >= 1);
+  const std::size_t per_group =
+      options.clients_per_group + options.servers_per_group;
+  const std::size_t total = options.groups * per_group;
+  TraceBuilder b;
+  b.add_processes(total);
+  Prng rng(options.seed);
+
+  const auto client = [&](std::size_t g, std::size_t i) {
+    return static_cast<ProcessId>(g * per_group + i);
+  };
+  const auto server = [&](std::size_t g, std::size_t i) {
+    return static_cast<ProcessId>(g * per_group + options.clients_per_group +
+                                  i);
+  };
+
+  for (std::size_t call = 0; call < options.calls; ++call) {
+    const std::size_t g = rng.index(options.groups);
+    const std::size_t c = rng.index(options.clients_per_group);
+    // A fraction of calls cross group boundaries (shared services).
+    const std::size_t target_group = rng.chance(options.cross_group_rate)
+                                         ? rng.index(options.groups)
+                                         : g;
+    const std::size_t s = rng.index(options.servers_per_group);
+
+    const ProcessId caller = client(g, c);
+    const ProcessId callee = server(target_group, s);
+    b.unary(caller);  // marshal arguments
+    b.sync(caller, callee);
+    for (std::size_t k = 0; k < options.compute_events; ++k) b.unary(callee);
+    // Nested call to a sibling (or occasionally remote) server.
+    if (rng.chance(options.nested_call_rate) &&
+        options.servers_per_group >= 2) {
+      std::size_t s2 = rng.index(options.servers_per_group);
+      if (s2 == s) s2 = (s2 + 1) % options.servers_per_group;
+      const std::size_t g2 = rng.chance(options.cross_group_rate)
+                                 ? rng.index(options.groups)
+                                 : target_group;
+      const ProcessId nested = server(g2, s2);
+      if (nested != callee) {
+        b.sync(callee, nested);
+        b.unary(nested);
+        b.sync(nested, callee);  // completion rendezvous
+      }
+    }
+    b.sync(callee, caller);  // reply rendezvous
+  }
+  return b.build(seeded_name("rpc-business", total, options.seed),
+                 TraceFamily::kDce);
+}
+
+Trace generate_rpc_chain(const RpcChainOptions& options) {
+  CT_CHECK(options.services >= 2);
+  CT_CHECK(options.chain_length >= 2 &&
+           options.chain_length <= options.services);
+  TraceBuilder b;
+  b.add_processes(options.services);
+  Prng rng(options.seed);
+
+  for (std::size_t r = 0; r < options.requests; ++r) {
+    // A workflow enters at a random service and traverses `chain_length`
+    // consecutive services (wrapping), each hop a synchronous call, then
+    // unwinds with reply rendezvous.
+    const std::size_t start = rng.index(options.services);
+    std::vector<ProcessId> chain;
+    for (std::size_t k = 0; k < options.chain_length; ++k) {
+      chain.push_back(
+          static_cast<ProcessId>((start + k) % options.services));
+    }
+    b.unary(chain[0]);
+    for (std::size_t k = 0; k + 1 < chain.size(); ++k) {
+      b.sync(chain[k], chain[k + 1]);
+      b.unary(chain[k + 1]);
+    }
+    for (std::size_t k = chain.size() - 1; k > 0; --k) {
+      b.sync(chain[k], chain[k - 1]);
+    }
+  }
+  return b.build(seeded_name("rpc-chain", options.services, options.seed),
+                 TraceFamily::kDce);
+}
+
+}  // namespace ct

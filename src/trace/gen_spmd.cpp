@@ -1,0 +1,379 @@
+// PVM-suite generators: SPMD patterns with strong, static communication
+// locality — close-neighbour exchanges, scatter–gather, reductions,
+// pipelines, wavefronts and a dynamic task farm (§4's description of the
+// PVM/Cowichan traces).
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "model/trace_builder.hpp"
+#include "trace/generators.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace ct {
+namespace {
+
+void compute(TraceBuilder& b, ProcessId p, std::size_t events) {
+  for (std::size_t i = 0; i < events; ++i) b.unary(p);
+}
+
+std::string sized_name(const char* base, std::size_t n, std::uint64_t seed) {
+  return std::string(base) + "-p" + std::to_string(n) + "-s" +
+         std::to_string(seed);
+}
+
+/// Binary-tree reduce to process 0 followed by a broadcast — the global
+/// convergence check iterative solvers run between neighbour exchanges.
+void allreduce(TraceBuilder& b, ProcessId n) {
+  for (ProcessId p = n; p-- > 1;) {
+    b.receive((p - 1) / 2, b.send(p));
+  }
+  for (ProcessId p = 0; p < n; ++p) {
+    const ProcessId left = 2 * p + 1, right = 2 * p + 2;
+    if (left < n) b.receive(left, b.send(p));
+    if (right < n) b.receive(right, b.send(p));
+  }
+}
+
+}  // namespace
+
+Trace generate_ring(const RingOptions& options) {
+  CT_CHECK(options.processes >= 2);
+  TraceBuilder b;
+  b.add_processes(options.processes);
+  const auto n = static_cast<ProcessId>(options.processes);
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    // All sends first, then all receives: the natural non-blocking-send
+    // schedule of a ring shift.
+    std::vector<EventId> sends(options.processes);
+    for (ProcessId p = 0; p < n; ++p) {
+      compute(b, p, options.compute_events);
+      sends[p] = b.send(p);
+    }
+    for (ProcessId p = 0; p < n; ++p) {
+      b.receive(p, sends[(p + n - 1) % n]);
+    }
+    if (options.allreduce_every > 0 &&
+        (iter + 1) % options.allreduce_every == 0) {
+      allreduce(b, n);
+    }
+  }
+  return b.build(sized_name("ring", options.processes, options.seed),
+                 TraceFamily::kPvm);
+}
+
+Trace generate_halo1d(const Halo1dOptions& options) {
+  CT_CHECK(options.processes >= 2);
+  TraceBuilder b;
+  b.add_processes(options.processes);
+  const auto n = static_cast<ProcessId>(options.processes);
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    std::vector<EventId> to_right(options.processes, kNoEvent);
+    std::vector<EventId> to_left(options.processes, kNoEvent);
+    for (ProcessId p = 0; p < n; ++p) {
+      compute(b, p, options.compute_events);
+      if (p + 1 < n) to_right[p] = b.send(p);
+      if (p > 0) to_left[p] = b.send(p);
+    }
+    for (ProcessId p = 0; p < n; ++p) {
+      if (p > 0) b.receive(p, to_right[p - 1]);
+      if (p + 1 < n) b.receive(p, to_left[p + 1]);
+    }
+    if (options.allreduce_every > 0 &&
+        (iter + 1) % options.allreduce_every == 0) {
+      allreduce(b, n);
+    }
+  }
+  return b.build(sized_name("halo1d", options.processes, options.seed),
+                 TraceFamily::kPvm);
+}
+
+Trace generate_halo2d(const Halo2dOptions& options) {
+  const std::size_t w = options.width, h = options.height;
+  CT_CHECK(w >= 2 && h >= 2);
+  TraceBuilder b;
+  b.add_processes(w * h);
+  const auto at = [w](std::size_t x, std::size_t y) {
+    return static_cast<ProcessId>(y * w + x);
+  };
+  for (std::size_t iter = 0; iter < options.iterations; ++iter) {
+    // Send to all four neighbours, then receive from all four.
+    // sends[p] = {east, west, south, north} message ids from process p.
+    std::vector<std::array<EventId, 4>> sends(w * h);
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        const ProcessId p = at(x, y);
+        compute(b, p, options.compute_events);
+        sends[p] = {kNoEvent, kNoEvent, kNoEvent, kNoEvent};
+        if (x + 1 < w) sends[p][0] = b.send(p);
+        if (x > 0) sends[p][1] = b.send(p);
+        if (y + 1 < h) sends[p][2] = b.send(p);
+        if (y > 0) sends[p][3] = b.send(p);
+      }
+    }
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        const ProcessId p = at(x, y);
+        if (x > 0) b.receive(p, sends[at(x - 1, y)][0]);
+        if (x + 1 < w) b.receive(p, sends[at(x + 1, y)][1]);
+        if (y > 0) b.receive(p, sends[at(x, y - 1)][2]);
+        if (y + 1 < h) b.receive(p, sends[at(x, y + 1)][3]);
+      }
+    }
+    if (options.allreduce_every > 0 &&
+        (iter + 1) % options.allreduce_every == 0) {
+      allreduce(b, static_cast<ProcessId>(w * h));
+    }
+  }
+  return b.build(sized_name("halo2d", w * h, options.seed), TraceFamily::kPvm);
+}
+
+Trace generate_scatter_gather(const ScatterGatherOptions& options) {
+  CT_CHECK(options.processes >= 2);
+  TraceBuilder b;
+  b.add_processes(options.processes);
+  const ProcessId master = 0;
+  const auto n = static_cast<ProcessId>(options.processes);
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    std::vector<EventId> scatter(options.processes, kNoEvent);
+    for (ProcessId w = 1; w < n; ++w) scatter[w] = b.send(master);
+    std::vector<EventId> gather(options.processes, kNoEvent);
+    for (ProcessId w = 1; w < n; ++w) {
+      b.receive(w, scatter[w]);
+      compute(b, w, options.compute_events);
+      gather[w] = b.send(w);
+    }
+    for (ProcessId w = 1; w < n; ++w) b.receive(master, gather[w]);
+    compute(b, master, options.compute_events);
+  }
+  return b.build(sized_name("scatter-gather", options.processes, options.seed),
+                 TraceFamily::kPvm);
+}
+
+Trace generate_reduction_tree(const ReductionTreeOptions& options) {
+  CT_CHECK(options.processes >= 2);
+  TraceBuilder b;
+  b.add_processes(options.processes);
+  const auto n = static_cast<ProcessId>(options.processes);
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    // Reduce: children send to parent ((p-1)/2), deepest first.
+    for (ProcessId p = n; p-- > 1;) {
+      compute(b, p, options.compute_events);
+      const ProcessId parent = (p - 1) / 2;
+      const EventId s = b.send(p);
+      b.receive(parent, s);
+    }
+    compute(b, 0, options.compute_events);
+    // Broadcast: parents send to children, root first.
+    for (ProcessId p = 0; p < n; ++p) {
+      const ProcessId left = 2 * p + 1, right = 2 * p + 2;
+      if (left < n) b.receive(left, b.send(p));
+      if (right < n) b.receive(right, b.send(p));
+    }
+  }
+  return b.build(
+      sized_name("reduction-tree", options.processes, options.seed),
+      TraceFamily::kPvm);
+}
+
+Trace generate_pipeline(const PipelineOptions& options) {
+  CT_CHECK(options.stages >= 2);
+  TraceBuilder b;
+  b.add_processes(options.stages);
+  const auto n = static_cast<ProcessId>(options.stages);
+  // In-flight item per stage boundary; drive items through in a skewed
+  // schedule so different stages are busy concurrently.
+  std::deque<std::pair<ProcessId, EventId>> in_flight;  // (dst stage, send)
+  std::size_t injected = 0;
+  while (injected < options.items || !in_flight.empty()) {
+    if (injected < options.items) {
+      compute(b, 0, options.compute_events);
+      in_flight.emplace_back(1, b.send(0));
+      ++injected;
+    }
+    // Drain one hop for every queued item (breadth-first keeps order valid).
+    const std::size_t hops = in_flight.size();
+    for (std::size_t i = 0; i < hops; ++i) {
+      auto [dst, send] = in_flight.front();
+      in_flight.pop_front();
+      b.receive(dst, send);
+      compute(b, dst, options.compute_events);
+      if (dst + 1 < n) in_flight.emplace_back(dst + 1, b.send(dst));
+    }
+  }
+  return b.build(sized_name("pipeline", options.stages, options.seed),
+                 TraceFamily::kPvm);
+}
+
+Trace generate_wavefront(const WavefrontOptions& options) {
+  const std::size_t w = options.width, h = options.height;
+  CT_CHECK(w >= 2 && h >= 2);
+  TraceBuilder b;
+  b.add_processes(w * h);
+  const auto at = [w](std::size_t x, std::size_t y) {
+    return static_cast<ProcessId>(y * w + x);
+  };
+  for (std::size_t sweep = 0; sweep < options.sweeps; ++sweep) {
+    // Anti-diagonal order: receive from north/west, send to south/east.
+    std::vector<EventId> east(w * h, kNoEvent), south(w * h, kNoEvent);
+    for (std::size_t d = 0; d < w + h - 1; ++d) {
+      for (std::size_t y = 0; y < h; ++y) {
+        if (d < y || d - y >= w) continue;
+        const std::size_t x = d - y;
+        const ProcessId p = at(x, y);
+        if (x > 0) b.receive(p, east[at(x - 1, y)]);
+        if (y > 0) b.receive(p, south[at(x, y - 1)]);
+        compute(b, p, options.compute_events);
+        if (x + 1 < w) east[p] = b.send(p);
+        if (y + 1 < h) south[p] = b.send(p);
+      }
+    }
+    if (options.allreduce_every > 0 &&
+        (sweep + 1) % options.allreduce_every == 0) {
+      allreduce(b, static_cast<ProcessId>(w * h));
+    }
+  }
+  return b.build(sized_name("wavefront", w * h, options.seed),
+                 TraceFamily::kPvm);
+}
+
+Trace generate_butterfly(const ButterflyOptions& options) {
+  CT_CHECK(options.dimensions >= 1 && options.dimensions <= 9);
+  const std::size_t n = std::size_t{1} << options.dimensions;
+  TraceBuilder b;
+  b.add_processes(n);
+  for (std::size_t sweep = 0; sweep < options.sweeps; ++sweep) {
+    for (std::size_t k = 0; k < options.dimensions; ++k) {
+      const std::size_t stride = std::size_t{1} << k;
+      // Both directions of each exchange: send phase, then receive phase.
+      std::vector<EventId> sends(n);
+      for (std::size_t p = 0; p < n; ++p) {
+        compute(b, static_cast<ProcessId>(p), options.compute_events);
+        sends[p] = b.send(static_cast<ProcessId>(p));
+      }
+      for (std::size_t p = 0; p < n; ++p) {
+        b.receive(static_cast<ProcessId>(p), sends[p ^ stride]);
+      }
+    }
+  }
+  return b.build(sized_name("butterfly", n, options.seed), TraceFamily::kPvm);
+}
+
+Trace generate_gossip(const GossipOptions& options) {
+  CT_CHECK(options.processes >= 2);
+  TraceBuilder b;
+  b.add_processes(options.processes);
+  Prng rng(options.seed);
+  const auto n = static_cast<ProcessId>(options.processes);
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    std::vector<std::pair<ProcessId, EventId>> pushes;
+    for (ProcessId p = 0; p < n; ++p) {
+      compute(b, p, options.compute_events);
+      ProcessId peer = static_cast<ProcessId>(rng.index(options.processes));
+      if (peer == p) peer = (peer + 1) % n;
+      pushes.emplace_back(peer, b.send(p));
+    }
+    for (const auto& [peer, send] : pushes) b.receive(peer, send);
+  }
+  return b.build(sized_name("gossip", options.processes, options.seed),
+                 TraceFamily::kPvm);
+}
+
+Trace generate_token_ring(const TokenRingOptions& options) {
+  CT_CHECK(options.processes >= 2);
+  TraceBuilder b;
+  b.add_processes(options.processes);
+  const auto n = static_cast<ProcessId>(options.processes);
+  for (std::size_t lap = 0; lap < options.laps; ++lap) {
+    for (ProcessId p = 0; p < n; ++p) {
+      compute(b, p, options.critical_events);  // hold the token
+      const EventId pass = b.send(p);
+      b.receive((p + 1) % n, pass);
+    }
+  }
+  return b.build(sized_name("token-ring", options.processes, options.seed),
+                 TraceFamily::kPvm);
+}
+
+Trace generate_master_worker(const MasterWorkerOptions& options) {
+  CT_CHECK(options.processes >= 2);
+  CT_CHECK(options.compute_min <= options.compute_max);
+  CT_CHECK(options.pods >= 1);
+  CT_CHECK_MSG(options.processes >= 2 * options.pods,
+               "each pod needs a master and at least one worker");
+  TraceBuilder b;
+  b.add_processes(options.processes);
+  Prng rng(options.seed);
+
+  // Processes are split into contiguous pods; the first process of each pod
+  // is its master.
+  const std::size_t pod_size = options.processes / options.pods;
+  const auto pod_master = [&](std::size_t pod) {
+    return static_cast<ProcessId>(pod * pod_size);
+  };
+  const auto pod_of_task = [&](std::size_t task) {
+    return task % options.pods;
+  };
+
+  struct PodState {
+    std::vector<ProcessId> idle;
+    std::deque<std::pair<ProcessId, EventId>> pending;  // worker, result send
+    std::size_t assigned = 0;
+    std::size_t collected = 0;
+  };
+  std::vector<PodState> pods(options.pods);
+  for (std::size_t pod = 0; pod < options.pods; ++pod) {
+    const std::size_t begin = pod * pod_size;
+    const std::size_t end =
+        pod + 1 == options.pods ? options.processes : begin + pod_size;
+    for (std::size_t p = begin + 1; p < end; ++p) {
+      pods[pod].idle.push_back(static_cast<ProcessId>(p));
+    }
+  }
+
+  std::size_t assigned_total = 0;
+  std::size_t done_total = 0;
+  while (done_total < options.tasks) {
+    const std::size_t pod_index = assigned_total < options.tasks
+                                      ? pod_of_task(assigned_total)
+                                      : rng.index(options.pods);
+    PodState& pod = pods[pod_index];
+    const ProcessId master = pod_master(pod_index);
+    if (assigned_total < options.tasks && !pod.idle.empty()) {
+      const std::size_t slot = rng.index(pod.idle.size());
+      const ProcessId worker = pod.idle[slot];
+      pod.idle.erase(pod.idle.begin() + static_cast<std::ptrdiff_t>(slot));
+      const EventId task = b.send(master);
+      b.receive(worker, task);
+      compute(b, worker,
+              options.compute_min +
+                  rng.uniform(0, options.compute_max - options.compute_min));
+      pod.pending.emplace_back(worker, b.send(worker));
+      ++pod.assigned;
+      ++assigned_total;
+      // Sometimes keep assigning before collecting results.
+      if (rng.chance(0.5)) continue;
+    }
+    if (!pod.pending.empty()) {
+      const auto [worker, result] = pod.pending.front();
+      pod.pending.pop_front();
+      b.receive(master, result);
+      pod.idle.push_back(worker);
+      ++pod.collected;
+      ++done_total;
+      // Periodic progress report to the coordinating master (pod 0).
+      if (options.pods > 1 && pod_index != 0 &&
+          options.report_every > 0 &&
+          pod.collected % options.report_every == 0) {
+        b.receive(pod_master(0), b.send(master));
+      }
+    }
+  }
+  return b.build(sized_name("master-worker", options.processes, options.seed),
+                 TraceFamily::kPvm);
+}
+
+}  // namespace ct

@@ -1,0 +1,195 @@
+// Java-suite generators: web-like applications (§4). Communication locality
+// here is probabilistic (session affinity, tier preferences) rather than
+// structural, and hub processes (servers, brokers) talk to many peers —
+// the regime where merge-on-1st-communication becomes erratic.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "model/trace_builder.hpp"
+#include "trace/generators.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace ct {
+namespace {
+
+std::string seeded_name(const char* base, std::size_t n, std::uint64_t seed) {
+  return std::string(base) + "-p" + std::to_string(n) + "-s" +
+         std::to_string(seed);
+}
+
+}  // namespace
+
+Trace generate_web_server(const WebServerOptions& options) {
+  CT_CHECK(options.clients >= 1 && options.servers >= 1 &&
+           options.backends >= 1);
+  TraceBuilder b;
+  const std::size_t total =
+      options.clients + options.servers + options.backends;
+  b.add_processes(total);
+  Prng rng(options.seed);
+
+  const auto client = [&](std::size_t i) { return static_cast<ProcessId>(i); };
+  const auto server = [&](std::size_t i) {
+    return static_cast<ProcessId>(options.clients + i);
+  };
+  const auto backend = [&](std::size_t i) {
+    return static_cast<ProcessId>(options.clients + options.servers + i);
+  };
+
+  // Session stickiness: each client has a home server; each server a
+  // preferred backend.
+  std::vector<std::size_t> home(options.clients);
+  for (std::size_t c = 0; c < options.clients; ++c) {
+    home[c] = rng.index(options.servers);
+  }
+  std::vector<std::size_t> preferred_backend(options.servers);
+  for (std::size_t s = 0; s < options.servers; ++s) {
+    preferred_backend[s] = rng.index(options.backends);
+  }
+
+  for (std::size_t r = 0; r < options.requests; ++r) {
+    const std::size_t c = rng.index(options.clients);
+    const std::size_t s = rng.chance(options.affinity)
+                              ? home[c]
+                              : rng.index(options.servers);
+    // Request.
+    const EventId req = b.send(client(c));
+    b.receive(server(s), req);
+    b.unary(server(s));  // request handling
+    // Possible backend round-trip.
+    if (rng.chance(options.backend_rate)) {
+      const std::size_t d = rng.chance(0.8) ? preferred_backend[s]
+                                            : rng.index(options.backends);
+      const EventId query = b.send(server(s));
+      b.receive(backend(d), query);
+      b.unary(backend(d));
+      const EventId reply = b.send(backend(d));
+      b.receive(server(s), reply);
+    }
+    // Response.
+    const EventId resp = b.send(server(s));
+    b.receive(client(c), resp);
+    b.unary(client(c));  // render
+  }
+  return b.build(seeded_name("web-server", total, options.seed),
+                 TraceFamily::kJava);
+}
+
+Trace generate_tiered_service(const TieredServiceOptions& options) {
+  CT_CHECK(options.clients >= 1 && options.frontends >= 1 &&
+           options.app_servers >= 1 && options.databases >= 1);
+  TraceBuilder b;
+  const std::size_t total = options.clients + options.frontends +
+                            options.app_servers + options.databases;
+  b.add_processes(total);
+  Prng rng(options.seed);
+
+  const auto client = [&](std::size_t i) { return static_cast<ProcessId>(i); };
+  const auto frontend = [&](std::size_t i) {
+    return static_cast<ProcessId>(options.clients + i);
+  };
+  const auto app = [&](std::size_t i) {
+    return static_cast<ProcessId>(options.clients + options.frontends + i);
+  };
+  const auto db = [&](std::size_t i) {
+    return static_cast<ProcessId>(options.clients + options.frontends +
+                                  options.app_servers + i);
+  };
+
+  // Tier preferences generate locality *between* tiers.
+  std::vector<std::size_t> client_fe(options.clients);
+  for (auto& v : client_fe) v = rng.index(options.frontends);
+  std::vector<std::size_t> fe_app(options.frontends);
+  for (auto& v : fe_app) v = rng.index(options.app_servers);
+  std::vector<std::size_t> app_db(options.app_servers);
+  for (auto& v : app_db) v = rng.index(options.databases);
+
+  const auto choose = [&](std::size_t preferred, std::size_t pool) {
+    return rng.chance(options.tier_affinity) ? preferred : rng.index(pool);
+  };
+
+  for (std::size_t r = 0; r < options.requests; ++r) {
+    const std::size_t c = rng.index(options.clients);
+    const std::size_t f = choose(client_fe[c], options.frontends);
+    const std::size_t a = choose(fe_app[f], options.app_servers);
+    const std::size_t d = choose(app_db[a], options.databases);
+
+    const EventId req = b.send(client(c));
+    b.receive(frontend(f), req);
+    const EventId fwd = b.send(frontend(f));
+    b.receive(app(a), fwd);
+    b.unary(app(a));
+    const EventId query = b.send(app(a));
+    b.receive(db(d), query);
+    b.unary(db(d));
+    const EventId result = b.send(db(d));
+    b.receive(app(a), result);
+    const EventId up = b.send(app(a));
+    b.receive(frontend(f), up);
+    const EventId resp = b.send(frontend(f));
+    b.receive(client(c), resp);
+  }
+  return b.build(seeded_name("tiered-service", total, options.seed),
+                 TraceFamily::kJava);
+}
+
+Trace generate_pubsub(const PubSubOptions& options) {
+  CT_CHECK(options.publishers >= 1 && options.brokers >= 1 &&
+           options.subscribers >= 1 && options.topics >= 1);
+  CT_CHECK(options.subscribers_per_topic >= 1 &&
+           options.subscribers_per_topic <= options.subscribers);
+  TraceBuilder b;
+  const std::size_t total =
+      options.publishers + options.brokers + options.subscribers;
+  b.add_processes(total);
+  Prng rng(options.seed);
+
+  const auto publisher = [&](std::size_t i) {
+    return static_cast<ProcessId>(i);
+  };
+  const auto broker = [&](std::size_t i) {
+    return static_cast<ProcessId>(options.publishers + i);
+  };
+  const auto subscriber = [&](std::size_t i) {
+    return static_cast<ProcessId>(options.publishers + options.brokers + i);
+  };
+
+  // Topic → broker assignment and subscriber lists.
+  std::vector<std::size_t> topic_broker(options.topics);
+  for (auto& v : topic_broker) v = rng.index(options.brokers);
+  std::vector<std::vector<std::size_t>> topic_subs(options.topics);
+  for (auto& subs : topic_subs) {
+    while (subs.size() < options.subscribers_per_topic) {
+      const std::size_t s = rng.index(options.subscribers);
+      if (std::find(subs.begin(), subs.end(), s) == subs.end()) {
+        subs.push_back(s);
+      }
+    }
+  }
+  // Publishers specialize in a couple of topics.
+  std::vector<std::vector<std::size_t>> pub_topics(options.publishers);
+  for (auto& topics : pub_topics) {
+    topics.push_back(rng.index(options.topics));
+    if (rng.chance(0.5)) topics.push_back(rng.index(options.topics));
+  }
+
+  for (std::size_t m = 0; m < options.messages; ++m) {
+    const std::size_t p = rng.index(options.publishers);
+    const std::size_t t = pub_topics[p][rng.index(pub_topics[p].size())];
+    const std::size_t br = topic_broker[t];
+    const EventId post = b.send(publisher(p));
+    b.receive(broker(br), post);
+    b.unary(broker(br));  // routing
+    for (const std::size_t s : topic_subs[t]) {
+      const EventId out = b.send(broker(br));
+      b.receive(subscriber(s), out);
+      b.unary(subscriber(s));
+    }
+  }
+  return b.build(seeded_name("pub-sub", total, options.seed),
+                 TraceFamily::kJava);
+}
+
+}  // namespace ct

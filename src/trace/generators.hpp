@@ -1,0 +1,258 @@
+// Synthetic parallel-computation generators.
+//
+// The paper evaluates over >50 recorded computations from three environments
+// (§4): PVM (SPMD-style, Cowichan benchmark, "close neighbour communication
+// and scatter-gather patterns"), Java ("web-like applications, including
+// various web-server executions"), and DCE ("sample business-application
+// code", i.e. synchronous RPC). Those traces are not available; these
+// generators emit the same communication *patterns*, which is all the
+// clustering and timestamp algorithms observe (see DESIGN.md §2 for the
+// substitution argument). Every generator is fully deterministic given its
+// options (seeded xoshiro PRNG).
+#pragma once
+
+#include <cstdint>
+
+#include "model/trace.hpp"
+
+namespace ct {
+
+// ---------------------------------------------------------------- PVM suite
+
+/// Unidirectional ring: each iteration, process i sends to (i+1) mod P.
+/// `allreduce_every` > 0 inserts a binary-tree reduce+broadcast every that
+/// many iterations — the convergence/dot-product check real iterative SPMD
+/// codes interleave with their neighbour exchanges.
+struct RingOptions {
+  std::size_t processes = 64;
+  std::size_t iterations = 50;
+  std::size_t compute_events = 2;  ///< unary events between communications
+  std::size_t allreduce_every = 0;  ///< 0 = pure ring
+  std::uint64_t seed = 1;
+};
+Trace generate_ring(const RingOptions& options);
+
+/// 1-D halo exchange: neighbours swap boundary data every iteration.
+struct Halo1dOptions {
+  std::size_t processes = 64;
+  std::size_t iterations = 40;
+  std::size_t compute_events = 2;
+  std::size_t allreduce_every = 0;  ///< see RingOptions
+  std::uint64_t seed = 1;
+};
+Trace generate_halo1d(const Halo1dOptions& options);
+
+/// 2-D halo exchange on a width × height process grid (4-neighbour stencil).
+struct Halo2dOptions {
+  std::size_t width = 10;
+  std::size_t height = 10;
+  std::size_t iterations = 25;
+  std::size_t compute_events = 2;
+  std::size_t allreduce_every = 0;  ///< see RingOptions
+  std::uint64_t seed = 1;
+};
+Trace generate_halo2d(const Halo2dOptions& options);
+
+/// Scatter–gather: a master scatters work to every worker and gathers the
+/// results each round (the other pattern §4 names for the PVM programs).
+struct ScatterGatherOptions {
+  std::size_t processes = 65;  ///< 1 master + workers
+  std::size_t rounds = 30;
+  std::size_t compute_events = 3;
+  std::uint64_t seed = 1;
+};
+Trace generate_scatter_gather(const ScatterGatherOptions& options);
+
+/// Binary-tree reduction + broadcast per round (all-reduce shape).
+struct ReductionTreeOptions {
+  std::size_t processes = 64;
+  std::size_t rounds = 30;
+  std::size_t compute_events = 1;
+  std::uint64_t seed = 1;
+};
+Trace generate_reduction_tree(const ReductionTreeOptions& options);
+
+/// Linear pipeline: items flow stage 0 → 1 → … → P-1.
+struct PipelineOptions {
+  std::size_t stages = 48;
+  std::size_t items = 150;
+  std::size_t compute_events = 1;
+  std::uint64_t seed = 1;
+};
+Trace generate_pipeline(const PipelineOptions& options);
+
+/// Wavefront sweep over a process grid: each cell receives from its north
+/// and west neighbours and sends to south and east, repeated per sweep.
+struct WavefrontOptions {
+  std::size_t width = 9;
+  std::size_t height = 9;
+  std::size_t sweeps = 12;
+  std::size_t compute_events = 1;
+  std::size_t allreduce_every = 0;  ///< convergence check every k sweeps
+  std::uint64_t seed = 1;
+};
+Trace generate_wavefront(const WavefrontOptions& options);
+
+/// Master–worker dynamic load balancing (Cowichan-style task farm).
+/// With `pods` > 1 the farm is partitioned: each pod has its own master
+/// and worker pool (how large farms are actually deployed), and pod
+/// masters report progress to the first master periodically.
+struct MasterWorkerOptions {
+  std::size_t processes = 60;  ///< masters + workers, split across pods
+  std::size_t tasks = 600;
+  std::size_t pods = 1;
+  std::size_t report_every = 20;  ///< pod-master progress reports (pods > 1)
+  std::size_t compute_min = 1;
+  std::size_t compute_max = 5;
+  std::uint64_t seed = 1;
+};
+Trace generate_master_worker(const MasterWorkerOptions& options);
+
+/// Hypercube butterfly exchange (FFT / all-to-all shape): in round k every
+/// process exchanges with its (rank XOR 2^k) partner. Communication
+/// locality exists at every power-of-two scale simultaneously — the
+/// classic stress case for any single cluster granularity.
+struct ButterflyOptions {
+  std::size_t dimensions = 6;  ///< 2^dimensions processes
+  std::size_t sweeps = 8;      ///< full butterflies to run
+  std::size_t compute_events = 1;
+  std::uint64_t seed = 1;
+};
+Trace generate_butterfly(const ButterflyOptions& options);
+
+/// Randomized gossip: each round, every process pushes to one uniformly
+/// random peer. Like uniform-random but round-structured.
+struct GossipOptions {
+  std::size_t processes = 64;
+  std::size_t rounds = 40;
+  std::size_t compute_events = 1;
+  std::uint64_t seed = 1;
+};
+Trace generate_gossip(const GossipOptions& options);
+
+/// Token ring: a single token circulates; the holder does some work
+/// (critical section) and passes it on. Minimal, strictly sequential
+/// communication — every receive is from the ring predecessor.
+struct TokenRingOptions {
+  std::size_t processes = 32;
+  std::size_t laps = 20;
+  std::size_t critical_events = 2;
+  std::uint64_t seed = 1;
+};
+Trace generate_token_ring(const TokenRingOptions& options);
+
+// --------------------------------------------------------------- Java suite
+
+/// Web-server execution: client sessions issue requests to a small pool of
+/// server threads; servers consult a backend store for some requests.
+/// Clients have an affinity server (session stickiness) with occasional
+/// spill-over — moderate, probabilistic communication locality.
+struct WebServerOptions {
+  std::size_t clients = 80;
+  std::size_t servers = 8;
+  std::size_t backends = 4;
+  std::size_t requests = 1200;
+  double affinity = 0.85;       ///< probability a request hits the session server
+  double backend_rate = 0.4;    ///< probability a request touches a backend
+  std::uint64_t seed = 1;
+};
+Trace generate_web_server(const WebServerOptions& options);
+
+/// Three-tier service: clients → frontends → application servers → database,
+/// responses back up the chain; each frontend prefers a subset of app
+/// servers and each app server a subset of databases.
+struct TieredServiceOptions {
+  std::size_t clients = 60;
+  std::size_t frontends = 10;
+  std::size_t app_servers = 12;
+  std::size_t databases = 4;
+  std::size_t requests = 900;
+  double tier_affinity = 0.8;
+  std::uint64_t seed = 1;
+};
+Trace generate_tiered_service(const TieredServiceOptions& options);
+
+/// Publish–subscribe through broker processes: publishers post to a topic's
+/// broker, which fans out to the topic's subscribers. Brokers are hubs —
+/// deliberately hard to cluster.
+struct PubSubOptions {
+  std::size_t publishers = 20;
+  std::size_t brokers = 4;
+  std::size_t subscribers = 60;
+  std::size_t topics = 12;
+  std::size_t subscribers_per_topic = 6;
+  std::size_t messages = 500;
+  std::uint64_t seed = 1;
+};
+Trace generate_pubsub(const PubSubOptions& options);
+
+// ---------------------------------------------------------------- DCE suite
+
+/// Business application over synchronous RPC: client groups call their
+/// group's servers (sync events); servers occasionally make nested calls to
+/// other servers; a small fraction of calls cross groups.
+struct RpcBusinessOptions {
+  std::size_t groups = 8;
+  std::size_t clients_per_group = 8;
+  std::size_t servers_per_group = 4;
+  std::size_t calls = 1500;
+  double cross_group_rate = 0.08;
+  double nested_call_rate = 0.3;
+  std::size_t compute_events = 1;
+  std::uint64_t seed = 1;
+};
+Trace generate_rpc_business(const RpcBusinessOptions& options);
+
+/// Chained synchronous calls: requests traverse a fixed chain of services
+/// via nested RPC (classic business-workflow shape).
+struct RpcChainOptions {
+  std::size_t services = 50;
+  std::size_t chain_length = 6;
+  std::size_t requests = 400;
+  std::uint64_t seed = 1;
+};
+Trace generate_rpc_chain(const RpcChainOptions& options);
+
+// ------------------------------------------------------------ control suite
+
+/// Uniformly random communication — no locality whatsoever; the adversarial
+/// case where clustering cannot help much.
+struct UniformRandomOptions {
+  std::size_t processes = 100;
+  std::size_t messages = 3000;
+  std::size_t compute_events = 1;
+  std::uint64_t seed = 1;
+};
+Trace generate_uniform_random(const UniformRandomOptions& options);
+
+/// Planted locality whose group structure CHANGES over time: the process →
+/// group assignment is reshuffled at each phase boundary. The workload for
+/// which one-shot clustering is fundamentally wrong and §5's migration
+/// variant exists: a long-running system whose communication pattern drifts
+/// (sessions end, services rebalance).
+struct PhasedLocalityOptions {
+  std::size_t processes = 120;
+  std::size_t group_size = 12;
+  double intra_rate = 0.9;
+  std::size_t phases = 2;
+  std::size_t messages_per_phase = 2000;
+  std::size_t compute_events = 1;
+  std::uint64_t seed = 1;
+};
+Trace generate_phased_locality(const PhasedLocalityOptions& options);
+
+/// Random communication with planted group locality: processes belong to
+/// hidden groups of `group_size`; a message stays inside the group with
+/// probability `intra_rate`. The cleanest direct probe of how well a
+/// clustering strategy recovers communication locality.
+struct LocalityRandomOptions {
+  std::size_t processes = 120;
+  std::size_t group_size = 12;
+  double intra_rate = 0.9;
+  std::size_t messages = 4000;
+  std::size_t compute_events = 1;
+  std::uint64_t seed = 1;
+};
+Trace generate_locality_random(const LocalityRandomOptions& options);
+
+}  // namespace ct

@@ -1,0 +1,358 @@
+#include "trace/suite.hpp"
+
+#include "trace/generators.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ct {
+namespace {
+
+std::vector<SuiteEntry> build_suite() {
+  std::vector<SuiteEntry> s;
+  auto add = [&s](std::string id, TraceFamily family,
+                  std::function<Trace()> make) {
+    s.push_back(SuiteEntry{std::move(id), family, std::move(make)});
+  };
+
+  // ------------------------------------------------------------ PVM (20)
+  add("pvm/ring-64", TraceFamily::kPvm, [] {
+    return generate_ring(
+        {.processes = 64, .iterations = 50, .allreduce_every = 2, .seed = 11});
+  });
+  add("pvm/ring-128", TraceFamily::kPvm, [] {
+    return generate_ring(
+        {.processes = 128, .iterations = 35, .allreduce_every = 2, .seed = 12});
+  });
+  add("pvm/ring-256", TraceFamily::kPvm, [] {
+    return generate_ring(
+        {.processes = 256, .iterations = 20, .allreduce_every = 2, .seed = 13});
+  });
+  add("pvm/halo1d-64", TraceFamily::kPvm, [] {
+    return generate_halo1d(
+        {.processes = 64, .iterations = 40, .allreduce_every = 2, .seed = 21});
+  });
+  add("pvm/halo1d-150", TraceFamily::kPvm, [] {
+    return generate_halo1d(
+        {.processes = 150, .iterations = 25, .allreduce_every = 2, .seed = 22});
+  });
+  add("pvm/halo1d-300", TraceFamily::kPvm, [] {
+    return generate_halo1d(
+        {.processes = 300, .iterations = 14, .allreduce_every = 2, .seed = 23});
+  });
+  add("pvm/halo2d-8x8", TraceFamily::kPvm, [] {
+    return generate_halo2d(
+        {.width = 8, .height = 8, .iterations = 30, .allreduce_every = 2, .seed = 31});
+  });
+  add("pvm/halo2d-12x12", TraceFamily::kPvm, [] {
+    return generate_halo2d(
+        {.width = 12, .height = 12, .iterations = 18, .allreduce_every = 2, .seed = 32});
+  });
+  add("pvm/halo2d-15x20", TraceFamily::kPvm, [] {
+    return generate_halo2d(
+        {.width = 15, .height = 20, .iterations = 9, .allreduce_every = 2, .seed = 33});
+  });
+  add("pvm/scatter-gather-97", TraceFamily::kPvm, [] {
+    return generate_scatter_gather(
+        {.processes = 97, .rounds = 22, .seed = 41});
+  });
+  add("pvm/scatter-gather-65", TraceFamily::kPvm, [] {
+    return generate_scatter_gather(
+        {.processes = 65, .rounds = 30, .seed = 42});
+  });
+  add("pvm/scatter-gather-129", TraceFamily::kPvm, [] {
+    return generate_scatter_gather(
+        {.processes = 129, .rounds = 18, .seed = 43});
+  });
+  add("pvm/reduction-63", TraceFamily::kPvm, [] {
+    return generate_reduction_tree(
+        {.processes = 63, .rounds = 35, .seed = 51});
+  });
+  add("pvm/reduction-127", TraceFamily::kPvm, [] {
+    return generate_reduction_tree(
+        {.processes = 127, .rounds = 20, .seed = 52});
+  });
+  add("pvm/reduction-255", TraceFamily::kPvm, [] {
+    return generate_reduction_tree(
+        {.processes = 255, .rounds = 12, .seed = 53});
+  });
+  add("pvm/pipeline-48", TraceFamily::kPvm, [] {
+    return generate_pipeline({.stages = 48, .items = 150, .seed = 61});
+  });
+  add("pvm/pipeline-96", TraceFamily::kPvm, [] {
+    return generate_pipeline({.stages = 96, .items = 110, .seed = 62});
+  });
+  add("pvm/wavefront-9x9", TraceFamily::kPvm, [] {
+    return generate_wavefront(
+        {.width = 9, .height = 9, .sweeps = 15, .seed = 71});
+  });
+  add("pvm/wavefront-12x12", TraceFamily::kPvm, [] {
+    return generate_wavefront({.width = 12,
+                               .height = 12,
+                               .sweeps = 10,
+                               .allreduce_every = 3,
+                               .seed = 72});
+  });
+  add("pvm/master-worker-60", TraceFamily::kPvm, [] {
+    return generate_master_worker(
+        {.processes = 60, .tasks = 700, .pods = 5, .seed = 81});
+  });
+
+  // ----------------------------------------------------------- Java (16)
+  add("java/web-92", TraceFamily::kJava, [] {
+    return generate_web_server({.clients = 80,
+                                .servers = 8,
+                                .backends = 4,
+                                .requests = 1400,
+                                .seed = 101});
+  });
+  add("java/web-168", TraceFamily::kJava, [] {
+    return generate_web_server({.clients = 150,
+                                .servers = 12,
+                                .backends = 6,
+                                .requests = 1700,
+                                .affinity = 0.92,
+                                .backend_rate = 0.25,
+                                .seed = 102});
+  });
+  add("java/web-280", TraceFamily::kJava, [] {
+    return generate_web_server({.clients = 250,
+                                .servers = 20,
+                                .backends = 10,
+                                .requests = 2000,
+                                .seed = 103});
+  });
+  add("java/web-69-loose", TraceFamily::kJava, [] {
+    return generate_web_server({.clients = 60,
+                                .servers = 6,
+                                .backends = 3,
+                                .requests = 1100,
+                                .affinity = 0.5,
+                                .seed = 104});
+  });
+  add("java/web-92-sticky", TraceFamily::kJava, [] {
+    return generate_web_server({.clients = 80,
+                                .servers = 8,
+                                .backends = 4,
+                                .requests = 1200,
+                                .affinity = 0.97,
+                                .backend_rate = 0.25,
+                                .seed = 105});
+  });
+  add("java/tier-86", TraceFamily::kJava, [] {
+    return generate_tiered_service({.requests = 950, .seed = 111});
+  });
+  add("java/tier-159", TraceFamily::kJava, [] {
+    return generate_tiered_service({.clients = 120,
+                                    .frontends = 15,
+                                    .app_servers = 18,
+                                    .databases = 6,
+                                    .requests = 1200,
+                                    .seed = 112});
+  });
+  add("java/tier-264", TraceFamily::kJava, [] {
+    return generate_tiered_service({.clients = 200,
+                                    .frontends = 24,
+                                    .app_servers = 30,
+                                    .databases = 10,
+                                    .requests = 1400,
+                                    .seed = 113});
+  });
+  add("java/tier-86-loose", TraceFamily::kJava, [] {
+    return generate_tiered_service(
+        {.requests = 900, .tier_affinity = 0.55, .seed = 114});
+  });
+  add("java/pubsub-84", TraceFamily::kJava, [] {
+    return generate_pubsub({.messages = 550, .seed = 121});
+  });
+  add("java/pubsub-166", TraceFamily::kJava, [] {
+    return generate_pubsub({.publishers = 40,
+                            .brokers = 6,
+                            .subscribers = 120,
+                            .topics = 20,
+                            .subscribers_per_topic = 8,
+                            .messages = 650,
+                            .seed = 122});
+  });
+  add("java/pubsub-238", TraceFamily::kJava, [] {
+    return generate_pubsub({.publishers = 30,
+                            .brokers = 8,
+                            .subscribers = 200,
+                            .topics = 30,
+                            .subscribers_per_topic = 7,
+                            .messages = 700,
+                            .seed = 123});
+  });
+  add("java/web-117", TraceFamily::kJava, [] {
+    return generate_web_server({.clients = 100,
+                                .servers = 12,
+                                .backends = 5,
+                                .requests = 1500,
+                                .affinity = 0.75,
+                                .seed = 124});
+  });
+  add("java/tier-120", TraceFamily::kJava, [] {
+    return generate_tiered_service({.clients = 90,
+                                    .frontends = 12,
+                                    .app_servers = 14,
+                                    .databases = 4,
+                                    .requests = 1000,
+                                    .tier_affinity = 0.9,
+                                    .seed = 125});
+  });
+  add("java/pubsub-102", TraceFamily::kJava, [] {
+    return generate_pubsub({.publishers = 30,
+                            .brokers = 4,
+                            .subscribers = 68,
+                            .topics = 16,
+                            .subscribers_per_topic = 5,
+                            .messages = 600,
+                            .seed = 126});
+  });
+  add("java/web-210", TraceFamily::kJava, [] {
+    return generate_web_server({.clients = 180,
+                                .servers = 18,
+                                .backends = 12,
+                                .requests = 1800,
+                                .affinity = 0.88,
+                                .backend_rate = 0.55,
+                                .seed = 127});
+  });
+
+  // ------------------------------------------------------------ DCE (10)
+  add("dce/rpc-96", TraceFamily::kDce, [] {
+    return generate_rpc_business({.calls = 1500, .seed = 201});
+  });
+  add("dce/rpc-144", TraceFamily::kDce, [] {
+    return generate_rpc_business(
+        {.groups = 12, .calls = 1800, .seed = 202});
+  });
+  add("dce/rpc-240", TraceFamily::kDce, [] {
+    return generate_rpc_business(
+        {.groups = 20, .calls = 2200, .seed = 203});
+  });
+  add("dce/rpc-96-chatty", TraceFamily::kDce, [] {
+    return generate_rpc_business({.calls = 1600,
+                                  .cross_group_rate = 0.25,
+                                  .nested_call_rate = 0.5,
+                                  .seed = 204});
+  });
+  add("dce/rpc-120-wide", TraceFamily::kDce, [] {
+    return generate_rpc_business({.groups = 10,
+                                  .clients_per_group = 6,
+                                  .servers_per_group = 6,
+                                  .calls = 1700,
+                                  .seed = 205});
+  });
+  add("dce/rpc-60-small", TraceFamily::kDce, [] {
+    return generate_rpc_business({.groups = 5,
+                                  .clients_per_group = 8,
+                                  .servers_per_group = 4,
+                                  .calls = 1200,
+                                  .seed = 206});
+  });
+  add("dce/chain-50", TraceFamily::kDce, [] {
+    return generate_rpc_chain({.services = 50, .requests = 450, .seed = 211});
+  });
+  add("dce/chain-100", TraceFamily::kDce, [] {
+    return generate_rpc_chain(
+        {.services = 100, .chain_length = 8, .requests = 350, .seed = 212});
+  });
+  add("dce/chain-200", TraceFamily::kDce, [] {
+    return generate_rpc_chain(
+        {.services = 200, .chain_length = 10, .requests = 280, .seed = 213});
+  });
+  add("dce/chain-64-short", TraceFamily::kDce, [] {
+    return generate_rpc_chain(
+        {.services = 64, .chain_length = 3, .requests = 600, .seed = 214});
+  });
+
+  // -------------------------------------------------------- control (8)
+  add("ctl/uniform-100", TraceFamily::kControl, [] {
+    return generate_uniform_random(
+        {.processes = 100, .messages = 3000, .seed = 301});
+  });
+  add("ctl/uniform-200", TraceFamily::kControl, [] {
+    return generate_uniform_random(
+        {.processes = 200, .messages = 4000, .seed = 302});
+  });
+  add("ctl/local-120-strong", TraceFamily::kControl, [] {
+    return generate_locality_random(
+        {.processes = 120, .group_size = 12, .messages = 4000, .seed = 311});
+  });
+  add("ctl/local-240", TraceFamily::kControl, [] {
+    return generate_locality_random({.processes = 240,
+                                     .group_size = 12,
+                                     .intra_rate = 0.82,
+                                     .messages = 5000,
+                                     .seed = 312});
+  });
+  add("ctl/local-120-weak", TraceFamily::kControl, [] {
+    return generate_locality_random({.processes = 120,
+                                     .group_size = 12,
+                                     .intra_rate = 0.6,
+                                     .messages = 4000,
+                                     .seed = 313});
+  });
+  add("ctl/local-300", TraceFamily::kControl, [] {
+    return generate_locality_random({.processes = 300,
+                                     .group_size = 13,
+                                     .intra_rate = 0.88,
+                                     .messages = 6000,
+                                     .seed = 314});
+  });
+  add("ctl/local-60-tight", TraceFamily::kControl, [] {
+    return generate_locality_random({.processes = 60,
+                                     .group_size = 10,
+                                     .intra_rate = 0.92,
+                                     .messages = 2500,
+                                     .seed = 315});
+  });
+  add("ctl/local-100-mid", TraceFamily::kControl, [] {
+    return generate_locality_random({.processes = 100,
+                                     .group_size = 10,
+                                     .intra_rate = 0.75,
+                                     .messages = 3500,
+                                     .seed = 316});
+  });
+
+  return s;
+}
+
+}  // namespace
+
+const std::vector<SuiteEntry>& standard_suite() {
+  static const std::vector<SuiteEntry> suite = build_suite();
+  return suite;
+}
+
+std::vector<Trace> generate_standard_suite(bool parallel) {
+  const auto& suite = standard_suite();
+  std::vector<Trace> traces(suite.size());
+  if (parallel) {
+    parallel_for_index(suite.size(),
+                       [&](std::size_t i) { traces[i] = suite[i].make(); });
+  } else {
+    for (std::size_t i = 0; i < suite.size(); ++i) traces[i] = suite[i].make();
+  }
+  return traces;
+}
+
+Trace figure_sample_upper() {
+  // Chained-RPC workflow (suite id dce/chain-50): the upper-panel shape —
+  // the static algorithm's best is marginally WORSE than merge-on-1st's
+  // best point (the paper's "as much as 5% worse" worst case), and both
+  // curves wobble at small maxCS.
+  return generate_rpc_chain({.services = 50, .requests = 450, .seed = 211});
+}
+
+Trace figure_sample_lower() {
+  // Tight planted locality (suite id ctl/local-60-tight): the lower-panel
+  // shape — the static curve is smooth and insensitive to maxCS while
+  // merge-on-1st is jagged and substantially worse at its best.
+  return generate_locality_random({.processes = 60,
+                                   .group_size = 10,
+                                   .intra_rate = 0.92,
+                                   .messages = 2500,
+                                   .seed = 315});
+}
+
+}  // namespace ct

@@ -1,0 +1,39 @@
+// The standard evaluation suite.
+//
+// §4 evaluates "more than 50 different parallel and distributed
+// computations" across Java, PVM and DCE environments "with up to 300
+// processes". This suite is the synthetic stand-in: 54 deterministic
+// computations spanning the same three families plus adversarial controls
+// (DESIGN.md §2 documents the substitution). Entry order and seeds are
+// frozen — every figure and table in EXPERIMENTS.md refers to these ids.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/trace.hpp"
+
+namespace ct {
+
+struct SuiteEntry {
+  std::string id;  ///< stable name used in reports
+  TraceFamily family;
+  std::function<Trace()> make;
+};
+
+/// The frozen 54-computation suite.
+const std::vector<SuiteEntry>& standard_suite();
+
+/// Generates every suite trace (optionally in parallel); order matches
+/// standard_suite().
+std::vector<Trace> generate_standard_suite(bool parallel = true);
+
+/// The two sample computations plotted in the paper's Figures 4 and 5:
+/// a hub-heavy web-like computation with many events (the "jagged /
+/// worst-case" upper panels) and a sticky-session web computation with
+/// probabilistic locality (the lower panels).
+Trace figure_sample_upper();
+Trace figure_sample_lower();
+
+}  // namespace ct

@@ -1,0 +1,269 @@
+#include "trace/trace_io.hpp"
+
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "model/trace_builder.hpp"
+#include "util/check.hpp"
+#include "util/varint.hpp"
+
+namespace ct {
+namespace {
+
+TraceFamily family_from_string(const std::string& s) {
+  if (s == "PVM") return TraceFamily::kPvm;
+  if (s == "Java") return TraceFamily::kJava;
+  if (s == "DCE") return TraceFamily::kDce;
+  if (s == "control") return TraceFamily::kControl;
+  CT_CHECK_MSG(false, "unknown trace family '" << s << "'");
+  return TraceFamily::kControl;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  CT_CHECK_MSG(trace.name().find_first_of(" \t\n") == std::string::npos,
+               "trace name contains whitespace: '" << trace.name() << "'");
+  out << "# ct-trace v1\n";
+  out << "trace " << trace.name() << ' ' << to_string(trace.family()) << '\n';
+  out << "processes " << trace.process_count() << '\n';
+  // Track how far each process has been written so the first half of a sync
+  // pair (whose partner has not been written yet) can be identified; the
+  // 'y' record covers both halves.
+  std::vector<EventIndex> written(trace.process_count(), 0);
+  for (const EventId id : trace.delivery_order()) {
+    const Event& e = trace.event(id);
+    switch (e.kind) {
+      case EventKind::kUnary:
+        out << "u " << id.process << '\n';
+        break;
+      case EventKind::kSend:
+        out << "s " << id.process << '\n';
+        break;
+      case EventKind::kReceive:
+        out << "r " << id.process << ' ' << e.partner.process << ' '
+            << e.partner.index << '\n';
+        break;
+      case EventKind::kSync:
+        if (written[e.partner.process] < e.partner.index) {
+          out << "y " << id.process << ' ' << e.partner.process << '\n';
+        }
+        break;
+    }
+    written[id.process] = id.index;
+  }
+  out << "end " << trace.event_count() << '\n';
+}
+
+Trace read_trace(std::istream& in) {
+  TraceBuilder builder;
+  std::string name;
+  TraceFamily family = TraceFamily::kControl;
+  std::size_t declared_events = 0;
+  bool saw_end = false;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    const auto fail = [&](const char* why) {
+      CT_CHECK_MSG(false, "trace line " << line_no << ": " << why << " ('"
+                                        << line << "')");
+    };
+    if (tag == "trace") {
+      std::string fam;
+      if (!(ls >> name >> fam)) fail("expected 'trace <name> <family>'");
+      family = family_from_string(fam);
+    } else if (tag == "processes") {
+      std::size_t n = 0;
+      if (!(ls >> n) || n == 0) fail("expected positive process count");
+      builder.add_processes(n);
+    } else if (tag == "u" || tag == "s") {
+      ProcessId p;
+      if (!(ls >> p)) fail("expected process id");
+      if (p >= builder.process_count()) fail("process id out of range");
+      if (tag == "u") {
+        builder.unary(p);
+      } else {
+        builder.send(p);
+      }
+    } else if (tag == "r") {
+      ProcessId p, sp;
+      EventIndex si;
+      if (!(ls >> p >> sp >> si)) fail("expected 'r <p> <sp> <si>'");
+      if (p >= builder.process_count() || sp >= builder.process_count()) {
+        fail("process id out of range");
+      }
+      builder.receive(p, EventId{sp, si});
+    } else if (tag == "y") {
+      ProcessId p, q;
+      if (!(ls >> p >> q)) fail("expected 'y <p> <q>'");
+      if (p >= builder.process_count() || q >= builder.process_count()) {
+        fail("process id out of range");
+      }
+      builder.sync(p, q);
+    } else if (tag == "end") {
+      if (!(ls >> declared_events)) fail("expected event count");
+      saw_end = true;
+      break;
+    } else {
+      fail("unknown record tag");
+    }
+  }
+  CT_CHECK_MSG(saw_end, "trace file missing 'end' record");
+  CT_CHECK_MSG(!name.empty(), "trace file missing 'trace' record");
+  Trace t = builder.build(name, family);
+  CT_CHECK_MSG(t.event_count() == declared_events,
+               "trace declares " << declared_events << " events but contains "
+                                 << t.event_count());
+  return t;
+}
+
+namespace {
+
+// Binary record tags.
+constexpr char kTagUnary = 'u';
+constexpr char kTagSend = 's';
+constexpr char kTagReceive = 'r';
+constexpr char kTagSync = 'y';
+constexpr const char kBinaryMagic[] = "CTB1";
+
+}  // namespace
+
+void write_trace_binary(std::ostream& out, const Trace& trace) {
+  std::string buffer;
+  buffer.append(kBinaryMagic, 4);
+  put_varint(buffer, trace.name().size());
+  buffer.append(trace.name());
+  buffer.push_back(static_cast<char>(trace.family()));
+  put_varint(buffer, trace.process_count());
+  put_varint(buffer, trace.event_count());
+
+  std::vector<EventIndex> written(trace.process_count(), 0);
+  for (const EventId id : trace.delivery_order()) {
+    const Event& e = trace.event(id);
+    switch (e.kind) {
+      case EventKind::kUnary:
+        buffer.push_back(kTagUnary);
+        put_varint(buffer, id.process);
+        break;
+      case EventKind::kSend:
+        buffer.push_back(kTagSend);
+        put_varint(buffer, id.process);
+        break;
+      case EventKind::kReceive:
+        buffer.push_back(kTagReceive);
+        put_varint(buffer, id.process);
+        put_varint(buffer, e.partner.process);
+        put_varint(buffer, e.partner.index);
+        break;
+      case EventKind::kSync:
+        if (written[e.partner.process] < e.partner.index) {
+          buffer.push_back(kTagSync);
+          put_varint(buffer, id.process);
+          put_varint(buffer, e.partner.process);
+        }
+        break;
+    }
+    written[id.process] = id.index;
+  }
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  CT_CHECK_MSG(out.good(), "error writing binary trace");
+}
+
+Trace read_trace_binary(std::istream& in) {
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  CT_CHECK_MSG(data.size() >= 4 && data.compare(0, 4, kBinaryMagic) == 0,
+               "not a CTB1 binary trace");
+  std::size_t pos = 4;
+
+  const std::uint64_t name_len = get_varint(data, pos);
+  CT_CHECK_MSG(pos + name_len <= data.size(), "binary trace truncated");
+  std::string name = data.substr(pos, name_len);
+  pos += name_len;
+  CT_CHECK_MSG(pos < data.size(), "binary trace truncated");
+  const auto family_raw = static_cast<std::uint8_t>(data[pos++]);
+  CT_CHECK_MSG(family_raw <= static_cast<std::uint8_t>(TraceFamily::kControl),
+               "unknown trace family code " << int{family_raw});
+  const auto family = static_cast<TraceFamily>(family_raw);
+  const std::uint64_t process_count = get_varint(data, pos);
+  CT_CHECK_MSG(process_count > 0 && process_count <= (1u << 24),
+               "implausible process count");
+  const std::uint64_t declared_events = get_varint(data, pos);
+
+  TraceBuilder builder;
+  builder.add_processes(process_count);
+  const auto read_process = [&]() {
+    const std::uint64_t p = get_varint(data, pos);
+    CT_CHECK_MSG(p < process_count, "process id out of range");
+    return static_cast<ProcessId>(p);
+  };
+  while (pos < data.size()) {
+    const char tag = data[pos++];
+    switch (tag) {
+      case kTagUnary:
+        builder.unary(read_process());
+        break;
+      case kTagSend:
+        builder.send(read_process());
+        break;
+      case kTagReceive: {
+        const ProcessId p = read_process();
+        const ProcessId sp = read_process();
+        const std::uint64_t si = get_varint(data, pos);
+        CT_CHECK_MSG(si > 0 && si <= 0xffffffffull, "bad send index");
+        builder.receive(p, EventId{sp, static_cast<EventIndex>(si)});
+        break;
+      }
+      case kTagSync: {
+        const ProcessId p = read_process();
+        const ProcessId q = read_process();
+        builder.sync(p, q);
+        break;
+      }
+      default:
+        CT_CHECK_MSG(false, "unknown binary record tag '" << tag << "'");
+    }
+  }
+  Trace t = builder.build(std::move(name), family);
+  CT_CHECK_MSG(t.event_count() == declared_events,
+               "binary trace declares " << declared_events
+                                        << " events but contains "
+                                        << t.event_count());
+  return t;
+}
+
+void save_trace(const std::string& path, const Trace& trace) {
+  const bool binary =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".ctb") == 0;
+  std::ofstream out(path, binary ? std::ios::binary : std::ios::out);
+  CT_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  if (binary) {
+    write_trace_binary(out, trace);
+  } else {
+    write_trace(out, trace);
+  }
+  out.flush();
+  CT_CHECK_MSG(out.good(), "error writing '" << path << "'");
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CT_CHECK_MSG(in.good(), "cannot open '" << path << "' for reading");
+  char magic[4] = {0, 0, 0, 0};
+  in.read(magic, 4);
+  in.clear();
+  in.seekg(0);
+  if (std::string(magic, 4) == kBinaryMagic) return read_trace_binary(in);
+  return read_trace(in);
+}
+
+}  // namespace ct

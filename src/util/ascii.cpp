@@ -1,0 +1,139 @@
+#include "util/ascii.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ct {
+
+std::string fmt(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CT_CHECK(!header_.empty());
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  CT_CHECK_MSG(row.size() == header_.size(),
+               "table row width " << row.size() << " != header "
+                                  << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::print(std::ostream& out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    out << '+';
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      out << std::string(width[c] + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << cells[c] << std::string(width[c] - cells[c].size(), ' ')
+          << " |";
+    }
+    out << '\n';
+  };
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+AsciiPlot::AsciiPlot(std::string title, std::string x_label,
+                     std::string y_label, std::vector<double> x)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)),
+      x_(std::move(x)) {
+  CT_CHECK(x_.size() >= 2);
+}
+
+void AsciiPlot::add_series(PlotSeries series) {
+  CT_CHECK_MSG(series.y.size() == x_.size(),
+               "series '" << series.name << "' has " << series.y.size()
+                          << " points, x axis has " << x_.size());
+  series_.push_back(std::move(series));
+}
+
+void AsciiPlot::set_y_range(double lo, double hi) {
+  CT_CHECK(lo < hi);
+  fixed_range_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+void AsciiPlot::print(std::ostream& out, std::size_t width,
+                      std::size_t height) const {
+  CT_CHECK(width >= 20 && height >= 5);
+  double lo = y_lo_, hi = y_hi_;
+  if (!fixed_range_) {
+    lo = 0.0;
+    hi = 0.0;
+    for (const auto& s : series_) {
+      for (double v : s.y) {
+        if (!std::isnan(v)) hi = std::max(hi, v);
+      }
+    }
+    if (hi <= lo) hi = lo + 1.0;
+    hi *= 1.05;  // headroom so the max point is visible
+  }
+
+  static const char kGlyphs[] = "*+ox#@%&";
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  const double x_min = x_.front(), x_max = x_.back();
+  CT_CHECK(x_max > x_min);
+
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof kGlyphs - 1)];
+    for (std::size_t i = 0; i < x_.size(); ++i) {
+      const double v = series_[si].y[i];
+      if (std::isnan(v)) continue;
+      const double xt = (x_[i] - x_min) / (x_max - x_min);
+      const double yt = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+      const auto col = static_cast<std::size_t>(
+          std::lround(xt * static_cast<double>(width - 1)));
+      const auto row_from_bottom = static_cast<std::size_t>(
+          std::lround(yt * static_cast<double>(height - 1)));
+      grid[height - 1 - row_from_bottom][col] = glyph;
+    }
+  }
+
+  out << title_ << '\n';
+  const int label_w = 8;
+  for (std::size_t r = 0; r < height; ++r) {
+    const double y_val =
+        hi - (hi - lo) * static_cast<double>(r) / static_cast<double>(height - 1);
+    out << std::setw(label_w) << fmt(y_val, 3) << " |" << grid[r] << '\n';
+  }
+  out << std::string(label_w + 1, ' ') << '+' << std::string(width, '-')
+      << '\n';
+  out << std::string(label_w + 2, ' ') << fmt(x_min, 0)
+      << std::string(width > 16 ? width - 12 : 4, ' ') << fmt(x_max, 0) << "  ("
+      << x_label_ << ")\n";
+  out << "  y: " << y_label_ << "; series:";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    out << "  [" << kGlyphs[si % (sizeof kGlyphs - 1)] << "] "
+        << series_[si].name;
+  }
+  out << '\n';
+}
+
+}  // namespace ct

@@ -1,0 +1,62 @@
+// Terminal rendering of the paper's tables and figures.
+//
+// Every bench binary prints its result both as a machine-readable CSV block
+// and as human-readable ASCII (a boxed table, or a line plot approximating
+// the paper's gnuplot figures) so `for b in build/bench/*; do $b; done`
+// reproduces the evaluation visually in a terminal.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ct {
+
+/// Fixed-column text table with a header row and column alignment.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with box-drawing separators.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A named series for AsciiPlot: y values sampled at shared x positions.
+struct PlotSeries {
+  std::string name;
+  std::vector<double> y;  ///< NaN entries are skipped (not plotted)
+};
+
+/// Character-grid line plot: one glyph per series, shared x axis.
+/// Mirrors the layout of the paper's Figures 4 and 5 (ratio vs maxCS).
+class AsciiPlot {
+ public:
+  AsciiPlot(std::string title, std::string x_label, std::string y_label,
+            std::vector<double> x);
+
+  void add_series(PlotSeries series);
+
+  /// Optional fixed y range; default auto-scales to the data (min 0).
+  void set_y_range(double lo, double hi);
+
+  void print(std::ostream& out, std::size_t width = 72,
+             std::size_t height = 20) const;
+
+ private:
+  std::string title_, x_label_, y_label_;
+  std::vector<double> x_;
+  std::vector<PlotSeries> series_;
+  bool fixed_range_ = false;
+  double y_lo_ = 0.0, y_hi_ = 1.0;
+};
+
+/// Formats a double with `prec` digits after the point (fixed notation).
+std::string fmt(double v, int prec = 4);
+
+}  // namespace ct

@@ -1,0 +1,59 @@
+// Dynamically-sized bitset with word-level bulk union.
+//
+// Backs the transitive-closure oracle: closure rows are unioned in 64-bit
+// words, which keeps oracle construction O(M^2 / 64) — fast enough to
+// ground-truth every property test on multi-thousand-event traces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ct {
+
+class DynBitset {
+ public:
+  DynBitset() = default;
+  explicit DynBitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  std::size_t size() const { return bits_; }
+
+  void set(std::size_t i) {
+    CT_DCHECK(i < bits_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  void reset(std::size_t i) {
+    CT_DCHECK(i < bits_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  bool test(std::size_t i) const {
+    CT_DCHECK(i < bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// this |= other. Sizes must match.
+  void or_with(const DynBitset& other) {
+    CT_DCHECK(bits_ == other.bits_);
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  }
+
+  /// Number of set bits.
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  bool operator==(const DynBitset&) const = default;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ct

@@ -1,0 +1,55 @@
+// Lightweight runtime-check macros.
+//
+// CT_CHECK is always on and is used to validate external input (trace files,
+// user-supplied parameters) and internal invariants whose violation would
+// silently corrupt results. CT_DCHECK compiles away in NDEBUG builds and is
+// used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ct {
+
+/// Thrown when a CT_CHECK fails. Carries the failing expression and location.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace detail
+}  // namespace ct
+
+#define CT_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) ::ct::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define CT_CHECK_MSG(expr, msg)                                   \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      std::ostringstream ct_check_os;                             \
+      ct_check_os << msg;                                         \
+      ::ct::detail::check_failed(#expr, __FILE__, __LINE__,       \
+                                 ct_check_os.str());              \
+    }                                                             \
+  } while (false)
+
+#ifdef NDEBUG
+#define CT_DCHECK(expr) \
+  do {                  \
+  } while (false)
+#else
+#define CT_DCHECK(expr) CT_CHECK(expr)
+#endif

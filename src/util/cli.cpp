@@ -1,0 +1,85 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace ct {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  CT_CHECK(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    CT_CHECK_MSG(!body.empty() && body[0] != '=', "malformed flag: " << arg);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  queried_[name] = true;
+  return flags_.count(name) != 0;
+}
+
+std::optional<std::string> CliArgs::get(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& name,
+                            const std::string& def) const {
+  return get(name).value_or(def);
+}
+
+long long CliArgs::get_int_or(const std::string& name, long long def) const {
+  const auto v = get(name);
+  if (!v) return def;
+  char* end = nullptr;
+  const long long out = std::strtoll(v->c_str(), &end, 10);
+  CT_CHECK_MSG(end && *end == '\0', "flag --" << name << " is not an integer: "
+                                              << *v);
+  return out;
+}
+
+double CliArgs::get_double_or(const std::string& name, double def) const {
+  const auto v = get(name);
+  if (!v) return def;
+  char* end = nullptr;
+  const double out = std::strtod(v->c_str(), &end);
+  CT_CHECK_MSG(end && *end == '\0',
+               "flag --" << name << " is not a number: " << *v);
+  return out;
+}
+
+bool CliArgs::get_bool_or(const std::string& name, bool def) const {
+  const auto v = get(name);
+  if (!v) return def;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  CT_CHECK_MSG(false, "flag --" << name << " is not a boolean: " << *v);
+  return def;
+}
+
+std::vector<std::string> CliArgs::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : flags_) {
+    if (!queried_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace ct

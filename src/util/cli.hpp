@@ -1,0 +1,44 @@
+// Tiny command-line flag parser for the bench/example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`. Every bench
+// runs with sensible defaults so the harness can execute them with no
+// arguments; flags exist to let a user rerun a sweep with different
+// parameters (seed, process counts, output paths).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ct {
+
+class CliArgs {
+ public:
+  /// Parses argv. Throws CheckFailure on malformed input (e.g. `--=x`).
+  CliArgs(int argc, const char* const* argv);
+
+  const std::string& program() const { return program_; }
+
+  bool has(const std::string& name) const;
+
+  std::optional<std::string> get(const std::string& name) const;
+  std::string get_or(const std::string& name, const std::string& def) const;
+  long long get_int_or(const std::string& name, long long def) const;
+  double get_double_or(const std::string& name, double def) const;
+  bool get_bool_or(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were provided but never queried; useful for typo detection.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ct

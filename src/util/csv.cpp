@@ -1,0 +1,51 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+
+#include "util/check.hpp"
+
+namespace ct {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), width_(header.size()) {
+  CT_CHECK(!header.empty());
+  write_record(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  CT_CHECK_MSG(fields.size() == width_,
+               "CSV row width " << fields.size() << " != header " << width_);
+  write_record(fields);
+  ++rows_;
+}
+
+void CsvWriter::write_record(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string q = "\"";
+  for (char c : s) {
+    if (c == '"') q += '"';
+    q += c;
+  }
+  q += '"';
+  return q;
+}
+
+std::string CsvWriter::field(double v) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  CT_CHECK(ec == std::errc());
+  return std::string(buf, ptr);
+}
+
+std::string CsvWriter::field(std::size_t v) { return std::to_string(v); }
+std::string CsvWriter::field(long long v) { return std::to_string(v); }
+
+}  // namespace ct

@@ -1,0 +1,36 @@
+// Minimal CSV emission for gnuplot-/pandas-ready experiment output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ct {
+
+/// Streams rows of a CSV table. Quotes fields containing separators/quotes.
+/// The writer enforces rectangular output: every row must have the same
+/// number of fields as the header.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Writes one row. Field count must match the header.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats arithmetic values with full round-trip precision.
+  static std::string field(double v);
+  static std::string field(std::size_t v);
+  static std::string field(long long v);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_record(const std::vector<std::string>& fields);
+  static std::string escape(const std::string& s);
+
+  std::ostream& out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace ct

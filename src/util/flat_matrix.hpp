@@ -1,0 +1,65 @@
+// Dense row-major 2-D array.
+//
+// Used for inter-cluster communication-count matrices and the transitive
+// closure oracle. A single contiguous allocation keeps the pairwise scans in
+// the static clustering algorithm (paper Fig. 3) cache-friendly, which is
+// what makes its O(N^3) loop "more than sufficient" in practice (§3.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ct {
+
+template <typename T>
+class FlatMatrix {
+ public:
+  FlatMatrix() = default;
+
+  FlatMatrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    CT_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    CT_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Sets every element to `value`.
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  /// Grows to at least (rows, cols), preserving existing contents and
+  /// zero-filling new cells. Used by dynamic merge policies whose cluster
+  /// universe grows as processes appear.
+  void grow(std::size_t rows, std::size_t cols) {
+    if (rows <= rows_ && cols <= cols_) return;
+    const std::size_t new_rows = rows > rows_ ? rows : rows_;
+    const std::size_t new_cols = cols > cols_ ? cols : cols_;
+    std::vector<T> next(new_rows * new_cols, T{});
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        next[r * new_cols + c] = data_[r * cols_ + c];
+      }
+    }
+    rows_ = new_rows;
+    cols_ = new_cols;
+    data_ = std::move(next);
+  }
+
+  bool operator==(const FlatMatrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace ct

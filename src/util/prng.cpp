@@ -1,0 +1,66 @@
+#include "util/prng.hpp"
+
+#include <cmath>
+
+namespace ct {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Prng::reseed(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& word : s_) word = splitmix64(x);
+  // A zero state would make the generator emit zeros forever; splitmix64
+  // cannot produce four zero words from any seed, but guard regardless.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+std::uint64_t Prng::uniform(std::uint64_t lo, std::uint64_t hi) {
+  CT_DCHECK(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == max()) return (*this)();
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t bound = span + 1;
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t r;
+  do {
+    r = (*this)();
+  } while (r >= limit);
+  return lo + r % bound;
+}
+
+double Prng::real() {
+  // 53 high bits → double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Prng::geometric(double p) {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return 0;  // degenerate: treat as immediate success
+  double u = real();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+Prng Prng::split() {
+  Prng child(0);
+  child.s_[0] = (*this)();
+  child.s_[1] = (*this)();
+  child.s_[2] = (*this)();
+  child.s_[3] = (*this)();
+  if (child.s_[0] == 0 && child.s_[1] == 0 && child.s_[2] == 0 &&
+      child.s_[3] == 0) {
+    child.s_[0] = 1;
+  }
+  return child;
+}
+
+}  // namespace ct

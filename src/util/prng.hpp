@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation for trace synthesis.
+//
+// All experiments in this repository are seeded, so every figure and table is
+// exactly reproducible. We use xoshiro256++ (Blackman & Vigna) seeded through
+// splitmix64: it is fast, has a 256-bit state, and — unlike std::mt19937 —
+// its output is identical across standard-library implementations, which
+// keeps trace suites stable across toolchains.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ct {
+
+/// xoshiro256++ generator. Satisfies std::uniform_random_bit_generator.
+class Prng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) {
+    CT_DCHECK(n > 0);
+    return static_cast<std::size_t>(uniform(0, n - 1));
+  }
+
+  /// Uniform real in [0, 1).
+  double real();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) { return real() < p; }
+
+  /// Geometric number of failures before first success; mean (1-p)/p.
+  /// Used for bursty inter-communication gaps in trace generators.
+  std::uint64_t geometric(double p);
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    CT_DCHECK(!v.empty());
+    return v[index(v.size())];
+  }
+
+  /// Derives an independent child generator; used to give each process or
+  /// sweep task its own stream without correlation.
+  Prng split();
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace ct

@@ -1,0 +1,77 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ct {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double pct) {
+  CT_CHECK(!sorted.empty());
+  CT_CHECK(pct >= 0.0 && pct <= 100.0);
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Summary Summary::of(std::vector<double> sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  std::sort(sample.begin(), sample.end());
+  OnlineStats acc;
+  for (double x : sample) acc.add(x);
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = sample.front();
+  s.p25 = percentile_sorted(sample, 25);
+  s.median = percentile_sorted(sample, 50);
+  s.p75 = percentile_sorted(sample, 75);
+  s.p95 = percentile_sorted(sample, 95);
+  s.max = sample.back();
+  return s;
+}
+
+}  // namespace ct

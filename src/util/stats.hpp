@@ -1,0 +1,54 @@
+// Summary statistics used by the evaluation harness and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ct {
+
+/// Streaming mean/variance via Welford's algorithm, plus min/max.
+/// Numerically stable for the long event streams the monitor processes.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator (parallel reduction across sweep shards).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// One-shot summary of a sample, including percentiles (linear interpolation).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+
+  /// Computes the summary; sorts a copy of the input.
+  static Summary of(std::vector<double> sample);
+};
+
+/// Percentile of a *sorted* sample in [0,100], linearly interpolated.
+double percentile_sorted(const std::vector<double>& sorted, double pct);
+
+}  // namespace ct

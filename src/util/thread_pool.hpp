@@ -1,0 +1,62 @@
+// Fixed-size worker pool with a parallel index loop.
+//
+// The evaluation sweeps (computation × strategy × maxCS) are embarrassingly
+// parallel and dominate wall-clock time, so the harness shards them across
+// hardware threads. The pool is deliberately simple: a mutex-protected deque
+// of std::move_only_function-style tasks; no work stealing. Sweep tasks are
+// coarse (whole computations), so queue contention is negligible.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ct {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw; exceptions escaping a task
+  /// terminate the program (there is nowhere sensible to deliver them).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs body(i) for i in [0, n) across the pool and blocks until done.
+/// Indices are handed out in contiguous blocks to preserve locality.
+/// `body` must be safe to invoke concurrently for distinct indices.
+void parallel_for_index(ThreadPool& pool, std::size_t n,
+                        const std::function<void(std::size_t)>& body);
+
+/// Convenience overload using a transient pool with hardware concurrency.
+void parallel_for_index(std::size_t n,
+                        const std::function<void(std::size_t)>& body);
+
+}  // namespace ct

@@ -1,0 +1,39 @@
+// LEB128-style variable-length integer codec.
+//
+// Used by the binary trace format and the compressed timestamp store:
+// event numbers and process ids are overwhelmingly small, so most values
+// fit one byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace ct {
+
+/// Appends `value` to `out` as unsigned LEB128 (1–10 bytes).
+inline void put_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+/// Reads an unsigned LEB128 from `data` at `pos`, advancing `pos`.
+/// Throws CheckFailure on truncation or overlong encodings.
+inline std::uint64_t get_varint(const std::string& data, std::size_t& pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    CT_CHECK_MSG(pos < data.size(), "varint truncated");
+    const auto byte = static_cast<unsigned char>(data[pos++]);
+    CT_CHECK_MSG(shift < 64, "varint too long");
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+}  // namespace ct

@@ -1,0 +1,373 @@
+// Tests for ct_cluster: partition bookkeeping, communication counting, the
+// paper's static greedy algorithm, baselines, and dynamic merge policies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "cluster/cluster_set.hpp"
+#include "cluster/comm_matrix.hpp"
+#include "cluster/fixed_contiguous.hpp"
+#include "cluster/kmeans.hpp"
+#include "cluster/kmedoid.hpp"
+#include "cluster/merge_policy.hpp"
+#include "cluster/static_greedy.hpp"
+#include "model/trace_builder.hpp"
+#include "trace/generators.hpp"
+#include "util/check.hpp"
+
+namespace ct {
+namespace {
+
+// ----------------------------------------------------------------- ClusterSet
+
+TEST(ClusterSet, StartsAsSingletons) {
+  ClusterSet cs(5);
+  EXPECT_EQ(cs.cluster_count(), 5u);
+  for (ProcessId p = 0; p < 5; ++p) {
+    EXPECT_EQ(cs.cluster_of(p), p);
+    EXPECT_EQ(cs.size(p), 1u);
+  }
+  EXPECT_EQ(cs.max_cluster_size(), 1u);
+}
+
+TEST(ClusterSet, MergeCombinesMembers) {
+  ClusterSet cs(4);
+  const ClusterId c = cs.merge(0, 2);
+  EXPECT_EQ(cs.cluster_count(), 3u);
+  EXPECT_EQ(cs.cluster_of(0), c);
+  EXPECT_EQ(cs.cluster_of(2), c);
+  EXPECT_EQ(cs.size(c), 2u);
+  EXPECT_EQ(*cs.members(c), (std::vector<ProcessId>{0, 2}));
+  // Members stay sorted across chained merges.
+  const ClusterId c2 = cs.merge(c, cs.cluster_of(1));
+  EXPECT_EQ(*cs.members(c2), (std::vector<ProcessId>{0, 1, 2}));
+}
+
+TEST(ClusterSet, StaleIdsRejected) {
+  ClusterSet cs(3);
+  const ClusterId c = cs.merge(0, 1);
+  const ClusterId gone = c == 0 ? 1 : 0;
+  EXPECT_THROW(cs.size(gone), CheckFailure);
+  EXPECT_THROW(cs.merge(gone, 2), CheckFailure);
+  EXPECT_THROW(cs.merge(c, c), CheckFailure);
+}
+
+TEST(ClusterSet, MemberSnapshotsAreShared) {
+  ClusterSet cs(4);
+  const ClusterId c = cs.merge(0, 1);
+  const auto snapshot = cs.members(c);
+  EXPECT_EQ(snapshot.get(), cs.members(c).get());  // same object until merge
+  cs.merge(c, 2);
+  EXPECT_NE(snapshot.get(), cs.members(cs.cluster_of(0)).get());
+  EXPECT_EQ(*snapshot, (std::vector<ProcessId>{0, 1}));  // old one intact
+}
+
+TEST(ClusterSet, ExplicitPartition) {
+  ClusterSet cs(5, {{0, 3}, {1}, {2, 4}});
+  EXPECT_EQ(cs.cluster_count(), 3u);
+  EXPECT_EQ(cs.cluster_of(0), cs.cluster_of(3));
+  EXPECT_EQ(cs.cluster_of(2), cs.cluster_of(4));
+  EXPECT_NE(cs.cluster_of(0), cs.cluster_of(1));
+}
+
+TEST(ClusterSet, PartitionMustCoverExactly) {
+  EXPECT_THROW(ClusterSet(3, {{0, 1}}), CheckFailure);          // missing 2
+  EXPECT_THROW(ClusterSet(3, {{0, 1}, {1, 2}}), CheckFailure);  // duplicate
+  EXPECT_THROW(ClusterSet(3, {{0, 1, 2}, {}}), CheckFailure);   // empty part
+  EXPECT_THROW(ClusterSet(3, {{0, 1, 5}}), CheckFailure);       // out of range
+}
+
+TEST(ClusterSet, ClustersListedAscending) {
+  ClusterSet cs(6);
+  cs.merge(4, 5);
+  cs.merge(0, 2);
+  const auto clusters = cs.clusters();
+  EXPECT_TRUE(std::is_sorted(clusters.begin(), clusters.end()));
+  EXPECT_EQ(clusters.size(), 4u);
+}
+
+// ----------------------------------------------------------------- CommMatrix
+
+TEST(CommMatrix, CountsAsyncOnceAndSyncTwice) {
+  TraceBuilder b;
+  b.add_processes(3);
+  b.message(0, 1);
+  b.message(1, 0);
+  b.sync(1, 2);
+  const Trace t = b.build("counts", TraceFamily::kControl);
+  const CommMatrix m(t);
+  EXPECT_EQ(m.occurrences(0, 1), 2u);  // one each direction
+  EXPECT_EQ(m.occurrences(1, 0), 2u);  // symmetric
+  EXPECT_EQ(m.occurrences(1, 2), 2u);  // sync pair counts double (§3.1)
+  EXPECT_EQ(m.occurrences(0, 2), 0u);
+  EXPECT_EQ(m.total(1), 4u);
+}
+
+TEST(CommMatrix, UnreceivedSendsDoNotCount) {
+  TraceBuilder b;
+  b.add_processes(2);
+  b.send(0);  // never received
+  const Trace t = b.build("unreceived", TraceFamily::kControl);
+  const CommMatrix m(t);
+  EXPECT_EQ(m.occurrences(0, 1), 0u);
+}
+
+TEST(CommMatrix, BetweenSumsCrossPairs) {
+  TraceBuilder b;
+  b.add_processes(4);
+  b.message(0, 2);
+  b.message(1, 3);
+  b.message(0, 1);  // intra-"a" — must not count in between({0,1},{2,3})
+  const Trace t = b.build("between", TraceFamily::kControl);
+  const CommMatrix m(t);
+  EXPECT_EQ(m.between({0, 1}, {2, 3}), 2u);
+}
+
+// --------------------------------------------------------------- StaticGreedy
+
+TEST(StaticGreedy, MergesCommunicatingPairs) {
+  TraceBuilder b;
+  b.add_processes(4);
+  for (int i = 0; i < 5; ++i) b.message(0, 1);
+  for (int i = 0; i < 5; ++i) b.message(2, 3);
+  const Trace t = b.build("pairs", TraceFamily::kControl);
+  const auto clusters =
+      static_greedy_clusters(CommMatrix(t), {.max_cluster_size = 2});
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], (std::vector<ProcessId>{0, 1}));
+  EXPECT_EQ(clusters[1], (std::vector<ProcessId>{2, 3}));
+}
+
+TEST(StaticGreedy, RespectsMaxClusterSize) {
+  const Trace t = generate_locality_random(
+      {.processes = 40, .group_size = 8, .messages = 1200, .seed = 3});
+  for (const std::size_t max_cs : {1u, 3u, 7u, 13u}) {
+    const auto clusters = static_greedy_clusters(
+        CommMatrix(t), {.max_cluster_size = max_cs});
+    std::size_t covered = 0;
+    for (const auto& c : clusters) {
+      EXPECT_LE(c.size(), max_cs);
+      covered += c.size();
+    }
+    EXPECT_EQ(covered, 40u);  // a partition
+  }
+}
+
+TEST(StaticGreedy, RecoversPlantedGroups) {
+  // Strong planted locality with group size 6: greedy clustering at
+  // maxCS == 6 should recover the groups nearly exactly.
+  const Trace t = generate_locality_random({.processes = 36,
+                                            .group_size = 6,
+                                            .intra_rate = 0.95,
+                                            .messages = 3000,
+                                            .seed = 7});
+  const auto clusters =
+      static_greedy_clusters(CommMatrix(t), {.max_cluster_size = 6});
+  std::size_t exact = 0;
+  for (const auto& c : clusters) {
+    if (c.size() != 6) continue;
+    const ProcessId base = c.front();
+    if (base % 6 == 0 &&
+        std::all_of(c.begin(), c.end(), [&](ProcessId p) {
+          return p / 6 == base / 6;
+        })) {
+      ++exact;
+    }
+  }
+  EXPECT_GE(exact, 4u) << "recovered only " << exact << " of 6 groups";
+}
+
+TEST(StaticGreedy, MaxCsOneKeepsSingletons) {
+  const Trace t = generate_ring({.processes = 8, .iterations = 3, .seed = 1});
+  const auto clusters =
+      static_greedy_clusters(CommMatrix(t), {.max_cluster_size = 1});
+  EXPECT_EQ(clusters.size(), 8u);
+}
+
+TEST(StaticGreedy, IgnoresNonCommunicatingPairs) {
+  TraceBuilder b;
+  b.add_processes(4);
+  b.message(0, 1);
+  // Processes 2 and 3 never communicate with anyone.
+  b.unary(2);
+  b.unary(3);
+  const Trace t = b.build("isolated", TraceFamily::kControl);
+  const auto clusters =
+      static_greedy_clusters(CommMatrix(t), {.max_cluster_size = 4});
+  // {0,1} merge; 2 and 3 stay singletons (no communication occurrence).
+  EXPECT_EQ(clusters.size(), 3u);
+}
+
+TEST(StaticGreedy, DeterministicAcrossRuns) {
+  const Trace t = generate_web_server({.clients = 20,
+                                       .servers = 4,
+                                       .backends = 2,
+                                       .requests = 200,
+                                       .seed = 9});
+  const CommMatrix m(t);
+  const auto a = static_greedy_clusters(m, {.max_cluster_size = 8});
+  const auto b = static_greedy_clusters(m, {.max_cluster_size = 8});
+  EXPECT_EQ(a, b);
+}
+
+TEST(StaticGreedy, NormalizationChangesSelection) {
+  // Hub topology: processes 1..3 talk to hub 0 heavily; 4 and 5 talk to
+  // each other lightly. Raw-count greedy gobbles the hub cluster first;
+  // normalized greedy still merges the light pair.
+  TraceBuilder b;
+  b.add_processes(6);
+  for (int i = 0; i < 6; ++i) b.message(1, 0);
+  for (int i = 0; i < 6; ++i) b.message(2, 0);
+  for (int i = 0; i < 5; ++i) b.message(3, 0);
+  for (int i = 0; i < 2; ++i) b.message(4, 5);
+  const Trace t = b.build("hub", TraceFamily::kControl);
+  const CommMatrix m(t);
+  const auto normalized =
+      static_greedy_clusters(m, {.max_cluster_size = 3, .normalize = true});
+  const auto raw =
+      static_greedy_clusters(m, {.max_cluster_size = 3, .normalize = false});
+  // Both must keep {4,5} together.
+  const auto has_pair = [](const auto& clusters) {
+    return std::any_of(clusters.begin(), clusters.end(), [](const auto& c) {
+      return c == std::vector<ProcessId>{4, 5};
+    });
+  };
+  EXPECT_TRUE(has_pair(normalized));
+  EXPECT_TRUE(has_pair(raw));
+  // And the two orderings produce valid partitions of all six processes.
+  for (const auto& clusters : {normalized, raw}) {
+    std::size_t n = 0;
+    for (const auto& c : clusters) n += c.size();
+    EXPECT_EQ(n, 6u);
+  }
+}
+
+// ------------------------------------------------------------------ baselines
+
+TEST(FixedContiguous, ChunksById) {
+  const auto clusters = fixed_contiguous_clusters(10, 4);
+  ASSERT_EQ(clusters.size(), 3u);
+  EXPECT_EQ(clusters[0], (std::vector<ProcessId>{0, 1, 2, 3}));
+  EXPECT_EQ(clusters[1], (std::vector<ProcessId>{4, 5, 6, 7}));
+  EXPECT_EQ(clusters[2], (std::vector<ProcessId>{8, 9}));
+}
+
+TEST(FixedContiguous, SizeOne) {
+  EXPECT_EQ(fixed_contiguous_clusters(3, 1).size(), 3u);
+}
+
+TEST(KMedoid, ProducesAtMostKNonEmptyClusters) {
+  const Trace t = generate_web_server({.clients = 30,
+                                       .servers = 4,
+                                       .backends = 2,
+                                       .requests = 300,
+                                       .seed = 11});
+  const auto clusters = kmedoid_clusters(CommMatrix(t), {.k = 5});
+  EXPECT_LE(clusters.size(), 5u);
+  std::size_t covered = 0;
+  for (const auto& c : clusters) {
+    EXPECT_FALSE(c.empty());
+    covered += c.size();
+  }
+  EXPECT_EQ(covered, 36u);
+}
+
+TEST(KMedoid, UnboundedSizesAreSkewed) {
+  // The paper's observation (§3.1): fixing the cluster *count* on a
+  // hub-and-spoke communication graph produces one crowded cluster.
+  const Trace t = generate_pubsub({.publishers = 10,
+                                   .brokers = 2,
+                                   .subscribers = 30,
+                                   .topics = 6,
+                                   .subscribers_per_topic = 8,
+                                   .messages = 300,
+                                   .seed = 13});
+  const auto clusters = kmedoid_clusters(CommMatrix(t), {.k = 6});
+  std::size_t largest = 0;
+  for (const auto& c : clusters) largest = std::max(largest, c.size());
+  const std::size_t n = t.process_count();
+  EXPECT_GT(largest, n / 3) << "expected a dominant cluster";
+}
+
+TEST(KMeans, PartitionsAllProcesses) {
+  const Trace t = generate_locality_random(
+      {.processes = 30, .group_size = 6, .messages = 600, .seed = 17});
+  const auto clusters = kmeans_clusters(CommMatrix(t), {.k = 5});
+  EXPECT_LE(clusters.size(), 5u);
+  std::vector<bool> seen(30, false);
+  for (const auto& c : clusters) {
+    for (const ProcessId p : c) {
+      EXPECT_FALSE(seen[p]);
+      seen[p] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool x) { return x; }));
+}
+
+TEST(KMeans, KOneIsEverything) {
+  const Trace t = generate_ring({.processes = 6, .iterations = 2, .seed = 1});
+  const auto clusters = kmeans_clusters(CommMatrix(t), {.k = 1});
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].size(), 6u);
+}
+
+// -------------------------------------------------------------- MergePolicies
+
+TEST(MergeOnFirst, AlwaysMerges) {
+  MergeOnFirst policy;
+  EXPECT_TRUE(policy.should_merge(0, 1, 1, 1, 1));
+  EXPECT_TRUE(policy.should_merge(2, 10, 3, 5, 2));
+}
+
+TEST(MergeOnNth, ThresholdZeroDegeneratesToFirst) {
+  MergeOnNth policy(0.0);
+  // First occurrence: count 1, normalized 1/(1+1) = 0.5 > 0.
+  EXPECT_TRUE(policy.should_merge(0, 1, 1, 1, 1));
+}
+
+TEST(MergeOnNth, AccumulatesUntilThreshold) {
+  MergeOnNth policy(2.0);
+  // Sizes 1+1: need count > 4.
+  EXPECT_FALSE(policy.should_merge(0, 1, 1, 1, 1));  // 1/2
+  EXPECT_FALSE(policy.should_merge(0, 1, 1, 1, 1));  // 2/2
+  EXPECT_FALSE(policy.should_merge(0, 1, 1, 1, 1));  // 3/2 = 1.5
+  EXPECT_FALSE(policy.should_merge(0, 1, 1, 1, 1));  // 4/2 = 2.0 (not >)
+  EXPECT_TRUE(policy.should_merge(0, 1, 1, 1, 1));   // 5/2 = 2.5
+}
+
+TEST(MergeOnNth, SyncCountsDouble) {
+  MergeOnNth policy(1.0);
+  // One sync pair = 2 occurrences: 2/2 = 1.0, not > 1.
+  EXPECT_FALSE(policy.should_merge(0, 1, 1, 1, 2));
+  // Second sync pair: 4/2 = 2 > 1.
+  EXPECT_TRUE(policy.should_merge(0, 1, 1, 1, 2));
+}
+
+TEST(MergeOnNth, FoldsCountsOnMerge) {
+  MergeOnNth policy(10.0);
+  // Build counts (0,2)=3 and (1,2)=2, then merge 1 into 0.
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(policy.should_merge(0, 1, 2, 1, 1));
+  for (int i = 0; i < 2; ++i) EXPECT_FALSE(policy.should_merge(1, 1, 2, 1, 1));
+  policy.on_merge(0, 1);
+  // Pair (0,2) now carries 5; sizes 2+1: need > 30 → next call count 6.
+  EXPECT_FALSE(policy.should_merge(0, 2, 2, 1, 1));
+  // Drive it over the threshold: need count/3 > 10, i.e. count 31.
+  for (int count = 7; count <= 30; ++count) {
+    EXPECT_FALSE(policy.should_merge(0, 2, 2, 1, 1)) << "count " << count;
+  }
+  EXPECT_TRUE(policy.should_merge(0, 2, 2, 1, 1));
+}
+
+TEST(MergeOnNth, RejectsNegativeThreshold) {
+  EXPECT_THROW(MergeOnNth(-1.0), CheckFailure);
+}
+
+TEST(NeverMerge, NeverMerges) {
+  NeverMerge policy;
+  EXPECT_FALSE(policy.should_merge(0, 1, 1, 1, 100));
+}
+
+}  // namespace
+}  // namespace ct

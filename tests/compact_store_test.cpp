@@ -1,0 +1,94 @@
+// Tests for the compact (arena + varint) timestamp store.
+#include <gtest/gtest.h>
+
+#include "core/compact_store.hpp"
+#include "core/engine.hpp"
+#include "trace/generators.hpp"
+#include "util/check.hpp"
+
+namespace ct {
+namespace {
+
+TEST(CompactStore, RoundTripsEveryTimestamp) {
+  const Trace trace = generate_web_server({.clients = 15,
+                                           .servers = 4,
+                                           .backends = 2,
+                                           .requests = 120,
+                                           .seed = 61});
+  ClusterEngineConfig config{.max_cluster_size = 5, .fm_vector_width = 300};
+  ClusterTimestampEngine engine(trace.process_count(), config,
+                                make_merge_on_nth(1));
+  engine.observe_trace(trace);
+
+  CompactTimestampStore store(trace.process_count());
+  for (const EventId id : trace.delivery_order()) {
+    store.append(id, engine.timestamp(id));
+  }
+  EXPECT_EQ(store.events(), trace.event_count());
+
+  for (const EventId id : trace.delivery_order()) {
+    const ClusterTimestamp& want = engine.timestamp(id);
+    const ClusterTimestamp got = store.decode(id);
+    ASSERT_EQ(got.values, want.values) << id;
+    ASSERT_EQ(got.is_full(), want.is_full()) << id;
+    if (!want.is_full()) {
+      ASSERT_EQ(*got.covered, *want.covered) << id;
+    }
+  }
+}
+
+TEST(CompactStore, InternsSharedCoveredSets) {
+  // Many events share each cluster incarnation's snapshot; the store must
+  // hold each set once. With 4 processes merged into 2 clusters and 100
+  // events, the covered-set words are bounded by a handful of sets.
+  const Trace trace =
+      generate_ring({.processes = 4, .iterations = 25, .seed = 62});
+  ClusterEngineConfig config{.max_cluster_size = 2, .fm_vector_width = 300};
+  ClusterTimestampEngine engine(trace.process_count(), config,
+                                make_merge_on_first());
+  engine.observe_trace(trace);
+
+  CompactTimestampStore store(trace.process_count());
+  for (const EventId id : trace.delivery_order()) {
+    store.append(id, engine.timestamp(id));
+  }
+  // Footprint well under one u32 per component per event: interning works.
+  std::size_t exact_words = 0;
+  for (const EventId id : trace.delivery_order()) {
+    exact_words += engine.timestamp(id).values.size();
+  }
+  EXPECT_LT(store.bytes(), exact_words * 4);
+}
+
+TEST(CompactStore, RejectsOutOfOrderAppend) {
+  CompactTimestampStore store(2);
+  ClusterTimestamp ts;
+  ts.values = {1, 2};  // full over 2 processes
+  store.append(EventId{0, 1}, ts);
+  EXPECT_THROW(store.append(EventId{0, 3}, ts), CheckFailure);
+  EXPECT_THROW(store.append(EventId{5, 1}, ts), CheckFailure);
+}
+
+TEST(CompactStore, RejectsUnknownDecode) {
+  CompactTimestampStore store(1);
+  EXPECT_THROW((void)store.decode(EventId{0, 1}), CheckFailure);
+  EXPECT_THROW((void)store.decode(EventId{3, 1}), CheckFailure);
+}
+
+TEST(CompactStore, MuchSmallerThanPaddedAccounting) {
+  const Trace trace = generate_locality_random(
+      {.processes = 60, .group_size = 10, .messages = 2500, .seed = 63});
+  ClusterEngineConfig config{.max_cluster_size = 10, .fm_vector_width = 300};
+  ClusterTimestampEngine engine(trace.process_count(), config,
+                                make_merge_on_nth(5));
+  engine.observe_trace(trace);
+  CompactTimestampStore store(trace.process_count());
+  for (const EventId id : trace.delivery_order()) {
+    store.append(id, engine.timestamp(id));
+  }
+  EXPECT_LT(store.bytes() * 3,
+            static_cast<std::size_t>(engine.stats().encoded_words) * 4);
+}
+
+}  // namespace
+}  // namespace ct

@@ -1,0 +1,196 @@
+// Tests for ct_eval: sweep mechanics, analysis functions, and small-scale
+// sanity versions of the paper's range analyses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/analysis.hpp"
+#include "eval/experiment.hpp"
+#include "trace/generators.hpp"
+#include "util/check.hpp"
+
+namespace ct {
+namespace {
+
+TEST(StrategySpec, Names) {
+  EXPECT_EQ(StrategySpec::static_greedy().name(), "static-greedy");
+  EXPECT_EQ(StrategySpec::merge_on_first().name(), "merge-on-1st");
+  EXPECT_EQ(StrategySpec::merge_on_nth(10).name(), "merge-on-Nth(CR>10)");
+  EXPECT_EQ(StrategySpec::fixed_contiguous().name(), "fixed-contiguous");
+}
+
+TEST(DefaultSizes, TwoToFifty) {
+  const auto sizes = default_sizes();
+  ASSERT_EQ(sizes.size(), 49u);
+  EXPECT_EQ(sizes.front(), 2u);
+  EXPECT_EQ(sizes.back(), 50u);
+}
+
+TEST(RunCell, RatioIsInUnitRangeAndConsistent) {
+  const Trace t = generate_locality_random(
+      {.processes = 24, .group_size = 6, .messages = 500, .seed = 71});
+  for (const auto& spec :
+       {StrategySpec::static_greedy(), StrategySpec::merge_on_first(),
+        StrategySpec::merge_on_nth(5)}) {
+    const double ratio = run_cell(t, spec, 6, 300);
+    EXPECT_GT(ratio, 0.0) << spec.name();
+    EXPECT_LE(ratio, 1.0) << spec.name();
+    // Deterministic.
+    EXPECT_DOUBLE_EQ(ratio, run_cell(t, spec, 6, 300)) << spec.name();
+  }
+}
+
+TEST(RunCell, RatioLowerBoundIsEncodingWidth) {
+  // Even with zero cluster receives the ratio cannot drop below maxCS/width.
+  const Trace t = generate_ring({.processes = 20, .iterations = 5, .seed = 3});
+  const double ratio = run_cell(t, StrategySpec::merge_on_first(), 10, 300);
+  EXPECT_GE(ratio, 10.0 / 300.0 - 1e-12);
+}
+
+TEST(RunSweep, ProducesAlignedCurve) {
+  const Trace t = generate_web_server({.clients = 12,
+                                       .servers = 3,
+                                       .backends = 2,
+                                       .requests = 80,
+                                       .seed = 72});
+  const std::vector<std::size_t> sizes{2, 5, 9, 13};
+  const SweepRow row =
+      run_sweep(t, "web", StrategySpec::merge_on_first(), sizes);
+  EXPECT_EQ(row.trace_id, "web");
+  EXPECT_EQ(row.family, TraceFamily::kJava);
+  ASSERT_EQ(row.ratios.size(), 4u);
+  for (const double r : row.ratios) {
+    EXPECT_GT(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+  EXPECT_LE(row.best_ratio(),
+            *std::min_element(row.ratios.begin(), row.ratios.end()) + 1e-12);
+}
+
+TEST(SweepMany, MatchesIndividualRuns) {
+  const std::vector<Trace> traces{
+      generate_ring({.processes = 10, .iterations = 6, .seed = 73}),
+      generate_uniform_random({.processes = 12, .messages = 150, .seed = 74}),
+  };
+  const std::vector<std::string> ids{"ring", "uniform"};
+  const std::vector<TraceFamily> families{TraceFamily::kPvm,
+                                          TraceFamily::kControl};
+  const std::vector<StrategySpec> specs{StrategySpec::merge_on_first(),
+                                        StrategySpec::static_greedy()};
+  const std::vector<std::size_t> sizes{2, 4, 8};
+
+  const auto rows = sweep_many(traces, ids, families, specs, sizes);
+  ASSERT_EQ(rows.size(), 4u);
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+      const auto& row = rows[s * traces.size() + t];
+      EXPECT_EQ(row.trace_id, ids[t]);
+      EXPECT_EQ(row.strategy, specs[s].name());
+      const SweepRow lone = run_sweep(traces[t], ids[t], specs[s], sizes);
+      for (std::size_t i = 0; i < sizes.size(); ++i) {
+        EXPECT_DOUBLE_EQ(row.ratios[i], lone.ratios[i])
+            << row.strategy << "/" << row.trace_id << " size " << sizes[i];
+      }
+    }
+  }
+}
+
+SweepRow fake_row(const std::string& id, std::vector<std::size_t> sizes,
+                  std::vector<double> ratios) {
+  SweepRow row;
+  row.trace_id = id;
+  row.strategy = "fake";
+  row.sizes = std::move(sizes);
+  row.ratios = std::move(ratios);
+  return row;
+}
+
+TEST(Analysis, SizesWithinTolerance) {
+  const SweepRow row = fake_row("a", {2, 3, 4, 5}, {0.30, 0.10, 0.11, 0.13});
+  EXPECT_DOUBLE_EQ(row.best_ratio(), 0.10);
+  EXPECT_EQ(row.sizes_within(0.2), (std::vector<std::size_t>{3, 4}));
+  EXPECT_EQ(row.sizes_within(0.35), (std::vector<std::size_t>{3, 4, 5}));
+}
+
+TEST(Analysis, CoverageAndGoodSizes) {
+  const std::vector<SweepRow> rows{
+      fake_row("a", {2, 3, 4}, {0.10, 0.11, 0.30}),
+      fake_row("b", {2, 3, 4}, {0.40, 0.20, 0.21}),
+  };
+  const auto coverage = coverage_by_size(rows, 0.2);
+  ASSERT_EQ(coverage.size(), 3u);
+  EXPECT_EQ(coverage[0].covered, 1u);  // only a
+  EXPECT_EQ(coverage[1].covered, 2u);  // both
+  EXPECT_EQ(coverage[2].covered, 1u);  // only b
+  EXPECT_DOUBLE_EQ(coverage[1].fraction, 1.0);
+
+  EXPECT_EQ(good_sizes(rows, 0.2, 0), (std::vector<std::size_t>{3}));
+  EXPECT_EQ(good_sizes(rows, 0.2, 1), (std::vector<std::size_t>{2, 3, 4}));
+}
+
+TEST(Analysis, MissesAtSize) {
+  const std::vector<SweepRow> rows{
+      fake_row("a", {2, 3}, {0.10, 0.50}),
+      fake_row("b", {2, 3}, {0.20, 0.20}),
+  };
+  const auto misses = misses_at_size(rows, 3, 0.2);
+  ASSERT_EQ(misses.size(), 1u);
+  EXPECT_EQ(misses[0].trace_id, "a");
+  EXPECT_DOUBLE_EQ(misses[0].ratio, 0.50);
+  EXPECT_DOUBLE_EQ(misses[0].best, 0.10);
+  EXPECT_THROW(misses_at_size(rows, 99, 0.2), CheckFailure);
+}
+
+TEST(Analysis, CoverageRejectsMismatchedAxes) {
+  const std::vector<SweepRow> rows{
+      fake_row("a", {2, 3}, {0.1, 0.2}),
+      fake_row("b", {2, 4}, {0.1, 0.2}),
+  };
+  EXPECT_THROW(coverage_by_size(rows, 0.2), CheckFailure);
+}
+
+TEST(Analysis, LongestContiguousRange) {
+  EXPECT_TRUE(longest_contiguous_range(std::vector<std::size_t>{}).empty());
+  const std::vector<std::size_t> sizes{2, 3, 4, 9, 10, 11, 12, 20};
+  const SizeRange r = longest_contiguous_range(sizes);
+  EXPECT_EQ(r.lo, 9u);
+  EXPECT_EQ(r.hi, 12u);
+  EXPECT_EQ(r.length(), 4u);
+}
+
+TEST(Analysis, RoughnessDistinguishesSmoothFromJagged) {
+  const SweepRow smooth =
+      fake_row("s", {2, 3, 4, 5}, {0.20, 0.21, 0.22, 0.23});
+  const SweepRow jagged =
+      fake_row("j", {2, 3, 4, 5}, {0.20, 0.60, 0.15, 0.55});
+  EXPECT_LT(curve_roughness(smooth), curve_roughness(jagged));
+}
+
+// Small-scale versions of the paper's claims, on a locality workload where
+// they must hold sharply.
+TEST(PaperShape, StaticCurveSmootherThanMergeOnFirst) {
+  const Trace t = generate_web_server({.clients = 25,
+                                       .servers = 4,
+                                       .backends = 2,
+                                       .requests = 350,
+                                       .seed = 75});
+  const std::vector<std::size_t> sizes{2, 4, 6, 8, 10, 12, 14, 16, 20, 24};
+  const SweepRow stat =
+      run_sweep(t, "web", StrategySpec::static_greedy(), sizes);
+  const SweepRow m1 =
+      run_sweep(t, "web", StrategySpec::merge_on_first(), sizes);
+  EXPECT_LE(curve_roughness(stat), curve_roughness(m1) + 0.05);
+}
+
+TEST(PaperShape, ClusteringBeatsFmByALot) {
+  const Trace t = generate_locality_random({.processes = 48,
+                                            .group_size = 8,
+                                            .intra_rate = 0.93,
+                                            .messages = 2000,
+                                            .seed = 76});
+  const double ratio = run_cell(t, StrategySpec::static_greedy(), 8, 300);
+  EXPECT_LT(ratio, 0.25) << "expected ≥4× saving on planted locality";
+}
+
+}  // namespace
+}  // namespace ct

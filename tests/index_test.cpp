@@ -1,0 +1,201 @@
+// Unit + randomized model tests for the B+-tree and the event-store index.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "index/bplus_tree.hpp"
+#include "index/event_index.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace ct {
+namespace {
+
+TEST(BPlusTree, InsertFindSmall) {
+  BPlusTree<int, int> tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.insert_or_assign(5, 50));
+  EXPECT_TRUE(tree.insert_or_assign(3, 30));
+  EXPECT_FALSE(tree.insert_or_assign(5, 55));  // overwrite
+  EXPECT_EQ(tree.size(), 2u);
+  ASSERT_NE(tree.find(5), nullptr);
+  EXPECT_EQ(*tree.find(5), 55);
+  EXPECT_EQ(tree.find(4), nullptr);
+  tree.validate();
+}
+
+TEST(BPlusTree, SplitsGrowDepth) {
+  BPlusTree<int, int, 8> tree;
+  for (int i = 0; i < 1000; ++i) tree.insert_or_assign(i, i * 2);
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_GT(tree.depth(), 2u);
+  tree.validate();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_NE(tree.find(i), nullptr) << i;
+    EXPECT_EQ(*tree.find(i), i * 2);
+  }
+}
+
+TEST(BPlusTree, EraseRebalances) {
+  BPlusTree<int, int, 8> tree;
+  for (int i = 0; i < 500; ++i) tree.insert_or_assign(i, i);
+  for (int i = 0; i < 500; i += 2) EXPECT_TRUE(tree.erase(i));
+  EXPECT_FALSE(tree.erase(0));  // already gone
+  EXPECT_EQ(tree.size(), 250u);
+  tree.validate();
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(tree.find(i) != nullptr, i % 2 == 1) << i;
+  }
+}
+
+TEST(BPlusTree, EraseToEmptyAndReuse) {
+  BPlusTree<int, int, 8> tree;
+  for (int i = 0; i < 200; ++i) tree.insert_or_assign(i, i);
+  for (int i = 199; i >= 0; --i) EXPECT_TRUE(tree.erase(i));
+  EXPECT_TRUE(tree.empty());
+  tree.validate();
+  tree.insert_or_assign(42, 1);
+  EXPECT_EQ(tree.size(), 1u);
+  tree.validate();
+}
+
+TEST(BPlusTree, ScanFromVisitsInOrder) {
+  BPlusTree<int, int, 8> tree;
+  for (int i = 0; i < 300; i += 3) tree.insert_or_assign(i, i);
+  std::vector<int> seen;
+  tree.scan_from(100, [&](const int& k, const int&) {
+    seen.push_back(k);
+    return k < 150;
+  });
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.front(), 102);
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], seen[i - 1] + 3);
+  }
+  EXPECT_GE(seen.back(), 150);
+}
+
+TEST(BPlusTree, FindLe) {
+  BPlusTree<int, int, 8> tree;
+  for (int i = 10; i <= 100; i += 10) tree.insert_or_assign(i, i);
+  auto [k1, v1] = tree.find_le(55);
+  ASSERT_NE(k1, nullptr);
+  EXPECT_EQ(*k1, 50);
+  EXPECT_EQ(*v1, 50);
+  auto [k2, v2] = tree.find_le(10);
+  ASSERT_NE(k2, nullptr);
+  EXPECT_EQ(*k2, 10);
+  auto [k3, v3] = tree.find_le(5);
+  EXPECT_EQ(k3, nullptr);
+  EXPECT_EQ(v3, nullptr);
+  auto [k4, v4] = tree.find_le(1000);
+  ASSERT_NE(k4, nullptr);
+  EXPECT_EQ(*k4, 100);
+  (void)v2;
+  (void)v4;
+}
+
+// Randomized model check against std::map: interleaved inserts, overwrites,
+// erases and lookups, with structural validation throughout.
+class BPlusTreeModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BPlusTreeModel, AgreesWithStdMap) {
+  Prng rng(GetParam());
+  BPlusTree<std::uint64_t, std::uint64_t, 8> tree;
+  std::map<std::uint64_t, std::uint64_t> model;
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t key = rng.uniform(0, 500);
+    const std::uint64_t op = rng.uniform(0, 99);
+    if (op < 50) {
+      const std::uint64_t value = rng();
+      EXPECT_EQ(tree.insert_or_assign(key, value),
+                model.insert_or_assign(key, value).second);
+    } else if (op < 80) {
+      EXPECT_EQ(tree.erase(key), model.erase(key) == 1);
+    } else {
+      const auto* found = tree.find(key);
+      const auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_EQ(found, nullptr);
+      } else {
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, it->second);
+      }
+    }
+    if (step % 512 == 0) tree.validate();
+  }
+  tree.validate();
+  EXPECT_EQ(tree.size(), model.size());
+  // Full in-order agreement.
+  auto it = model.begin();
+  tree.for_each([&](const std::uint64_t& k, const std::uint64_t& v) {
+    EXPECT_NE(it, model.end());
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+    return true;
+  });
+  EXPECT_EQ(it, model.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeModel,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(EventStoreIndex, InsertLookupEraseScan) {
+  EventStoreIndex index;
+  for (ProcessId p = 0; p < 5; ++p) {
+    for (EventIndex i = 1; i <= 50; ++i) {
+      EXPECT_TRUE(index.insert(EventId{p, i}, p * 1000 + i));
+    }
+  }
+  EXPECT_EQ(index.size(), 250u);
+  index.validate();
+  EXPECT_EQ(index.lookup(EventId{3, 7}).value(), 3007u);
+  EXPECT_FALSE(index.lookup(EventId{3, 51}).has_value());
+  EXPECT_THROW(index.insert(kNoEvent, 0), CheckFailure);
+
+  std::vector<EventIndex> seen;
+  index.scan_process(2, 45, [&](EventId id, RecordHandle) {
+    seen.push_back(id.index);
+    return true;
+  });
+  EXPECT_EQ(seen, (std::vector<EventIndex>{45, 46, 47, 48, 49, 50}));
+
+  // Scan never crosses into the next process.
+  std::size_t count = 0;
+  index.scan_process(4, 1, [&](EventId id, RecordHandle) {
+    EXPECT_EQ(id.process, 4u);
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 50u);
+
+  EXPECT_TRUE(index.erase(EventId{2, 45}));
+  EXPECT_FALSE(index.erase(EventId{2, 45}));
+  EXPECT_FALSE(index.lookup(EventId{2, 45}).has_value());
+}
+
+TEST(EventStoreIndex, FloorQueries) {
+  EventStoreIndex index;
+  index.insert(EventId{1, 10}, 110);
+  index.insert(EventId{1, 20}, 120);
+  index.insert(EventId{2, 5}, 205);
+
+  auto f = index.floor(1, 15);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->first, (EventId{1, 10}));
+
+  f = index.floor(1, 20);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->first, (EventId{1, 20}));
+
+  EXPECT_FALSE(index.floor(1, 9).has_value());
+  EXPECT_FALSE(index.floor(0, 100).has_value());
+  // Floor in process 2 must not bleed into process 1's entries.
+  f = index.floor(2, 4);
+  EXPECT_FALSE(f.has_value());
+}
+
+}  // namespace
+}  // namespace ct

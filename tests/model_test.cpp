@@ -1,0 +1,224 @@
+// Unit tests for ct_model: builder validation, trace accessors, and the
+// transitive-closure oracle (including synchronous-pair semantics).
+#include <gtest/gtest.h>
+
+#include "model/oracle.hpp"
+#include "model/trace_builder.hpp"
+#include "util/check.hpp"
+
+namespace ct {
+namespace {
+
+TEST(TraceBuilder, BuildsSimpleMessage) {
+  TraceBuilder b;
+  const ProcessId p0 = b.add_process();
+  const ProcessId p1 = b.add_process();
+  const auto [s, r] = b.message(p0, p1);
+  const Trace t = b.build("two-proc", TraceFamily::kControl);
+
+  EXPECT_EQ(t.process_count(), 2u);
+  EXPECT_EQ(t.event_count(), 2u);
+  EXPECT_EQ(t.event(s).kind, EventKind::kSend);
+  EXPECT_EQ(t.event(s).partner, r);
+  EXPECT_EQ(t.event(r).kind, EventKind::kReceive);
+  EXPECT_EQ(t.event(r).partner, s);
+  EXPECT_EQ(t.communication_occurrences(), 1u);
+}
+
+TEST(TraceBuilder, EventIndicesArePerProcessAndOneBased) {
+  TraceBuilder b;
+  const ProcessId p = b.add_process();
+  EXPECT_EQ(b.unary(p), (EventId{p, 1}));
+  EXPECT_EQ(b.unary(p), (EventId{p, 2}));
+  EXPECT_EQ(b.process_size(p), 2u);
+}
+
+TEST(TraceBuilder, RejectsReceiveOfUnknownSend) {
+  TraceBuilder b;
+  b.add_processes(2);
+  EXPECT_THROW(b.receive(1, EventId{0, 1}), CheckFailure);
+}
+
+TEST(TraceBuilder, RejectsReceiveOfNonSend) {
+  TraceBuilder b;
+  b.add_processes(2);
+  const EventId u = b.unary(0);
+  EXPECT_THROW(b.receive(1, u), CheckFailure);
+}
+
+TEST(TraceBuilder, RejectsDoubleReceive) {
+  TraceBuilder b;
+  b.add_processes(3);
+  const EventId s = b.send(0);
+  b.receive(1, s);
+  EXPECT_THROW(b.receive(2, s), CheckFailure);
+}
+
+TEST(TraceBuilder, RejectsSelfSync) {
+  TraceBuilder b;
+  b.add_processes(1);
+  EXPECT_THROW(b.sync(0, 0), CheckFailure);
+}
+
+TEST(TraceBuilder, TracksInFlightSends) {
+  TraceBuilder b;
+  b.add_processes(2);
+  const EventId s1 = b.send(0);
+  b.send(0);
+  EXPECT_EQ(b.in_flight(), 2u);
+  b.receive(1, s1);
+  EXPECT_EQ(b.in_flight(), 1u);
+  // Unreceived sends are permitted — messages still in transit at the end
+  // of observation.
+  const Trace t = b.build("in-flight", TraceFamily::kControl);
+  EXPECT_EQ(t.count(EventKind::kSend), 2u);
+  EXPECT_EQ(t.count(EventKind::kReceive), 1u);
+}
+
+TEST(TraceBuilder, SyncPairIsAdjacentInDeliveryOrder) {
+  TraceBuilder b;
+  b.add_processes(3);
+  b.unary(0);
+  const auto [a, c] = b.sync(1, 2);
+  const Trace t = b.build("sync", TraceFamily::kDce);
+  const auto order = t.delivery_order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[1], a);
+  EXPECT_EQ(order[2], c);
+}
+
+TEST(TraceBuilder, SyncCountsTwoCommunicationOccurrences) {
+  TraceBuilder b;
+  b.add_processes(2);
+  b.sync(0, 1);
+  const Trace t = b.build("sync2", TraceFamily::kDce);
+  EXPECT_EQ(t.communication_occurrences(), 2u);
+}
+
+TEST(TraceBuilder, BuildResetsBuilder) {
+  TraceBuilder b;
+  b.add_processes(2);
+  b.message(0, 1);
+  (void)b.build("first", TraceFamily::kControl);
+  // Builder is reusable and empty.
+  EXPECT_EQ(b.process_count(), 0u);
+  b.add_processes(1);
+  b.unary(0);
+  const Trace t2 = b.build("second", TraceFamily::kControl);
+  EXPECT_EQ(t2.event_count(), 1u);
+}
+
+TEST(Trace, EventLookupRejectsOutOfRange) {
+  TraceBuilder b;
+  b.add_processes(1);
+  b.unary(0);
+  const Trace t = b.build("small", TraceFamily::kControl);
+  EXPECT_THROW(t.event(EventId{0, 2}), CheckFailure);
+  EXPECT_THROW(t.event(EventId{1, 1}), CheckFailure);
+  EXPECT_THROW(t.process_events(3), CheckFailure);
+}
+
+// Figure-2-shaped fixture: three processes exchanging a few messages.
+//   P0: a1 (send to P1), a2 (send to P2), a3 (recv from P1)
+//   P1: b1 (recv from P0), b2 (send to P0)
+//   P2: c1 (unary), c2 (recv from P0)
+class SmallTraceOracle : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceBuilder b;
+    b.add_processes(3);
+    a1 = b.send(0);
+    b1 = b.receive(1, a1);
+    a2 = b.send(0);
+    c1 = b.unary(2);
+    c2 = b.receive(2, a2);
+    b2 = b.send(1);
+    a3 = b.receive(0, b2);
+    trace = b.build("fig", TraceFamily::kControl);
+    oracle = std::make_unique<CausalityOracle>(trace);
+  }
+
+  Trace trace;
+  std::unique_ptr<CausalityOracle> oracle;
+  EventId a1, a2, a3, b1, b2, c1, c2;
+};
+
+TEST_F(SmallTraceOracle, ProcessOrder) {
+  EXPECT_TRUE(oracle->happened_before(a1, a2));
+  EXPECT_TRUE(oracle->happened_before(a1, a3));
+  EXPECT_FALSE(oracle->happened_before(a2, a1));
+}
+
+TEST_F(SmallTraceOracle, MessageOrder) {
+  EXPECT_TRUE(oracle->happened_before(a1, b1));
+  EXPECT_TRUE(oracle->happened_before(a1, b2));
+  EXPECT_TRUE(oracle->happened_before(a1, a3));  // via P1 round trip
+  EXPECT_TRUE(oracle->happened_before(a2, c2));
+}
+
+TEST_F(SmallTraceOracle, Concurrency) {
+  EXPECT_TRUE(oracle->concurrent(b1, c1));
+  EXPECT_TRUE(oracle->concurrent(c1, a1));
+  EXPECT_TRUE(oracle->concurrent(b2, c2));
+  EXPECT_FALSE(oracle->concurrent(a1, a1));  // same event
+}
+
+TEST_F(SmallTraceOracle, Irreflexive) {
+  for (const EventId e : {a1, a2, a3, b1, b2, c1, c2}) {
+    EXPECT_FALSE(oracle->happened_before(e, e));
+  }
+}
+
+TEST(Oracle, SyncPairSemantics) {
+  TraceBuilder b;
+  b.add_processes(3);
+  const EventId x = b.unary(0);
+  const auto [s0, s1] = b.sync(0, 1);
+  const EventId y = b.unary(1);
+  const EventId z = b.unary(2);
+  const Trace t = b.build("sync-sem", TraceFamily::kDce);
+  const CausalityOracle oracle(t);
+
+  // Halves are mutually concurrent…
+  EXPECT_FALSE(oracle.happened_before(s0, s1));
+  EXPECT_FALSE(oracle.happened_before(s1, s0));
+  EXPECT_TRUE(oracle.concurrent(s0, s1));
+  // …but share history and future.
+  EXPECT_TRUE(oracle.happened_before(x, s0));
+  EXPECT_TRUE(oracle.happened_before(x, s1));
+  EXPECT_TRUE(oracle.happened_before(x, y));
+  EXPECT_TRUE(oracle.happened_before(s0, y));
+  EXPECT_TRUE(oracle.happened_before(s1, y));
+  EXPECT_TRUE(oracle.concurrent(z, s0));
+}
+
+TEST(Oracle, SyncChainsTransitively) {
+  TraceBuilder b;
+  b.add_processes(3);
+  const auto [a, a2] = b.sync(0, 1);
+  const auto [c, c2] = b.sync(1, 2);
+  const Trace t = b.build("sync-chain", TraceFamily::kDce);
+  const CausalityOracle oracle(t);
+  (void)a2;
+  // First rendezvous precedes the second (P1 participates in both).
+  EXPECT_TRUE(oracle.happened_before(a, c));
+  EXPECT_TRUE(oracle.happened_before(a, c2));
+}
+
+TEST(Oracle, RejectsOversizedTrace) {
+  TraceBuilder b;
+  b.add_processes(1);
+  for (int i = 0; i < 100; ++i) b.unary(0);
+  const Trace t = b.build("big", TraceFamily::kControl);
+  EXPECT_THROW(CausalityOracle(t, /*max_nodes=*/50), CheckFailure);
+}
+
+TEST(TraceFamilies, ToString) {
+  EXPECT_STREQ(to_string(TraceFamily::kPvm), "PVM");
+  EXPECT_STREQ(to_string(TraceFamily::kJava), "Java");
+  EXPECT_STREQ(to_string(TraceFamily::kDce), "DCE");
+  EXPECT_STREQ(to_string(TraceFamily::kControl), "control");
+}
+
+}  // namespace
+}  // namespace ct

@@ -1,0 +1,174 @@
+// Tests for the visualization-query layer (causal frontiers) and for
+// MID-STREAM behaviour: the dynamic engine must answer queries correctly at
+// every prefix of the observation, not just at the end — that is the whole
+// point of a dynamic timestamp (§3.2).
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "model/oracle.hpp"
+#include "model/trace_builder.hpp"
+#include "monitor/monitor.hpp"
+#include "monitor/queries.hpp"
+#include "trace/generators.hpp"
+#include "util/prng.hpp"
+
+namespace ct {
+namespace {
+
+// ------------------------------------------------------------ frontiers
+
+class FrontierProperty : public ::testing::TestWithParam<int> {};
+
+Trace frontier_trace(int which) {
+  switch (which) {
+    case 0:
+      return generate_web_server({.clients = 10,
+                                  .servers = 3,
+                                  .backends = 2,
+                                  .requests = 60,
+                                  .seed = 501});
+    case 1:
+      return generate_rpc_business({.groups = 2,
+                                    .clients_per_group = 3,
+                                    .servers_per_group = 2,
+                                    .calls = 50,
+                                    .seed = 502});
+    case 2:
+      return generate_ring({.processes = 8, .iterations = 8, .seed = 503});
+    default:
+      return generate_uniform_random(
+          {.processes = 10, .messages = 100, .seed = 504});
+  }
+}
+
+TEST_P(FrontierProperty, MatchesBruteForceOracle) {
+  const Trace trace = frontier_trace(GetParam());
+  const CausalityOracle oracle(trace);
+
+  MonitorOptions options;
+  options.cluster.max_cluster_size = 4;
+  options.cluster.fm_vector_width = 300;
+  options.nth_threshold = 1.0;
+  MonitoringEntity monitor(trace.process_count(), options);
+  for (const EventId id : trace.delivery_order()) {
+    monitor.ingest(trace.event(id));
+  }
+
+  Prng rng(7);
+  const auto order = trace.delivery_order();
+  for (int probe = 0; probe < 40; ++probe) {
+    const EventId e = order[rng.index(order.size())];
+    const auto frontiers =
+        compute_frontiers(monitor, trace.process_count(), e);
+    for (ProcessId q = 0; q < trace.process_count(); ++q) {
+      // Brute-force references from the oracle.
+      EventIndex want_pred = 0, want_conc = 0;
+      for (EventIndex i = 1; i <= trace.process_size(q); ++i) {
+        if (oracle.happened_before(EventId{q, i}, e)) want_pred = i;
+        if (oracle.concurrent(EventId{q, i}, e)) want_conc = i;
+      }
+      ASSERT_EQ(frontiers.greatest_predecessor[q], want_pred)
+          << "pred, e=" << e << " q=" << q;
+      ASSERT_EQ(frontiers.greatest_concurrent[q], want_conc)
+          << "conc, e=" << e << " q=" << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Traces, FrontierProperty, ::testing::Range(0, 4));
+
+TEST(Frontiers, CostIsLogarithmicPerProcess) {
+  const Trace trace =
+      generate_ring({.processes = 16, .iterations = 40, .seed = 505});
+  MonitorOptions options;
+  options.cluster.max_cluster_size = 4;
+  options.cluster.fm_vector_width = 300;
+  MonitoringEntity monitor(trace.process_count(), options);
+  for (const EventId id : trace.delivery_order()) {
+    monitor.ingest(trace.event(id));
+  }
+  const auto frontiers = compute_frontiers(monitor, trace.process_count(),
+                                           EventId{0, 10});
+  // 2 binary searches per process over ≤ E/N events each.
+  const double per_process =
+      static_cast<double>(frontiers.precedence_tests) / 16.0;
+  EXPECT_LT(per_process, 2.0 * 12.0);  // 2 * ceil(log2(~200)) + slack
+}
+
+TEST(Frontiers, OwnProcessNeverConcurrent) {
+  TraceBuilder b;
+  b.add_processes(2);
+  for (int i = 0; i < 6; ++i) b.unary(0);
+  b.unary(1);
+  const Trace trace = b.build("own", TraceFamily::kControl);
+  MonitorOptions options;
+  options.cluster.max_cluster_size = 2;
+  options.cluster.fm_vector_width = 300;
+  MonitoringEntity monitor(2, options);
+  for (const EventId id : trace.delivery_order()) {
+    monitor.ingest(trace.event(id));
+  }
+  const auto frontiers = compute_frontiers(monitor, 2, EventId{0, 3});
+  EXPECT_EQ(frontiers.greatest_predecessor[0], 2u);
+  EXPECT_EQ(frontiers.greatest_concurrent[0], 0u);  // own process: never
+  EXPECT_EQ(frontiers.greatest_predecessor[1], 0u);
+  EXPECT_EQ(frontiers.greatest_concurrent[1], 1u);
+}
+
+TEST(Frontiers, SyncPartnerIsConcurrent) {
+  TraceBuilder b;
+  b.add_processes(2);
+  const auto [a, partner] = b.sync(0, 1);
+  const Trace trace = b.build("sync-conc", TraceFamily::kDce);
+  MonitorOptions options;
+  options.cluster.max_cluster_size = 1;  // force cluster receives
+  options.cluster.fm_vector_width = 300;
+  MonitoringEntity monitor(2, options);
+  for (const EventId id : trace.delivery_order()) {
+    monitor.ingest(trace.event(id));
+  }
+  const auto frontiers = compute_frontiers(monitor, 2, a);
+  EXPECT_EQ(frontiers.greatest_concurrent[partner.process], partner.index);
+  EXPECT_EQ(frontiers.greatest_predecessor[partner.process], 0u);
+}
+
+// ------------------------------------------------------- mid-stream queries
+
+// Observe events one at a time; after every few events, check random
+// precedence queries over the already-observed prefix against an oracle of
+// the full trace (valid: precedence among past events never changes).
+class MidStreamProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MidStreamProperty, QueriesCorrectAtEveryPrefix) {
+  const Trace trace = frontier_trace(GetParam());
+  const CausalityOracle oracle(trace);
+
+  for (const double threshold : {-1.0, 2.0}) {
+    ClusterEngineConfig config{.max_cluster_size = 4,
+                               .fm_vector_width = 300};
+    auto policy = threshold < 0 ? make_merge_on_first()
+                                : make_merge_on_nth(threshold);
+    ClusterTimestampEngine engine(trace.process_count(), config,
+                                  std::move(policy));
+    Prng rng(17);
+    std::vector<EventId> seen;
+    for (const EventId id : trace.delivery_order()) {
+      engine.observe(trace.event(id));
+      seen.push_back(id);
+      if (seen.size() % 5 != 0) continue;
+      for (int q = 0; q < 8; ++q) {
+        const EventId a = seen[rng.index(seen.size())];
+        const EventId b = seen[rng.index(seen.size())];
+        ASSERT_EQ(engine.precedes(trace.event(a), trace.event(b)),
+                  oracle.happened_before(a, b))
+            << a << " vs " << b << " after " << seen.size() << " events"
+            << " (threshold " << threshold << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Traces, MidStreamProperty, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace ct

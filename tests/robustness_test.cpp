@@ -1,0 +1,263 @@
+// Robustness and cross-cutting tests: trace-file fuzzing, 300-process scale
+// sanity, agreement between every precedence implementation, and boundary
+// conditions that individual module tests don't reach.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/batch_hybrid.hpp"
+#include "core/engine.hpp"
+#include "core/migrating_engine.hpp"
+#include "model/trace_builder.hpp"
+#include "monitor/monitor.hpp"
+#include "timestamp/fm_store.hpp"
+#include "trace/generators.hpp"
+#include "trace/suite.hpp"
+#include "trace/trace_io.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace ct {
+namespace {
+
+// ------------------------------------------------------------- file fuzzing
+
+// Randomly corrupt a valid trace file. The reader must either produce a
+// structurally valid trace or throw CheckFailure — never crash, hang, or
+// return a trace violating builder invariants.
+TEST(TraceFuzz, CorruptedFilesNeverCrashTheReader) {
+  const Trace original = generate_rpc_business({.groups = 2,
+                                                .clients_per_group = 3,
+                                                .servers_per_group = 2,
+                                                .calls = 60,
+                                                .seed = 77});
+  std::ostringstream os;
+  write_trace(os, original);
+  const std::string good = os.str();
+
+  Prng rng(4242);
+  std::size_t parsed = 0, rejected = 0;
+  for (int round = 0; round < 300; ++round) {
+    std::string bad = good;
+    // Apply 1–3 mutations: byte flips, deletions, duplications, truncation.
+    const std::size_t mutations = 1 + rng.index(3);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      if (bad.empty()) break;
+      switch (rng.index(4)) {
+        case 0: {  // flip a byte to a printable character
+          bad[rng.index(bad.size())] =
+              static_cast<char>('0' + rng.index(75));
+          break;
+        }
+        case 1: {  // delete a span
+          const std::size_t at = rng.index(bad.size());
+          bad.erase(at, 1 + rng.index(8));
+          break;
+        }
+        case 2: {  // duplicate a line
+          const std::size_t at = bad.find('\n', rng.index(bad.size()));
+          if (at != std::string::npos) {
+            const std::size_t prev = bad.rfind('\n', at - 1);
+            const std::size_t begin = prev == std::string::npos ? 0 : prev + 1;
+            bad.insert(at + 1, bad.substr(begin, at - begin + 1));
+          }
+          break;
+        }
+        case 3: {  // truncate
+          bad.resize(rng.index(bad.size()));
+          break;
+        }
+      }
+    }
+    std::istringstream in(bad);
+    try {
+      const Trace t = read_trace(in);
+      // If it parsed, it must be internally consistent (builder-checked),
+      // and usable: run the FM engine over it without faults.
+      const FmStore store(t);
+      (void)store.stored_elements();
+      ++parsed;
+    } catch (const CheckFailure&) {
+      ++rejected;
+    }
+  }
+  // Most mutations must be rejected; a few may still parse (e.g. flipped
+  // comment bytes). Both outcomes are fine — crashes are not.
+  EXPECT_GT(rejected, 150u);
+  EXPECT_EQ(parsed + rejected, 300u);
+}
+
+TEST(TraceFuzz, RandomGarbageRejected) {
+  Prng rng(11);
+  for (int round = 0; round < 50; ++round) {
+    std::string garbage;
+    for (std::size_t i = 0; i < 200; ++i) {
+      garbage += static_cast<char>(rng.uniform(9, 126));
+    }
+    std::istringstream in(garbage);
+    EXPECT_THROW((void)read_trace(in), CheckFailure);
+  }
+}
+
+// -------------------------------------------------------------- scale sanity
+
+// One 300-process suite computation through the full dynamic pipeline, with
+// spot-checked precedence against the exact Fidge/Mattern store.
+TEST(Scale, ThreeHundredProcessesEndToEnd) {
+  const Trace trace = generate_locality_random({.processes = 300,
+                                                .group_size = 13,
+                                                .intra_rate = 0.88,
+                                                .messages = 6000,
+                                                .seed = 314});
+  ASSERT_EQ(trace.process_count(), 300u);
+
+  ClusterEngineConfig config{.max_cluster_size = 14, .fm_vector_width = 300};
+  ClusterTimestampEngine engine(trace.process_count(), config,
+                                make_merge_on_nth(10));
+  engine.observe_trace(trace);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.events, trace.event_count());
+  EXPECT_LT(stats.average_ratio(300), 0.6);
+
+  const FmStore fm(trace);
+  Prng rng(5);
+  const auto order = trace.delivery_order();
+  for (int q = 0; q < 20000; ++q) {
+    const EventId e = order[rng.index(order.size())];
+    const EventId f = order[rng.index(order.size())];
+    ASSERT_EQ(engine.precedes(trace.event(e), trace.event(f)),
+              fm.precedes(e, f))
+        << e << " vs " << f;
+  }
+}
+
+// ------------------------------------------------- cross-engine agreement
+
+// Every precedence implementation must give identical answers: precomputed
+// FM, dynamic cluster engine (fast test), migrating engine (recursive test),
+// batch hybrid, and the monitoring entity fed out of order.
+TEST(Agreement, AllEnginesAgreeOnRandomQueries) {
+  const Trace trace = generate_tiered_service({.clients = 25,
+                                               .frontends = 5,
+                                               .app_servers = 6,
+                                               .databases = 2,
+                                               .requests = 300,
+                                               .seed = 88});
+  const FmStore fm(trace);
+
+  ClusterEngineConfig config{.max_cluster_size = 7, .fm_vector_width = 300};
+  ClusterTimestampEngine fast(trace.process_count(), config,
+                              make_merge_on_nth(3));
+  fast.observe_trace(trace);
+
+  MigratingEngineConfig mig;
+  mig.max_cluster_size = 7;
+  mig.fm_vector_width = 300;
+  mig.nth_threshold = 3;
+  mig.window = 10;
+  mig.home_share_low = 0.5;
+  MigratingClusterEngine migrating(trace.process_count(), mig);
+  migrating.observe_trace(trace);
+
+  BatchHybridConfig hybrid_config;
+  hybrid_config.batch_size = trace.event_count() / 2;
+  hybrid_config.engine = config;
+  BatchHybridEngine hybrid(trace.process_count(), hybrid_config);
+  hybrid.observe_trace(trace);
+
+  MonitorOptions monitor_options;
+  monitor_options.cluster = config;
+  monitor_options.nth_threshold = 3;
+  MonitoringEntity monitor(trace.process_count(), monitor_options);
+  for (const EventId id : trace.delivery_order()) {
+    monitor.ingest(trace.event(id));
+  }
+
+  Prng rng(6);
+  const auto order = trace.delivery_order();
+  for (int q = 0; q < 3000; ++q) {
+    const EventId e = order[rng.index(order.size())];
+    const EventId f = order[rng.index(order.size())];
+    const Event& ev_e = trace.event(e);
+    const Event& ev_f = trace.event(f);
+    const bool want = fm.precedes(e, f);
+    ASSERT_EQ(fast.precedes(ev_e, ev_f), want) << "fast " << e << "," << f;
+    ASSERT_EQ(migrating.precedes(ev_e, ev_f), want)
+        << "migrating " << e << "," << f;
+    ASSERT_EQ(hybrid.precedes(ev_e, ev_f), want)
+        << "hybrid " << e << "," << f;
+    ASSERT_EQ(monitor.precedes(e, f), want) << "monitor " << e << "," << f;
+  }
+}
+
+// ----------------------------------------------------- boundary conditions
+
+TEST(BatchHybrid, SyncPairNeverSplitsAcrossTheBatchBoundary) {
+  // Construct a trace where a sync pair's first half lands exactly at the
+  // configured batch size.
+  TraceBuilder b;
+  b.add_processes(3);
+  b.unary(0);
+  b.unary(1);
+  b.unary(2);  // 3 events
+  b.sync(0, 1);  // events 4 and 5: the pair straddles batch_size = 4
+  b.message(1, 2);
+  const Trace trace = b.build("boundary", TraceFamily::kDce);
+
+  BatchHybridConfig config;
+  config.batch_size = 4;
+  config.engine.max_cluster_size = 2;
+  config.engine.fm_vector_width = 300;
+  BatchHybridEngine engine(3, config);
+  engine.observe_trace(trace);  // must not throw (pair buffered together)
+  EXPECT_TRUE(engine.clustered());
+  EXPECT_EQ(engine.stats().events, trace.event_count());
+}
+
+TEST(Engine, SingleProcessTrace) {
+  TraceBuilder b;
+  b.add_processes(1);
+  for (int i = 0; i < 10; ++i) b.unary(0);
+  const Trace trace = b.build("solo", TraceFamily::kControl);
+  ClusterEngineConfig config{.max_cluster_size = 1, .fm_vector_width = 1};
+  ClusterTimestampEngine engine(1, config, make_merge_on_first());
+  engine.observe_trace(trace);
+  EXPECT_EQ(engine.stats().cluster_receives, 0u);
+  EXPECT_TRUE(engine.precedes(trace.event(EventId{0, 1}),
+                              trace.event(EventId{0, 5})));
+  EXPECT_FALSE(engine.precedes(trace.event(EventId{0, 5}),
+                               trace.event(EventId{0, 1})));
+}
+
+TEST(Engine, UnreceivedSendsBehaveLikeUnary) {
+  TraceBuilder b;
+  b.add_processes(2);
+  const EventId s1 = b.send(0);  // never received
+  b.unary(1);
+  const Trace trace = b.build("in-flight", TraceFamily::kControl);
+  ClusterEngineConfig config{.max_cluster_size = 2, .fm_vector_width = 300};
+  ClusterTimestampEngine engine(2, config, make_merge_on_first());
+  engine.observe_trace(trace);
+  EXPECT_EQ(engine.stats().cluster_receives, 0u);
+  EXPECT_FALSE(engine.precedes(trace.event(s1), trace.event(EventId{1, 1})));
+}
+
+TEST(Suite, DeterministicAcrossGenerations) {
+  // The frozen suite must regenerate identically (seeds, no wall-clock or
+  // address-dependent state).
+  const auto first = generate_standard_suite(/*parallel=*/true);
+  const auto second = generate_standard_suite(/*parallel=*/false);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    ASSERT_EQ(first[i].name(), second[i].name());
+    ASSERT_EQ(first[i].event_count(), second[i].event_count());
+    const auto a = first[i].delivery_order();
+    const auto b = second[i].delivery_order();
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      ASSERT_EQ(a[k], b[k]) << first[i].name() << " position " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ct

@@ -1,0 +1,105 @@
+// Integration sweep over the entire frozen 54-computation suite: every
+// computation runs through the dynamic engine with coherent statistics, and
+// precedence is spot-checked against the exact Fidge/Mattern store on a
+// sample of computations from every family.
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/static_pipeline.hpp"
+#include "timestamp/fm_store.hpp"
+#include "trace/suite.hpp"
+#include "util/prng.hpp"
+
+namespace ct {
+namespace {
+
+class SuiteIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    traces_ = new std::vector<Trace>(generate_standard_suite(true));
+  }
+  static void TearDownTestSuite() {
+    delete traces_;
+    traces_ = nullptr;
+  }
+  static std::vector<Trace>* traces_;
+};
+
+std::vector<Trace>* SuiteIntegration::traces_ = nullptr;
+
+TEST_F(SuiteIntegration, EveryComputationTimestampsCoherently) {
+  const auto& suite = standard_suite();
+  for (std::size_t i = 0; i < traces_->size(); ++i) {
+    const Trace& trace = (*traces_)[i];
+    ClusterEngineConfig config{.max_cluster_size = 14,
+                               .fm_vector_width = 300};
+    ClusterTimestampEngine engine(trace.process_count(), config,
+                                  make_merge_on_nth(10));
+    engine.observe_trace(trace);
+    const auto stats = engine.stats();
+    ASSERT_EQ(stats.events, trace.event_count()) << suite[i].id;
+    ASSERT_LE(stats.largest_cluster, 14u) << suite[i].id;
+    ASSERT_LE(stats.cluster_receives, stats.events) << suite[i].id;
+    ASSERT_LE(stats.exact_words, stats.encoded_words) << suite[i].id;
+    const double ratio = stats.average_ratio(300);
+    ASSERT_GT(ratio, 0.0) << suite[i].id;
+    ASSERT_LE(ratio, 1.0) << suite[i].id;
+    // The whole point: cheaper than Fidge/Mattern on every computation.
+    ASSERT_LT(ratio, 0.9) << suite[i].id;
+  }
+}
+
+TEST_F(SuiteIntegration, PrecedenceSpotChecksAcrossFamilies) {
+  const auto& suite = standard_suite();
+  // One representative per family, chosen by id prefix.
+  std::vector<std::size_t> picks;
+  std::string last_prefix;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const std::string prefix = suite[i].id.substr(0, suite[i].id.find('/'));
+    if (prefix != last_prefix) {
+      picks.push_back(i);
+      last_prefix = prefix;
+    }
+  }
+  ASSERT_GE(picks.size(), 4u);
+
+  for (const std::size_t i : picks) {
+    const Trace& trace = (*traces_)[i];
+    const FmStore fm(trace);
+    ClusterEngineConfig config{.max_cluster_size = 14,
+                               .fm_vector_width = 300};
+    ClusterTimestampEngine engine(trace.process_count(), config,
+                                  make_merge_on_nth(10));
+    engine.observe_trace(trace);
+    Prng rng(1000 + i);
+    const auto order = trace.delivery_order();
+    for (int q = 0; q < 3000; ++q) {
+      const EventId e = order[rng.index(order.size())];
+      const EventId f = order[rng.index(order.size())];
+      ASSERT_EQ(engine.precedes(trace.event(e), trace.event(f)),
+                fm.precedes(e, f))
+          << suite[i].id << ": " << e << " vs " << f;
+    }
+  }
+}
+
+TEST_F(SuiteIntegration, StaticBeatsNaiveBaselinesInAggregate) {
+  // Aggregate sanity of the paper's core comparison on three spot sizes:
+  // static greedy should beat fixed-contiguous on the large majority of
+  // computations (it uses the communication structure; fixed does not).
+  std::size_t greedy_wins = 0, total = 0;
+  for (std::size_t i = 0; i < traces_->size(); i += 4) {
+    const Trace& trace = (*traces_)[i];
+    const double greedy =
+        run_static(trace, StaticStrategy::kGreedy, 14).ratio;
+    const double fixed =
+        run_static(trace, StaticStrategy::kFixedContiguous, 14).ratio;
+    greedy_wins += greedy <= fixed + 1e-9;
+    ++total;
+  }
+  EXPECT_GE(greedy_wins * 10, total * 7)
+      << greedy_wins << " of " << total;
+}
+
+}  // namespace
+}  // namespace ct

@@ -1,0 +1,335 @@
+// Tests for ct_timestamp: the Fidge/Mattern engine (exact Figure-2 vectors,
+// oracle equivalence), the precomputed store, the on-demand cached engine,
+// differential encoding, and direct-dependency vectors.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/oracle.hpp"
+#include "model/trace_builder.hpp"
+#include "timestamp/differential.hpp"
+#include "timestamp/direct_dependency.hpp"
+#include "timestamp/fm_engine.hpp"
+#include "timestamp/fm_store.hpp"
+#include "timestamp/ondemand_fm.hpp"
+#include "trace/generators.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace ct {
+namespace {
+
+/// Reconstruction of the paper's Figure 2 computation:
+///   P1: A=send→D, B=send→G, C=recv(E)
+///   P2: D=recv(A), E=send→C, F=recv(H)
+///   P3: G=recv(B), H=send→F, I=unary
+Trace figure2_trace() {
+  TraceBuilder b;
+  b.add_processes(3);
+  const EventId a = b.send(0);
+  b.receive(1, a);  // D
+  const EventId bb = b.send(0);
+  b.receive(2, bb);  // G
+  const EventId e = b.send(1);
+  b.receive(0, e);  // C
+  const EventId h = b.send(2);
+  b.receive(1, h);  // F
+  b.unary(2);  // I
+  return b.build("figure2", TraceFamily::kControl);
+}
+
+TEST(FmEngine, Figure2ExactVectors) {
+  const Trace t = figure2_trace();
+  const FmStore store(t);
+  // Paper Figure 2, with our 0-based process ids (P1,P2,P3) → (0,1,2).
+  EXPECT_EQ(store.clock(EventId{0, 1}), (FmClock{1, 0, 0}));  // A
+  EXPECT_EQ(store.clock(EventId{0, 2}), (FmClock{2, 0, 0}));  // B
+  EXPECT_EQ(store.clock(EventId{0, 3}), (FmClock{3, 2, 0}));  // C
+  EXPECT_EQ(store.clock(EventId{1, 1}), (FmClock{1, 1, 0}));  // D
+  EXPECT_EQ(store.clock(EventId{1, 2}), (FmClock{1, 2, 0}));  // E
+  EXPECT_EQ(store.clock(EventId{1, 3}), (FmClock{2, 3, 2}));  // F
+  EXPECT_EQ(store.clock(EventId{2, 1}), (FmClock{2, 0, 1}));  // G
+  EXPECT_EQ(store.clock(EventId{2, 2}), (FmClock{2, 0, 2}));  // H
+  EXPECT_EQ(store.clock(EventId{2, 3}), (FmClock{2, 0, 3}));  // I
+}
+
+TEST(FmEngine, RejectsOutOfOrderObservation) {
+  FmEngine engine(2);
+  Event e{EventId{0, 2}, EventKind::kUnary, kNoEvent};
+  EXPECT_THROW(engine.observe(e), CheckFailure);
+}
+
+TEST(FmEngine, RejectsReceiveBeforeSend) {
+  FmEngine engine(2);
+  Event r{EventId{1, 1}, EventKind::kReceive, EventId{0, 1}};
+  EXPECT_THROW(engine.observe(r), CheckFailure);
+}
+
+TEST(FmEngine, InFlightSendsAreReleasedOnReceive) {
+  TraceBuilder b;
+  b.add_processes(2);
+  const EventId s = b.send(0);
+  b.receive(1, s);
+  const Trace t = b.build("io", TraceFamily::kControl);
+  FmEngine engine(2);
+  engine.observe(t.event(EventId{0, 1}));
+  EXPECT_EQ(engine.in_flight(), 1u);
+  engine.observe(t.event(EventId{1, 1}));
+  EXPECT_EQ(engine.in_flight(), 0u);
+}
+
+TEST(FmEngine, SyncPairCarriesIdenticalVectors) {
+  TraceBuilder b;
+  b.add_processes(3);
+  b.unary(0);
+  b.message(2, 0);
+  const auto [x, y] = b.sync(0, 1);
+  const Trace t = b.build("sync-fm", TraceFamily::kDce);
+  const FmStore store(t);
+  EXPECT_EQ(store.clock(x), store.clock(y));
+  // Both own components advanced, and P2's history carried over.
+  const FmClock& clock = store.clock(x);
+  EXPECT_EQ(clock[0], x.index);
+  EXPECT_EQ(clock[1], y.index);
+  EXPECT_EQ(clock[2], 1u);
+}
+
+// Property: the FM precedence test agrees with the transitive-closure oracle
+// on every ordered event pair, across generator families.
+class FmOracleProperty : public ::testing::TestWithParam<int> {};
+
+Trace property_trace(int which) {
+  switch (which) {
+    case 0:
+      return generate_ring({.processes = 12, .iterations = 8, .seed = 42});
+    case 1:
+      return generate_scatter_gather(
+          {.processes = 9, .rounds = 6, .seed = 43});
+    case 2:
+      return generate_web_server({.clients = 10,
+                                  .servers = 3,
+                                  .backends = 2,
+                                  .requests = 60,
+                                  .seed = 44});
+    case 3:
+      return generate_rpc_business({.groups = 3,
+                                    .clients_per_group = 3,
+                                    .servers_per_group = 2,
+                                    .calls = 70,
+                                    .seed = 45});
+    case 4:
+      return generate_uniform_random(
+          {.processes = 14, .messages = 120, .seed = 46});
+    case 5:
+      return generate_locality_random({.processes = 18,
+                                       .group_size = 6,
+                                       .messages = 150,
+                                       .seed = 47});
+    case 6:
+      return generate_pubsub({.publishers = 5,
+                              .brokers = 2,
+                              .subscribers = 8,
+                              .topics = 4,
+                              .subscribers_per_topic = 3,
+                              .messages = 40,
+                              .seed = 48});
+    case 7:
+      return generate_rpc_chain(
+          {.services = 10, .chain_length = 4, .requests = 25, .seed = 49});
+    default:
+      CT_CHECK(false);
+      return {};
+  }
+}
+
+std::vector<EventId> all_events(const Trace& t) {
+  std::vector<EventId> out;
+  for (const EventId id : t.delivery_order()) out.push_back(id);
+  return out;
+}
+
+TEST_P(FmOracleProperty, PrecedenceMatchesOracle) {
+  const Trace t = property_trace(GetParam());
+  const FmStore store(t);
+  const CausalityOracle oracle(t);
+  const auto events = all_events(t);
+  for (const EventId e : events) {
+    for (const EventId f : events) {
+      ASSERT_EQ(store.precedes(e, f), oracle.happened_before(e, f))
+          << "e=" << e << " f=" << f << " in " << t.name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, FmOracleProperty,
+                         ::testing::Range(0, 8));
+
+// Property: the on-demand engine returns the same clocks as the store,
+// regardless of cache size and query order.
+class OnDemandProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(OnDemandProperty, ClocksMatchStore) {
+  const auto [which, cache] = GetParam();
+  const Trace t = property_trace(which);
+  const FmStore store(t);
+  OnDemandFmEngine engine(t, cache);
+  Prng rng(99);
+  const auto events = all_events(t);
+  for (int q = 0; q < 300; ++q) {
+    const EventId e = events[rng.index(events.size())];
+    ASSERT_EQ(engine.clock(e), store.clock(e)) << e;
+  }
+  EXPECT_EQ(engine.counters().queries, 300u);
+  EXPECT_GT(engine.counters().computed_events, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OnDemandProperty,
+    ::testing::Combine(::testing::Values(0, 2, 3, 4),
+                       ::testing::Values(std::size_t{4}, std::size_t{64},
+                                         std::size_t{100000})));
+
+TEST(OnDemandFm, CacheHitsOnRepeatedQuery) {
+  const Trace t = property_trace(0);
+  OnDemandFmEngine engine(t, 1000);
+  const EventId target = t.delivery_order().back();
+  (void)engine.clock(target);
+  const auto computed_first = engine.counters().computed_events;
+  (void)engine.clock(target);
+  EXPECT_EQ(engine.counters().cache_hits, 1u);
+  EXPECT_EQ(engine.counters().computed_events, computed_first);
+}
+
+TEST(OnDemandFm, TinyCacheForcesRecomputation) {
+  const Trace t = property_trace(0);
+  OnDemandFmEngine warm(t, 100000);
+  OnDemandFmEngine cold(t, 2);
+  const auto events = all_events(t);
+  Prng rng(7);
+  for (int q = 0; q < 50; ++q) {
+    const EventId e = events[rng.index(events.size())];
+    (void)warm.clock(e);
+    (void)cold.clock(e);
+  }
+  EXPECT_GT(cold.counters().computed_events,
+            warm.counters().computed_events);
+}
+
+TEST(OnDemandFm, PrecedesMatchesStore) {
+  const Trace t = property_trace(3);
+  const FmStore store(t);
+  OnDemandFmEngine engine(t, 256);
+  const auto events = all_events(t);
+  Prng rng(123);
+  for (int q = 0; q < 500; ++q) {
+    const EventId e = events[rng.index(events.size())];
+    const EventId f = events[rng.index(events.size())];
+    ASSERT_EQ(engine.precedes(e, f), store.precedes(e, f))
+        << e << " vs " << f;
+  }
+}
+
+// Differential encoding: decodes to exactly the stored clocks, and the
+// saving factor behaves as §2.4 reports (bounded by checkpoint overhead).
+class DifferentialProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(DifferentialProperty, DecodesExactly) {
+  const auto [which, interval] = GetParam();
+  const Trace t = property_trace(which);
+  const FmStore store(t);
+  const DifferentialStore diff(t, interval);
+  for (const EventId e : t.delivery_order()) {
+    ASSERT_EQ(diff.clock(e), store.clock(e)) << e;
+  }
+  if (interval > 1) {
+    EXPECT_GT(diff.saving_factor(), 1.0);
+  } else {
+    // All-checkpoints degenerates to full storage plus descriptors.
+    EXPECT_LT(diff.saving_factor(), 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DifferentialProperty,
+    ::testing::Combine(::testing::Values(0, 1, 4, 5),
+                       ::testing::Values(std::size_t{1}, std::size_t{4},
+                                         std::size_t{16})));
+
+TEST(Differential, PrecedesMatchesStore) {
+  const Trace t = property_trace(5);
+  const FmStore store(t);
+  const DifferentialStore diff(t, 8);
+  const auto events = all_events(t);
+  Prng rng(5);
+  for (int q = 0; q < 400; ++q) {
+    const EventId e = events[rng.index(events.size())];
+    const EventId f = events[rng.index(events.size())];
+    ASSERT_EQ(diff.precedes(e, f), store.precedes(e, f));
+  }
+}
+
+TEST(Differential, IntervalOneIsAllCheckpoints) {
+  const Trace t = property_trace(0);
+  const DifferentialStore diff(t, 1);
+  // Every event stores a full vector + descriptor: slightly *worse* than raw.
+  EXPECT_EQ(diff.stored_words(),
+            t.event_count() * (t.process_count() + 1));
+  EXPECT_LT(diff.saving_factor(), 1.0 + 1e-9);
+}
+
+TEST(Differential, DecodeCostGrowsWithInterval) {
+  const Trace t = property_trace(1);
+  const DifferentialStore small(t, 2);
+  const DifferentialStore large(t, 32);
+  for (const EventId e : t.delivery_order()) {
+    (void)small.clock(e);
+    (void)large.clock(e);
+  }
+  EXPECT_LT(small.events_replayed(), large.events_replayed());
+  EXPECT_GT(large.saving_factor(), small.saving_factor());
+}
+
+// Direct-dependency vectors: tiny storage, search-based precedence that
+// must agree with the oracle on all pairs.
+class DdvProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DdvProperty, PrecedenceMatchesOracle) {
+  const Trace t = property_trace(GetParam());
+  const CausalityOracle oracle(t);
+  const DirectDependencyStore ddv(t);
+  const auto events = all_events(t);
+  Prng rng(17);
+  for (int q = 0; q < 2000; ++q) {
+    const EventId e = events[rng.index(events.size())];
+    const EventId f = events[rng.index(events.size())];
+    ASSERT_EQ(ddv.precedes(e, f), oracle.happened_before(e, f))
+        << e << " vs " << f << " in " << t.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, DdvProperty, ::testing::Range(0, 8));
+
+TEST(Ddv, StorageIsTiny) {
+  // DDV storage is O(1) words/event; FM is O(N) words/event. Use a wide
+  // trace so the asymptotic gap is visible.
+  const Trace t =
+      generate_uniform_random({.processes = 60, .messages = 400, .seed = 5});
+  const DirectDependencyStore ddv(t);
+  const FmStore store(t);
+  EXPECT_LT(ddv.stored_words() * 10, store.stored_elements());
+}
+
+TEST(Ddv, SearchCostIsCounted) {
+  const Trace t = property_trace(4);
+  const DirectDependencyStore ddv(t);
+  const auto events = all_events(t);
+  (void)ddv.precedes(events.front(), events.back());
+  EXPECT_GT(ddv.edges_traversed(), 0u);
+  ddv.reset_counters();
+  EXPECT_EQ(ddv.edges_traversed(), 0u);
+}
+
+}  // namespace
+}  // namespace ct

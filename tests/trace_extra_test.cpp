@@ -1,0 +1,211 @@
+// Tests for the extended generator set (butterfly / gossip / token ring),
+// the binary trace format, and the varint codec.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "model/oracle.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace_io.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+#include "util/varint.hpp"
+
+namespace ct {
+namespace {
+
+// ------------------------------------------------------------- generators
+
+TEST(Butterfly, XorPartnersOnly) {
+  const Trace t = generate_butterfly({.dimensions = 4, .sweeps = 3});
+  EXPECT_EQ(t.process_count(), 16u);
+  for (ProcessId p = 0; p < 16; ++p) {
+    for (const Event& e : t.process_events(p)) {
+      if (e.kind != EventKind::kReceive) continue;
+      const ProcessId q = e.partner.process;
+      const ProcessId x = p ^ q;
+      EXPECT_EQ(x & (x - 1), 0u) << "partner not a power-of-two stride";
+      EXPECT_NE(x, 0u);
+    }
+  }
+  // Every process exchanges once per round per dimension.
+  EXPECT_EQ(t.count(EventKind::kReceive), 16u * 4 * 3);
+}
+
+TEST(Butterfly, FullSweepConnectsEveryone) {
+  const Trace t = generate_butterfly({.dimensions = 3, .sweeps = 1});
+  const CausalityOracle oracle(t);
+  // After one full butterfly, the last event of process 0 depends on some
+  // event of every process.
+  const EventId last{0, t.process_size(0)};
+  for (ProcessId q = 0; q < 8; ++q) {
+    EXPECT_TRUE(oracle.happened_before(EventId{q, 1}, last))
+        << "process " << q << " not reached";
+  }
+}
+
+TEST(Gossip, OneSendPerProcessPerRound) {
+  const Trace t =
+      generate_gossip({.processes = 12, .rounds = 10, .seed = 33});
+  EXPECT_EQ(t.count(EventKind::kSend), 120u);
+  EXPECT_EQ(t.count(EventKind::kReceive), 120u);
+  for (ProcessId p = 0; p < 12; ++p) {
+    for (const Event& e : t.process_events(p)) {
+      if (e.kind == EventKind::kReceive) {
+        EXPECT_NE(e.partner.process, p);  // no self-gossip
+      }
+    }
+  }
+}
+
+TEST(TokenRing, StrictlySequentialToken) {
+  const Trace t =
+      generate_token_ring({.processes = 6, .laps = 4, .critical_events = 1});
+  const CausalityOracle oracle(t);
+  // The token makes everything totally ordered: no two communication
+  // events are concurrent.
+  const auto order = t.delivery_order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (std::size_t j = i + 1; j < order.size(); ++j) {
+      EXPECT_TRUE(oracle.happened_before(order[i], order[j]) ||
+                  order[i].process == order[j].process)
+          << order[i] << " vs " << order[j];
+    }
+  }
+}
+
+// ----------------------------------------------------------- binary format
+
+void expect_traces_equal(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.name(), b.name());
+  ASSERT_EQ(a.family(), b.family());
+  ASSERT_EQ(a.process_count(), b.process_count());
+  ASSERT_EQ(a.event_count(), b.event_count());
+  const auto ao = a.delivery_order();
+  const auto bo = b.delivery_order();
+  for (std::size_t i = 0; i < ao.size(); ++i) {
+    ASSERT_EQ(ao[i], bo[i]);
+    ASSERT_EQ(a.event(ao[i]), b.event(bo[i]));
+  }
+}
+
+TEST(BinaryTrace, RoundTripsAsyncAndSync) {
+  for (const Trace& t :
+       {generate_web_server({.clients = 8,
+                             .servers = 2,
+                             .backends = 1,
+                             .requests = 40,
+                             .seed = 41}),
+        generate_rpc_business({.groups = 2,
+                               .clients_per_group = 2,
+                               .servers_per_group = 2,
+                               .calls = 30,
+                               .seed = 42})}) {
+    std::stringstream buffer;
+    write_trace_binary(buffer, t);
+    expect_traces_equal(t, read_trace_binary(buffer));
+  }
+}
+
+TEST(BinaryTrace, SmallerThanText) {
+  const Trace t = generate_locality_random(
+      {.processes = 50, .group_size = 10, .messages = 2000, .seed = 43});
+  std::ostringstream text, binary;
+  write_trace(text, t);
+  write_trace_binary(binary, t);
+  EXPECT_LT(binary.str().size() * 2, text.str().size())
+      << "binary " << binary.str().size() << " vs text "
+      << text.str().size();
+}
+
+TEST(BinaryTrace, LoadAutoDetectsFormat) {
+  const Trace t = generate_ring({.processes = 5, .iterations = 3, .seed = 44});
+  const std::string dir = ::testing::TempDir();
+  save_trace(dir + "/auto.trace", t);      // text
+  save_trace(dir + "/auto.ctb", t);        // binary (by extension)
+  expect_traces_equal(t, load_trace(dir + "/auto.trace"));
+  expect_traces_equal(t, load_trace(dir + "/auto.ctb"));
+}
+
+TEST(BinaryTrace, RejectsCorruption) {
+  const Trace t = generate_ring({.processes = 4, .iterations = 2, .seed = 45});
+  std::ostringstream os;
+  write_trace_binary(os, t);
+  const std::string good = os.str();
+
+  {  // bad magic
+    std::string bad = good;
+    bad[0] = 'X';
+    std::istringstream in(bad);
+    EXPECT_THROW((void)read_trace_binary(in), CheckFailure);
+  }
+  {  // truncations anywhere must throw, not crash
+    Prng rng(9);
+    for (int i = 0; i < 50; ++i) {
+      std::string bad = good.substr(0, 5 + rng.index(good.size() - 5));
+      std::istringstream in(bad);
+      EXPECT_THROW((void)read_trace_binary(in), CheckFailure) << bad.size();
+    }
+  }
+  {  // random byte flips: parse or throw, never crash
+    Prng rng(10);
+    for (int i = 0; i < 100; ++i) {
+      std::string bad = good;
+      bad[4 + rng.index(bad.size() - 4)] = static_cast<char>(rng());
+      std::istringstream in(bad);
+      try {
+        (void)read_trace_binary(in);
+      } catch (const CheckFailure&) {
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------------- varint
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  for (const std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull, 0xffffffffull,
+        ~0ull}) {
+    std::string buffer;
+    put_varint(buffer, v);
+    std::size_t pos = 0;
+    EXPECT_EQ(get_varint(buffer, pos), v);
+    EXPECT_EQ(pos, buffer.size());
+  }
+}
+
+TEST(Varint, SmallValuesAreOneByte) {
+  std::string buffer;
+  put_varint(buffer, 127);
+  EXPECT_EQ(buffer.size(), 1u);
+  put_varint(buffer, 128);
+  EXPECT_EQ(buffer.size(), 3u);  // second value took two bytes
+}
+
+TEST(Varint, TruncationThrows) {
+  std::string buffer;
+  put_varint(buffer, 1u << 20);
+  buffer.pop_back();
+  std::size_t pos = 0;
+  EXPECT_THROW((void)get_varint(buffer, pos), CheckFailure);
+}
+
+TEST(Varint, RandomRoundTrip) {
+  Prng rng(6);
+  std::string buffer;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng() >> rng.index(64);
+    values.push_back(v);
+    put_varint(buffer, v);
+  }
+  std::size_t pos = 0;
+  for (const std::uint64_t v : values) {
+    ASSERT_EQ(get_varint(buffer, pos), v);
+  }
+  EXPECT_EQ(pos, buffer.size());
+}
+
+}  // namespace
+}  // namespace ct

@@ -1,0 +1,451 @@
+// Tests for ct_trace: generator invariants, the frozen 54-computation suite,
+// and trace-file round-tripping.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "model/oracle.hpp"
+#include "trace/generators.hpp"
+#include "trace/suite.hpp"
+#include "trace/trace_io.hpp"
+#include "util/check.hpp"
+
+namespace ct {
+namespace {
+
+void expect_structurally_valid(const Trace& t) {
+  ASSERT_GT(t.process_count(), 0u);
+  ASSERT_GT(t.event_count(), 0u);
+
+  // Delivery order: a permutation of all events, per-process ascending,
+  // receives after their sends, sync halves adjacent.
+  std::vector<EventIndex> seen(t.process_count(), 0);
+  std::size_t total = 0;
+  const auto order = t.delivery_order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const EventId id = order[i];
+    ASSERT_EQ(id.index, seen[id.process] + 1) << "at position " << i;
+    seen[id.process] = id.index;
+    ++total;
+    const Event& e = t.event(id);
+    EXPECT_EQ(e.id, id);
+    if (e.kind == EventKind::kReceive) {
+      EXPECT_LE(e.partner.index, seen[e.partner.process])
+          << "receive " << id << " before its send";
+      EXPECT_EQ(t.event(e.partner).kind, EventKind::kSend);
+      EXPECT_EQ(t.event(e.partner).partner, id);
+    }
+    if (e.kind == EventKind::kSync) {
+      EXPECT_NE(e.partner.process, id.process);
+      EXPECT_EQ(t.event(e.partner).kind, EventKind::kSync);
+      EXPECT_EQ(t.event(e.partner).partner, id);
+      // Adjacency: the partner is immediately before or after.
+      const bool before = i > 0 && order[i - 1] == e.partner;
+      const bool after = i + 1 < order.size() && order[i + 1] == e.partner;
+      EXPECT_TRUE(before || after) << "sync halves not adjacent at " << id;
+    }
+  }
+  std::size_t by_process = 0;
+  for (ProcessId p = 0; p < t.process_count(); ++p) {
+    by_process += t.process_size(p);
+  }
+  EXPECT_EQ(total, by_process);
+}
+
+TEST(Generators, RingShape) {
+  const Trace t = generate_ring({.processes = 8, .iterations = 5, .seed = 1});
+  expect_structurally_valid(t);
+  EXPECT_EQ(t.process_count(), 8u);
+  EXPECT_EQ(t.count(EventKind::kSend), 40u);
+  EXPECT_EQ(t.count(EventKind::kReceive), 40u);
+  EXPECT_EQ(t.family(), TraceFamily::kPvm);
+}
+
+TEST(Generators, Halo1dNeighboursOnly) {
+  const Trace t =
+      generate_halo1d({.processes = 10, .iterations = 4, .seed = 2});
+  expect_structurally_valid(t);
+  for (ProcessId p = 0; p < 10; ++p) {
+    for (const Event& e : t.process_events(p)) {
+      if (e.kind != EventKind::kReceive) continue;
+      const auto diff = e.partner.process > p ? e.partner.process - p
+                                              : p - e.partner.process;
+      EXPECT_EQ(diff, 1u) << "non-neighbour receive at " << e.id;
+    }
+  }
+}
+
+TEST(Generators, Halo2dFourNeighbours) {
+  const Trace t =
+      generate_halo2d({.width = 4, .height = 3, .iterations = 3, .seed = 3});
+  expect_structurally_valid(t);
+  EXPECT_EQ(t.process_count(), 12u);
+  for (ProcessId p = 0; p < 12; ++p) {
+    for (const Event& e : t.process_events(p)) {
+      if (e.kind != EventKind::kReceive) continue;
+      const ProcessId q = e.partner.process;
+      const auto px = p % 4, py = p / 4, qx = q % 4, qy = q / 4;
+      const auto manhattan = (px > qx ? px - qx : qx - px) +
+                             (py > qy ? py - qy : qy - py);
+      EXPECT_EQ(manhattan, 1u);
+    }
+  }
+}
+
+TEST(Generators, ScatterGatherStar) {
+  const Trace t =
+      generate_scatter_gather({.processes = 9, .rounds = 4, .seed = 4});
+  expect_structurally_valid(t);
+  // All communication involves the master (process 0).
+  for (ProcessId p = 1; p < 9; ++p) {
+    for (const Event& e : t.process_events(p)) {
+      if (e.kind == EventKind::kReceive) {
+        EXPECT_EQ(e.partner.process, 0u);
+      }
+    }
+  }
+}
+
+TEST(Generators, ReductionTreeParentChild) {
+  const Trace t =
+      generate_reduction_tree({.processes = 15, .rounds = 3, .seed = 5});
+  expect_structurally_valid(t);
+  for (ProcessId p = 0; p < 15; ++p) {
+    for (const Event& e : t.process_events(p)) {
+      if (e.kind != EventKind::kReceive) continue;
+      const ProcessId q = e.partner.process;
+      const bool parent_child =
+          (p > 0 && (p - 1) / 2 == q) || (q > 0 && (q - 1) / 2 == p);
+      EXPECT_TRUE(parent_child) << p << " <- " << q;
+    }
+  }
+}
+
+TEST(Generators, PipelineFlowsDownstream) {
+  const Trace t = generate_pipeline({.stages = 6, .items = 10, .seed = 6});
+  expect_structurally_valid(t);
+  for (ProcessId p = 0; p < 6; ++p) {
+    for (const Event& e : t.process_events(p)) {
+      if (e.kind == EventKind::kReceive) {
+        EXPECT_EQ(e.partner.process + 1, p);
+      }
+    }
+  }
+  // Every item reaches the last stage.
+  EXPECT_EQ(t.process_size(5), 10u * 2);  // receive + compute each
+}
+
+TEST(Generators, WavefrontNorthWestDependencies) {
+  const Trace t =
+      generate_wavefront({.width = 4, .height = 4, .sweeps = 2, .seed = 7});
+  expect_structurally_valid(t);
+  for (ProcessId p = 0; p < 16; ++p) {
+    for (const Event& e : t.process_events(p)) {
+      if (e.kind != EventKind::kReceive) continue;
+      const ProcessId q = e.partner.process;
+      EXPECT_TRUE(q + 1 == p || q + 4 == p)
+          << "receive from non-north/west neighbour";
+    }
+  }
+}
+
+TEST(Generators, MasterWorkerCompletesAllTasks) {
+  const Trace t =
+      generate_master_worker({.processes = 8, .tasks = 50, .seed = 8});
+  expect_structurally_valid(t);
+  // Master sends 50 tasks and receives 50 results.
+  std::size_t master_sends = 0, master_receives = 0;
+  for (const Event& e : t.process_events(0)) {
+    master_sends += e.kind == EventKind::kSend;
+    master_receives += e.kind == EventKind::kReceive;
+  }
+  EXPECT_EQ(master_sends, 50u);
+  EXPECT_EQ(master_receives, 50u);
+}
+
+TEST(Generators, WebServerRolesRespected) {
+  const WebServerOptions opt{.clients = 10,
+                             .servers = 3,
+                             .backends = 2,
+                             .requests = 80,
+                             .seed = 9};
+  const Trace t = generate_web_server(opt);
+  expect_structurally_valid(t);
+  EXPECT_EQ(t.process_count(), 15u);
+  EXPECT_EQ(t.family(), TraceFamily::kJava);
+  // Clients only talk to servers; backends only to servers.
+  for (ProcessId p = 0; p < 10; ++p) {
+    for (const Event& e : t.process_events(p)) {
+      if (e.kind == EventKind::kReceive) {
+        EXPECT_GE(e.partner.process, 10u);
+        EXPECT_LT(e.partner.process, 13u);
+      }
+    }
+  }
+  for (ProcessId p = 13; p < 15; ++p) {
+    for (const Event& e : t.process_events(p)) {
+      if (e.kind == EventKind::kReceive) {
+        EXPECT_GE(e.partner.process, 10u);
+        EXPECT_LT(e.partner.process, 13u);
+      }
+    }
+  }
+}
+
+TEST(Generators, TieredServiceLayering) {
+  const Trace t = generate_tiered_service({.clients = 8,
+                                           .frontends = 3,
+                                           .app_servers = 4,
+                                           .databases = 2,
+                                           .requests = 60,
+                                           .seed = 10});
+  expect_structurally_valid(t);
+  EXPECT_EQ(t.process_count(), 17u);
+  // Databases (13..16) receive only from app servers (11..14)… layer check:
+  for (ProcessId p = 15; p < 17; ++p) {
+    for (const Event& e : t.process_events(p)) {
+      if (e.kind == EventKind::kReceive) {
+        EXPECT_GE(e.partner.process, 11u);
+        EXPECT_LT(e.partner.process, 15u);
+      }
+    }
+  }
+}
+
+TEST(Generators, PubSubFanout) {
+  const Trace t = generate_pubsub({.publishers = 4,
+                                   .brokers = 2,
+                                   .subscribers = 9,
+                                   .topics = 3,
+                                   .subscribers_per_topic = 4,
+                                   .messages = 30,
+                                   .seed = 11});
+  expect_structurally_valid(t);
+  // Each post fans out to exactly 4 subscribers: broker sends = 4 × posts.
+  std::size_t broker_sends = 0, broker_receives = 0;
+  for (ProcessId p = 4; p < 6; ++p) {
+    for (const Event& e : t.process_events(p)) {
+      broker_sends += e.kind == EventKind::kSend;
+      broker_receives += e.kind == EventKind::kReceive;
+    }
+  }
+  EXPECT_EQ(broker_receives, 30u);
+  EXPECT_EQ(broker_sends, 120u);
+}
+
+TEST(Generators, RpcBusinessIsAllSync) {
+  const Trace t = generate_rpc_business({.groups = 2,
+                                         .clients_per_group = 2,
+                                         .servers_per_group = 2,
+                                         .calls = 40,
+                                         .seed = 12});
+  expect_structurally_valid(t);
+  EXPECT_EQ(t.family(), TraceFamily::kDce);
+  EXPECT_EQ(t.count(EventKind::kSend), 0u);
+  EXPECT_EQ(t.count(EventKind::kReceive), 0u);
+  EXPECT_GT(t.count(EventKind::kSync), 0u);
+  EXPECT_EQ(t.count(EventKind::kSync) % 2, 0u);
+}
+
+TEST(Generators, RpcChainTraversesConsecutiveServices) {
+  const Trace t = generate_rpc_chain(
+      {.services = 8, .chain_length = 3, .requests = 15, .seed = 13});
+  expect_structurally_valid(t);
+  for (ProcessId p = 0; p < 8; ++p) {
+    for (const Event& e : t.process_events(p)) {
+      if (e.kind != EventKind::kSync) continue;
+      const ProcessId q = e.partner.process;
+      const auto forward = (p + 1) % 8 == q || (q + 1) % 8 == p;
+      EXPECT_TRUE(forward) << p << " <-> " << q;
+    }
+  }
+}
+
+TEST(Generators, UniformRandomHasNoSelfMessages) {
+  const Trace t =
+      generate_uniform_random({.processes = 10, .messages = 200, .seed = 14});
+  expect_structurally_valid(t);
+  for (ProcessId p = 0; p < 10; ++p) {
+    for (const Event& e : t.process_events(p)) {
+      if (e.kind == EventKind::kReceive) {
+        EXPECT_NE(e.partner.process, p);
+      }
+    }
+  }
+}
+
+TEST(Generators, LocalityRandomMostlyIntraGroup) {
+  const Trace t = generate_locality_random({.processes = 24,
+                                            .group_size = 6,
+                                            .intra_rate = 0.9,
+                                            .messages = 1000,
+                                            .seed = 15});
+  expect_structurally_valid(t);
+  std::size_t intra = 0, inter = 0;
+  for (ProcessId p = 0; p < 24; ++p) {
+    for (const Event& e : t.process_events(p)) {
+      if (e.kind != EventKind::kReceive) continue;
+      (p / 6 == e.partner.process / 6 ? intra : inter) += 1;
+    }
+  }
+  EXPECT_GT(intra, inter * 4) << intra << " intra vs " << inter << " inter";
+}
+
+TEST(Generators, DeterministicGivenSeed) {
+  const auto opts = WebServerOptions{.clients = 10,
+                                     .servers = 3,
+                                     .backends = 2,
+                                     .requests = 50,
+                                     .seed = 77};
+  const Trace a = generate_web_server(opts);
+  const Trace b = generate_web_server(opts);
+  ASSERT_EQ(a.event_count(), b.event_count());
+  const auto ao = a.delivery_order();
+  const auto bo = b.delivery_order();
+  for (std::size_t i = 0; i < ao.size(); ++i) {
+    ASSERT_EQ(ao[i], bo[i]);
+    ASSERT_EQ(a.event(ao[i]), b.event(bo[i]));
+  }
+}
+
+TEST(Generators, DifferentSeedsDiffer) {
+  auto opts = UniformRandomOptions{.processes = 10, .messages = 100};
+  opts.seed = 1;
+  const Trace a = generate_uniform_random(opts);
+  opts.seed = 2;
+  const Trace b = generate_uniform_random(opts);
+  bool differs = a.event_count() != b.event_count();
+  if (!differs) {
+    const auto ao = a.delivery_order();
+    for (std::size_t i = 0; i < ao.size() && !differs; ++i) {
+      differs = a.event(ao[i]) != b.event(ao[i]);
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ----------------------------------------------------------------- the suite
+
+TEST(Suite, HasAtLeastFiftyComputationsAcrossThreeFamilies) {
+  const auto& suite = standard_suite();
+  EXPECT_GE(suite.size(), 50u);
+  std::set<std::string> ids;
+  std::size_t pvm = 0, java = 0, dce = 0, control = 0;
+  for (const auto& entry : suite) {
+    EXPECT_TRUE(ids.insert(entry.id).second) << "duplicate id " << entry.id;
+    switch (entry.family) {
+      case TraceFamily::kPvm:
+        ++pvm;
+        break;
+      case TraceFamily::kJava:
+        ++java;
+        break;
+      case TraceFamily::kDce:
+        ++dce;
+        break;
+      case TraceFamily::kControl:
+        ++control;
+        break;
+    }
+  }
+  EXPECT_GE(pvm, 10u);
+  EXPECT_GE(java, 10u);
+  EXPECT_GE(dce, 6u);
+  EXPECT_GE(control, 4u);
+}
+
+TEST(Suite, AllEntriesGenerateValidTracesUpTo300Processes) {
+  const auto traces = generate_standard_suite(/*parallel=*/true);
+  ASSERT_EQ(traces.size(), standard_suite().size());
+  std::size_t max_procs = 0;
+  for (const auto& t : traces) {
+    expect_structurally_valid(t);
+    EXPECT_LE(t.process_count(), 300u);
+    max_procs = std::max(max_procs, t.process_count());
+  }
+  EXPECT_EQ(max_procs, 300u) << "suite should reach the paper's 300";
+}
+
+TEST(Suite, FigureSamplesAreStable) {
+  const Trace upper = figure_sample_upper();
+  const Trace lower = figure_sample_lower();
+  expect_structurally_valid(upper);
+  expect_structurally_valid(lower);
+  EXPECT_NE(upper.name(), lower.name());
+}
+
+// -------------------------------------------------------------------- file IO
+
+void expect_traces_equal(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.name(), b.name());
+  ASSERT_EQ(a.family(), b.family());
+  ASSERT_EQ(a.process_count(), b.process_count());
+  ASSERT_EQ(a.event_count(), b.event_count());
+  const auto ao = a.delivery_order();
+  const auto bo = b.delivery_order();
+  for (std::size_t i = 0; i < ao.size(); ++i) {
+    ASSERT_EQ(ao[i], bo[i]) << "delivery position " << i;
+    ASSERT_EQ(a.event(ao[i]), b.event(bo[i]));
+  }
+}
+
+TEST(TraceIo, RoundTripsAsyncTrace) {
+  const Trace t =
+      generate_web_server({.clients = 6, .servers = 2, .backends = 1,
+                           .requests = 30, .seed = 21});
+  std::stringstream buffer;
+  write_trace(buffer, t);
+  expect_traces_equal(t, read_trace(buffer));
+}
+
+TEST(TraceIo, RoundTripsSyncTrace) {
+  const Trace t = generate_rpc_business({.groups = 2,
+                                         .clients_per_group = 2,
+                                         .servers_per_group = 2,
+                                         .calls = 25,
+                                         .seed = 22});
+  std::stringstream buffer;
+  write_trace(buffer, t);
+  expect_traces_equal(t, read_trace(buffer));
+}
+
+TEST(TraceIo, RoundTripPreservesCausality) {
+  const Trace t = generate_locality_random(
+      {.processes = 12, .group_size = 4, .messages = 80, .seed = 23});
+  std::stringstream buffer;
+  write_trace(buffer, t);
+  const Trace back = read_trace(buffer);
+  const CausalityOracle oa(t), ob(back);
+  for (const EventId e : t.delivery_order()) {
+    for (const EventId f : t.delivery_order()) {
+      ASSERT_EQ(oa.happened_before(e, f), ob.happened_before(e, f));
+    }
+  }
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  const auto reject = [](const std::string& text) {
+    std::istringstream in(text);
+    EXPECT_THROW(read_trace(in), CheckFailure) << text;
+  };
+  reject("");                                            // no header
+  reject("trace t control\nprocesses 1\nu 0\n");         // missing end
+  reject("trace t control\nprocesses 1\nu 5\nend 1\n");  // bad process
+  reject("trace t control\nprocesses 2\nr 1 0 1\nend 1\n");  // orphan recv
+  reject("trace t control\nprocesses 1\nu 0\nend 7\n");  // wrong count
+  reject("trace t control\nprocesses 1\nzz 0\nend 0\n");  // unknown tag
+  reject("trace t bogus-family\nprocesses 1\nu 0\nend 1\n");
+  reject("trace t control\nprocesses 2\ny 0 0\nend 2\n");  // self-sync
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace t = generate_ring({.processes = 5, .iterations = 3, .seed = 24});
+  const std::string path = ::testing::TempDir() + "/ct_ring.trace";
+  save_trace(path, t);
+  expect_traces_equal(t, load_trace(path));
+  EXPECT_THROW(load_trace(path + ".missing"), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ct

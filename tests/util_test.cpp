@@ -1,0 +1,279 @@
+// Unit tests for ct_util: PRNG, matrices, stats, bitsets, pools, CSV, CLI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <sstream>
+
+#include "util/ascii.hpp"
+#include "util/bitset.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/flat_matrix.hpp"
+#include "util/lru_cache.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ct {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_THROW(CT_CHECK(false), CheckFailure);
+  try {
+    CT_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+  }
+}
+
+TEST(Prng, DeterministicAcrossInstances) {
+  Prng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Prng, UniformRespectsBounds) {
+  Prng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Prng, UniformCoversRange) {
+  Prng rng(9);
+  std::map<std::uint64_t, int> histogram;
+  for (int i = 0; i < 5000; ++i) ++histogram[rng.uniform(0, 9)];
+  EXPECT_EQ(histogram.size(), 10u);
+  for (const auto& [value, count] : histogram) {
+    EXPECT_GT(count, 300) << "value " << value << " under-represented";
+  }
+}
+
+TEST(Prng, RealInUnitInterval) {
+  Prng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double r = rng.real();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1.0);
+  }
+}
+
+TEST(Prng, ChanceExtremes) {
+  Prng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Prng, SplitStreamsAreIndependent) {
+  Prng parent(42);
+  Prng child = parent.split();
+  // The child stream must not replicate the parent's continuation.
+  Prng parent_copy(42);
+  (void)parent_copy.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (child() == parent_copy());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(FlatMatrix, RoundTripAndGrow) {
+  FlatMatrix<int> m(2, 3, 7);
+  EXPECT_EQ(m(1, 2), 7);
+  m(0, 1) = 5;
+  m.grow(4, 4);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m(0, 1), 5);
+  EXPECT_EQ(m(1, 2), 7);
+  EXPECT_EQ(m(3, 3), 0);
+}
+
+TEST(FlatMatrix, GrowIsNoOpWhenSmaller) {
+  FlatMatrix<int> m(3, 3, 1);
+  m.grow(2, 2);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+}
+
+TEST(OnlineStats, MatchesClosedForm) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  OnlineStats whole, left, right;
+  Prng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.real() * 100;
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+}
+
+TEST(Summary, PercentilesOfKnownSample) {
+  const Summary s = Summary::of({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_DOUBLE_EQ(s.median, 5.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.p25, 3.25);
+  EXPECT_DOUBLE_EQ(s.p75, 7.75);
+}
+
+TEST(DynBitset, SetTestCount) {
+  DynBitset b(130);
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(DynBitset, OrWith) {
+  DynBitset a(100), b(100);
+  a.set(3);
+  b.set(97);
+  a.or_with(b);
+  EXPECT_TRUE(a.test(3));
+  EXPECT_TRUE(a.test(97));
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  EXPECT_NE(cache.get(1), nullptr);  // 1 is now most-recent
+  cache.put(3, 30);                  // evicts 2
+  EXPECT_EQ(cache.get(2), nullptr);
+  EXPECT_NE(cache.get(1), nullptr);
+  EXPECT_NE(cache.get(3), nullptr);
+}
+
+TEST(LruCache, PutOverwrites) {
+  LruCache<int, int> cache(4);
+  cache.put(1, 10);
+  cache.put(1, 11);
+  EXPECT_EQ(*cache.get(1), 11);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(1000);
+  ThreadPool pool(4);
+  parallel_for_index(pool, hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, WaitIdleAfterManySubmits) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&done] { done.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a", "b"});
+  w.row({"plain", "has,comma"});
+  w.row({"has\"quote", "has\nnewline"});
+  EXPECT_EQ(os.str(),
+            "a,b\nplain,\"has,comma\"\n\"has\"\"quote\",\"has\nnewline\"\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(Csv, RejectsRaggedRows) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), CheckFailure);
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog",   "--alpha=1", "pos1", "--beta", "2",
+                        "--gamma", "--delta=x y"};
+  CliArgs args(7, argv);
+  EXPECT_EQ(args.get_int_or("alpha", 0), 1);
+  EXPECT_EQ(args.get_int_or("beta", 0), 2);
+  // A bare flag followed by another flag is boolean.
+  EXPECT_TRUE(args.get_bool_or("gamma", false));
+  EXPECT_EQ(args.get_or("delta", ""), "x y");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+TEST(Cli, RejectsBadNumbers) {
+  const char* argv[] = {"prog", "--n=abc"};
+  CliArgs args(2, argv);
+  EXPECT_THROW(args.get_int_or("n", 0), CheckFailure);
+}
+
+TEST(Cli, TracksUnusedFlags) {
+  const char* argv[] = {"prog", "--used=1", "--unused=2"};
+  CliArgs args(3, argv);
+  (void)args.get("used");
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "unused");
+}
+
+TEST(Ascii, TableRendersAllCells) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("value"), std::string::npos);
+}
+
+TEST(Ascii, PlotRendersSeriesGlyphs) {
+  AsciiPlot plot("title", "x", "y", {0, 1, 2, 3});
+  plot.add_series({"s1", {0.0, 0.5, 1.0, 0.5}});
+  std::ostringstream os;
+  plot.print(os, 40, 10);
+  const std::string s = os.str();
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find("title"), std::string::npos);
+}
+
+TEST(Ascii, PlotRejectsMismatchedSeries) {
+  AsciiPlot plot("t", "x", "y", {0, 1, 2});
+  EXPECT_THROW(plot.add_series({"bad", {1.0}}), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ct
