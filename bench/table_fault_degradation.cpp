@@ -1,0 +1,202 @@
+// Degradation under ingest faults — precedence-answer coverage vs. injected
+// loss rate (robustness companion to the paper's §4 evaluation; see
+// docs/FAULT_MODEL.md).
+//
+// For one representative computation per trace family, the monitor ingests
+// a bursty cross-process interleaving through the seeded fault injector at
+// increasing drop rates (plus mild duplication and reordering). Reported
+// per (family, rate): the fraction of events delivered, the health
+// accounting (quarantined / evicted / duplicates), and *coverage* — the
+// fraction of sampled event pairs whose precedence the degraded monitor can
+// still answer (both endpoints delivered). Answers it does give are
+// verified against the exact Fidge/Mattern store.
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "monitor/fault_injector.hpp"
+#include "monitor/monitor.hpp"
+#include "timestamp/fm_store.hpp"
+#include "trace/generators.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace ct;
+
+std::vector<Event> interleave(const Trace& t, std::uint64_t seed) {
+  std::vector<std::vector<Event>> streams(t.process_count());
+  for (const EventId id : t.delivery_order()) {
+    streams[id.process].push_back(t.event(id));
+  }
+  std::vector<std::size_t> cursor(t.process_count(), 0);
+  std::vector<Event> arrival;
+  arrival.reserve(t.event_count());
+  Prng rng(seed);
+  std::size_t remaining = t.event_count();
+  while (remaining > 0) {
+    ProcessId p;
+    do {
+      p = static_cast<ProcessId>(rng.index(t.process_count()));
+    } while (cursor[p] >= streams[p].size());
+    const std::size_t burst = 1 + rng.index(4);
+    for (std::size_t k = 0; k < burst && cursor[p] < streams[p].size(); ++k) {
+      arrival.push_back(streams[p][cursor[p]++]);
+      --remaining;
+    }
+  }
+  return arrival;
+}
+
+struct Row {
+  std::string trace_id;
+  TraceFamily family = TraceFamily::kControl;
+  double drop_rate = 0.0;
+  double delivered_frac = 0.0;
+  double coverage = 0.0;  ///< answerable fraction of sampled pairs
+  MonitorHealth health;
+  bool answers_exact = true;
+};
+
+Row run_one(const std::string& id, const Trace& t, double drop_rate) {
+  Row row;
+  row.trace_id = id;
+  row.family = t.family();
+  row.drop_rate = drop_rate;
+
+  MonitorOptions options;
+  options.cluster.max_cluster_size = 8;
+  options.cluster.fm_vector_width = 300;
+  MonitoringEntity monitor(t.process_count(), options);
+
+  FaultPlan plan;
+  plan.seed = 4001;
+  plan.drop_rate = drop_rate;
+  plan.dup_rate = 0.01;
+  plan.reorder_rate = 0.01;
+  FaultInjector injector(plan, [&](const Event& e) { monitor.ingest(e); });
+  for (const Event& e : interleave(t, 13)) injector.push(e);
+  injector.flush();
+
+  row.health = monitor.health();
+  row.delivered_frac = static_cast<double>(monitor.stored()) /
+                       static_cast<double>(t.event_count());
+
+  const FmStore oracle(t);
+  Prng rng(29);
+  const auto order = t.delivery_order();
+  std::size_t answerable = 0;
+  const int kPairs = 20000;
+  for (int q = 0; q < kPairs; ++q) {
+    const EventId e = order[rng.index(order.size())];
+    const EventId f = order[rng.index(order.size())];
+    if (e.index <= monitor.delivered_count(e.process) &&
+        f.index <= monitor.delivered_count(f.process)) {
+      ++answerable;
+      if (monitor.precedes(e, f) != oracle.precedes(e, f)) {
+        row.answers_exact = false;
+      }
+    }
+  }
+  row.coverage = static_cast<double>(answerable) / kPairs;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ct;
+  bench::header(
+      "table_fault_degradation",
+      "robustness — precedence coverage vs. injected loss",
+      "One computation per trace family ingested through the seeded fault\n"
+      "injector (dup/reorder 1%; drop rate swept). Coverage = fraction of\n"
+      "sampled event pairs still answerable; given answers are verified\n"
+      "against the exact Fidge/Mattern store.");
+
+  struct Workload {
+    std::string id;
+    Trace trace;
+  };
+  const std::vector<Workload> workloads = {
+      {"pvm/wavefront", generate_wavefront({.width = 9, .height = 9,
+                                            .seed = 61})},
+      {"java/web", generate_web_server({.clients = 40, .servers = 6,
+                                        .backends = 3, .requests = 700,
+                                        .seed = 62})},
+      {"dce/rpc", generate_rpc_business({.groups = 6, .clients_per_group = 3,
+                                         .servers_per_group = 2,
+                                         .calls = 900, .seed = 63})},
+      {"ctl/local", generate_locality_random({.processes = 60,
+                                              .group_size = 10,
+                                              .intra_rate = 0.9,
+                                              .messages = 2000, .seed = 64})},
+  };
+  const std::vector<double> rates = {0.0, 0.01, 0.02, 0.05, 0.10};
+
+  std::vector<Row> rows;
+  for (const Workload& w : workloads) {
+    for (const double rate : rates) rows.push_back(run_one(w.id, w.trace, rate));
+  }
+
+  bench::section("csv");
+  std::cout << "trace,family,drop_rate,delivered_frac,coverage,quarantined,"
+               "evicted,duplicates,max_queue_depth,accounted,exact\n";
+  for (const Row& r : rows) {
+    std::printf("%s,%s,%.2f,%.4f,%.4f,%llu,%llu,%llu,%llu,%d,%d\n",
+                r.trace_id.c_str(), to_string(r.family), r.drop_rate,
+                r.delivered_frac, r.coverage,
+                static_cast<unsigned long long>(r.health.quarantined),
+                static_cast<unsigned long long>(r.health.evicted),
+                static_cast<unsigned long long>(r.health.duplicates),
+                static_cast<unsigned long long>(r.health.max_queue_depth),
+                r.health.accounted() ? 1 : 0, r.answers_exact ? 1 : 0);
+  }
+
+  bench::section("coverage vs. drop rate");
+  AsciiTable table({"trace", "drop", "delivered", "coverage", "quarantined",
+                    "evicted"});
+  for (const Row& r : rows) {
+    table.add_row({r.trace_id, fmt(r.drop_rate, 2), fmt(r.delivered_frac, 3),
+                   fmt(r.coverage, 3),
+                   std::to_string(r.health.quarantined),
+                   std::to_string(r.health.evicted)});
+  }
+  table.print(std::cout);
+
+  bench::section("analysis");
+  bool all_exact = true, all_accounted = true, zero_loss_full = true;
+  double loose_cov_at_5 = 0.0, tight_cov_at_5 = 0.0;
+  for (const Row& r : rows) {
+    all_exact = all_exact && r.answers_exact;
+    all_accounted = all_accounted && r.health.accounted();
+    if (r.drop_rate == 0.0 && r.delivered_frac < 1.0) zero_loss_full = false;
+    if (r.drop_rate == 0.05 && r.trace_id == "ctl/local") {
+      loose_cov_at_5 = r.coverage;
+    }
+    if (r.drop_rate == 0.05 && r.trace_id == "pvm/wavefront") {
+      tight_cov_at_5 = r.coverage;
+    }
+  }
+  bench::verdict("answers the degraded monitor gives are exact",
+                 "FM-oracle agreement on delivered pairs",
+                 all_exact ? "all sampled pairs agree" : "DISAGREEMENT",
+                 all_exact);
+  bench::verdict("health counters account for every non-delivered record",
+                 "ingested == delivered+dup+rejected+evicted+pending+quar",
+                 all_accounted ? "holds for every run" : "VIOLATED",
+                 all_accounted);
+  bench::verdict("zero injected loss -> full delivery and full coverage",
+                 "reorder-only faults are absorbed by the delivery manager",
+                 zero_loss_full ? "delivered_frac == 1 at rate 0"
+                                : "missing deliveries at rate 0",
+                 zero_loss_full);
+  bench::verdict(
+      "loss cascades with coupling: loosely coupled computations retain "
+      "more coverage than tightly coupled ones at 5% drop",
+      "a lost send blocks every causal successor (docs/FAULT_MODEL.md)",
+      "ctl/local coverage " + fmt(loose_cov_at_5, 3) + " vs pvm/wavefront " +
+          fmt(tight_cov_at_5, 3),
+      loose_cov_at_5 >= tight_cov_at_5);
+  return 0;
+}

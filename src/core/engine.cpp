@@ -207,4 +207,28 @@ ClusterEngineStats ClusterTimestampEngine::stats() const {
   return s;
 }
 
+std::uint64_t ClusterTimestampEngine::state_digest() const {
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (i * 8)) & 0xff)) * kPrime;
+    }
+  };
+  mix(events_);
+  mix(cluster_receive_count_);
+  mix(merges_);
+  mix(encoded_words_);
+  mix(exact_words_);
+  for (const ClusterId c : clusters_.clusters()) {
+    for (const ProcessId p : *clusters_.members(c)) mix(p);
+    mix(~std::uint64_t{0});  // cluster boundary marker
+  }
+  for (const auto& receives : cluster_receives_) {
+    mix(receives.size());
+    for (const EventIndex i : receives) mix(i);
+  }
+  return h;
+}
+
 }  // namespace ct

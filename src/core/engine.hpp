@@ -106,6 +106,12 @@ class ClusterTimestampEngine {
   const ClusterSet& clusters() const { return clusters_; }
   ClusterEngineStats stats() const;
 
+  /// Digest of the engine's observable state: cluster membership, cluster-
+  /// receive positions, and the storage accounting. Two engines that
+  /// observed the same delivery order have equal digests; snapshot restore
+  /// (trace/snapshot.hpp) uses this to detect a divergent replay.
+  std::uint64_t state_digest() const;
+
   /// Component-comparison count across precedes() calls (query-cost probe).
   std::uint64_t comparisons() const { return comparisons_; }
 

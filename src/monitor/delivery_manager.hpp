@@ -1,5 +1,5 @@
 // Delivery manager: turns per-process event streams arriving in arbitrary
-// interleaving into a valid delivery order.
+// interleaving into a valid delivery order — and survives faulty streams.
 //
 // §1: "event data is forwarded from each process to a central monitoring
 // entity". Streams from different processes race; the timestamp algorithms
@@ -9,16 +9,27 @@
 //   * a receive releases only after its matching send;
 //   * the two halves of a synchronous pair release back-to-back (the
 //     FmEngine's joint-vector computation relies on their adjacency).
-// Orphan receives (naming a send that never arrives) are detectable via
-// pending()/pending_events() once the streams close.
+//
+// Fault tolerance (docs/FAULT_MODEL.md): ingest() reports a structured
+// IngestResult instead of throwing. Duplicate (process, index) records are
+// idempotently dropped; records that skip ahead of their process's admitted
+// prefix or carry an unsatisfiable partner go to a per-process quarantine
+// (gap records are readmitted once the gap fills); a DeliveryPolicy bounds
+// the buffer via a cap and a tick-based orphan timeout, evicting the oldest
+// blocked record. Delivered events of each process always form a contiguous,
+// causally closed prefix, so every timestamp backend stays sound under loss.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <unordered_set>
 #include <vector>
 
 #include "model/event.hpp"
+#include "monitor/ingest_result.hpp"
 
 namespace ct {
 
@@ -26,33 +37,79 @@ class DeliveryManager {
  public:
   using Sink = std::function<void(const Event&)>;
 
-  DeliveryManager(std::size_t process_count, Sink sink);
+  DeliveryManager(std::size_t process_count, Sink sink,
+                  DeliveryPolicy policy = {});
 
-  /// Feeds one event from its process stream. Events of a single process
-  /// must arrive in index order (the stream is FIFO); across processes any
-  /// interleaving is accepted. Triggers zero or more sink deliveries.
-  void ingest(const Event& e);
+  /// Feeds one record from its process stream; any cross-process
+  /// interleaving is accepted. Triggers zero or more sink deliveries and
+  /// never throws on malformed input — see IngestResult.
+  IngestResult ingest(const Event& e);
 
-  /// Events buffered but not yet deliverable.
-  std::size_t pending() const { return pending_; }
-
-  /// Snapshot of buffered events (diagnosis of orphaned receives).
-  std::vector<Event> pending_events() const;
+  /// Events buffered but not yet deliverable (excluding quarantine).
+  std::size_t pending() const { return health_.pending; }
 
   /// Number of events delivered to the sink so far.
-  std::size_t delivered() const { return delivered_count_; }
+  std::size_t delivered() const { return health_.delivered; }
+
+  /// Ingest-path accounting; `pending`/`quarantined` are live values.
+  const MonitorHealth& health() const { return health_; }
+
+  /// Snapshot of buffered events (diagnosis of orphaned receives):
+  /// queued events followed by quarantined ones.
+  std::vector<Event> pending_events() const;
+
+  /// Snapshot of the quarantine only.
+  std::vector<Event> quarantined_events() const;
+
+  /// Highest delivered index per process (the delivery frontier).
+  const std::vector<EventIndex>& frontier() const { return delivered_; }
+
+  /// Checkpoint-restore support: declares `delivered_counts[p]` events per
+  /// process as already delivered outside this manager (replayed from a
+  /// snapshot), with `kinds[p][i-1]` their kinds, `consumed_sends` the sends
+  /// whose receives were delivered, and adopts the saved counters.
+  void restore(const std::vector<EventIndex>& delivered_counts,
+               std::vector<std::vector<std::uint8_t>> kinds,
+               std::unordered_set<EventId> consumed_sends,
+               const MonitorHealth& saved);
 
  private:
+  struct Buffered {
+    Event event;
+    std::uint64_t tick = 0;  ///< arrival position (ingest count)
+  };
+  struct Quarantined {
+    Event event;
+    std::uint64_t tick = 0;
+    IngestError error = IngestError::kNone;
+  };
+
+  IngestError validate(const Event& e) const;
+  bool partner_unsatisfiable(const Event& e) const;
   bool releasable_head(ProcessId p) const;
-  void drain();
+  bool head_poisoned(ProcessId p) const;
+  void admit(const Event& e, std::uint64_t tick);
+  void quarantine_head(ProcessId p);
   void release(ProcessId p);
+  void drain();
+  void enforce_policy();
+  bool evict_oldest();
+  void note_depth();
 
   Sink sink_;
-  std::vector<std::deque<Event>> queues_;     // undelivered, per process
-  std::vector<EventIndex> arrived_;           // highest index ingested
-  std::vector<EventIndex> delivered_;         // highest index delivered
-  std::size_t pending_ = 0;
-  std::size_t delivered_count_ = 0;
+  DeliveryPolicy policy_;
+  std::vector<std::deque<Buffered>> queues_;  // admitted, undelivered
+  std::vector<std::map<EventIndex, Quarantined>> quarantine_;
+  std::vector<EventIndex> arrived_;    // highest contiguously admitted index
+  std::vector<EventIndex> delivered_;  // highest index delivered
+  /// Kind of each delivered event, per process — lets the manager refuse to
+  /// release a (corrupt) receive whose named partner is not really a send.
+  std::vector<std::vector<std::uint8_t>> kinds_;
+  /// Sends whose matching receive has been delivered (each send's clock is
+  /// consumed exactly once by the FM engines downstream).
+  std::unordered_set<EventId> consumed_sends_;
+  std::uint64_t tick_ = 0;
+  MonitorHealth health_;
 };
 
 }  // namespace ct

@@ -1,0 +1,82 @@
+#include "monitor/fault_injector.hpp"
+
+#include "util/check.hpp"
+
+namespace ct {
+
+FaultInjector::FaultInjector(FaultPlan plan, Sink sink)
+    : plan_(plan), sink_(std::move(sink)), rng_(plan.seed) {
+  CT_CHECK(sink_ != nullptr);
+  CT_CHECK(plan_.reorder_window > 0);
+}
+
+void FaultInjector::push(const Event& e) {
+  ++stats_.seen;
+  Event record = e;
+  if (plan_.corrupt_rate > 0.0 && rng_.chance(plan_.corrupt_rate)) {
+    record = corrupt(record);
+    ++stats_.corrupted;
+  }
+  if (plan_.drop_rate > 0.0 && rng_.chance(plan_.drop_rate)) {
+    ++stats_.dropped;
+    return;
+  }
+  const bool duplicate = plan_.dup_rate > 0.0 && rng_.chance(plan_.dup_rate);
+  if (plan_.reorder_rate > 0.0 && rng_.chance(plan_.reorder_rate)) {
+    // Hold the record back; it re-enters the stream at a random later point.
+    held_.push_back(record);
+    ++stats_.reordered;
+  } else {
+    emit(record);
+    if (duplicate) {
+      emit(record);
+      ++stats_.duplicated;
+    }
+  }
+  while (held_.size() > plan_.reorder_window) release_one();
+  // Give held records a chance to re-enter before the window forces them.
+  if (!held_.empty() && rng_.chance(0.25)) release_one();
+}
+
+void FaultInjector::release_one() {
+  const std::size_t at = rng_.index(held_.size());
+  const Event e = held_[at];
+  held_[at] = held_.back();
+  held_.pop_back();
+  emit(e);
+}
+
+void FaultInjector::flush() {
+  while (!held_.empty()) release_one();
+}
+
+void FaultInjector::emit(const Event& e) {
+  ++stats_.forwarded;
+  sink_(e);
+}
+
+/// Mutates one field of the record the way bit rot / a buggy forwarder
+/// would: the kind byte, the partner coordinates, or the event's own index.
+Event FaultInjector::corrupt(Event e) {
+  switch (rng_.index(5)) {
+    case 0:
+      e.kind = static_cast<EventKind>(rng_.uniform(0, 7));
+      break;
+    case 1:
+      e.partner.process = static_cast<ProcessId>(rng_.uniform(0, 512));
+      break;
+    case 2:
+      e.partner.index = static_cast<EventIndex>(rng_.uniform(0, 1u << 20));
+      break;
+    case 3:
+      e.id.index = static_cast<EventIndex>(
+          rng_.uniform(e.id.index > 4 ? e.id.index - 4 : 0, e.id.index + 4));
+      break;
+    case 4:
+      e.id.process = static_cast<ProcessId>(rng_.uniform(0, 512));
+      break;
+  }
+  return e;
+}
+
+}  // namespace ct

@@ -1,0 +1,69 @@
+// Deterministic fault-injection harness for the ingest channel.
+//
+// Sits between a process-stream source and MonitoringEntity::ingest and
+// reproduces, from a single seed, the failure modes a production monitoring
+// channel exhibits (docs/FAULT_MODEL.md): records are dropped, duplicated,
+// reordered within a bounded window, and bit-corrupted. Because the injector
+// is seeded and pure (no wall clock, no global state), every failure
+// scenario in tests and benches replays exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "model/event.hpp"
+#include "util/prng.hpp"
+
+namespace ct {
+
+/// Per-record fault probabilities; all decisions draw from one seeded PRNG.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double drop_rate = 0.0;     ///< record vanishes
+  double dup_rate = 0.0;      ///< record is emitted twice
+  double reorder_rate = 0.0;  ///< record is held back and released later
+  double corrupt_rate = 0.0;  ///< one field of the record is mutated
+  /// Held-back records never trail the live stream by more than this many
+  /// emissions (the reorder window).
+  std::size_t reorder_window = 8;
+};
+
+struct FaultStats {
+  std::uint64_t seen = 0;       ///< records pushed into the injector
+  std::uint64_t forwarded = 0;  ///< records emitted to the sink
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;  ///< extra copies emitted
+  std::uint64_t reordered = 0;   ///< records released out of arrival order
+  std::uint64_t corrupted = 0;
+};
+
+class FaultInjector {
+ public:
+  using Sink = std::function<void(const Event&)>;
+
+  FaultInjector(FaultPlan plan, Sink sink);
+
+  /// Feeds one record through the faulty channel; emits zero or more
+  /// records to the sink.
+  void push(const Event& e);
+
+  /// Releases every held-back record (end of stream).
+  void flush();
+
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  void emit(const Event& e);
+  void release_one();
+  Event corrupt(Event e);
+
+  FaultPlan plan_;
+  Sink sink_;
+  Prng rng_;
+  FaultStats stats_;
+  std::vector<Event> held_;  // reorder buffer
+};
+
+}  // namespace ct

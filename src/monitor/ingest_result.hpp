@@ -1,0 +1,80 @@
+// Vocabulary types of the fault-tolerant ingest path (docs/FAULT_MODEL.md).
+//
+// The monitoring entity of Figure 1 is fed by racing per-process streams; in
+// production those streams lose, duplicate, reorder and corrupt records. The
+// ingest path therefore reports a structured outcome per record instead of
+// throwing on the first deviation, and the monitor exposes an accounting
+// (`MonitorHealth`) in which every ingested record lands in exactly one
+// bucket: delivered, duplicate, rejected, evicted, or currently held
+// (pending / quarantined).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ct {
+
+/// Outcome of feeding one record to the ingest path.
+enum class IngestStatus : std::uint8_t {
+  kAccepted,     ///< admitted to the delivery queues (0+ deliveries followed)
+  kDuplicate,    ///< (process, index) already seen — idempotently dropped
+  kQuarantined,  ///< held in the per-process quarantine (gap or bad partner)
+  kRejected,     ///< structurally unusable record (never admissible)
+};
+
+/// Why a record was not (immediately) admitted.
+enum class IngestError : std::uint8_t {
+  kNone,
+  kProcessOutOfRange,  ///< id.process >= process_count
+  kBadIndex,           ///< id.index == 0 (the invalid-event sentinel)
+  kBadKind,            ///< kind byte outside the EventKind range
+  kBadPartner,         ///< receive/sync partner invalid or unsatisfiable
+  kFifoGap,            ///< index skips ahead of the process's admitted prefix
+};
+
+const char* to_string(IngestStatus s);
+const char* to_string(IngestError e);
+
+struct IngestResult {
+  IngestStatus status = IngestStatus::kAccepted;
+  IngestError error = IngestError::kNone;
+  /// Sink deliveries triggered by this ingest (this record and/or previously
+  /// buffered ones it unblocked).
+  std::size_t delivered_now = 0;
+
+  bool accepted() const { return status == IngestStatus::kAccepted; }
+};
+
+/// Buffering limits of the delivery manager. Time is measured in *ticks* —
+/// one tick per ingested record — so the policy is deterministic and
+/// independent of wall clocks.
+struct DeliveryPolicy {
+  /// Cap on buffered records (pending + quarantined); when exceeded the
+  /// oldest buffered record is evicted. 0 = unbounded.
+  std::size_t max_buffered = 0;
+  /// A buffered record older than this many ticks is evicted as an orphan
+  /// (e.g. a receive whose send was lost). 0 = never.
+  std::uint64_t orphan_timeout = 0;
+};
+
+/// Ingest-path accounting. Invariant (checked by tests):
+///   ingested == delivered + duplicates + rejected + evicted
+///               + pending + quarantined.
+struct MonitorHealth {
+  std::uint64_t ingested = 0;    ///< records fed to ingest()
+  std::uint64_t delivered = 0;   ///< records delivered to the sink
+  std::uint64_t duplicates = 0;  ///< idempotently dropped re-transmissions
+  std::uint64_t rejected = 0;    ///< structurally unusable records
+  std::uint64_t evicted = 0;     ///< dropped by cap or orphan timeout
+  std::uint64_t readmitted = 0;  ///< quarantine -> queue transitions (transient)
+  std::uint64_t pending = 0;     ///< currently buffered, awaiting prerequisites
+  std::uint64_t quarantined = 0; ///< currently held in quarantine
+  std::uint64_t max_queue_depth = 0;  ///< peak pending + quarantined
+
+  bool accounted() const {
+    return ingested ==
+           delivered + duplicates + rejected + evicted + pending + quarantined;
+  }
+};
+
+}  // namespace ct

@@ -1,15 +1,31 @@
 #include "monitor/monitor.hpp"
 
+#include <unordered_set>
+
 #include "util/check.hpp"
 
 namespace ct {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline void fnv_mix(std::uint64_t& h, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
 
 MonitoringEntity::MonitoringEntity(std::size_t process_count,
                                    MonitorOptions options)
     : options_(options),
       process_count_(process_count),
       events_(process_count),
-      delivery_(process_count, [this](const Event& e) { deliver(e); }) {
+      delivery_(process_count, [this](const Event& e) { deliver(e); },
+                options.delivery) {
   switch (options_.backend) {
     case TimestampBackend::kPrecomputedFm:
       fm_ = std::make_unique<FmEngine>(process_count);
@@ -26,22 +42,45 @@ MonitoringEntity::MonitoringEntity(std::size_t process_count,
   }
 }
 
-void MonitoringEntity::ingest(const Event& e) { delivery_.ingest(e); }
+IngestResult MonitoringEntity::ingest(const Event& e) {
+  return delivery_.ingest(e);
+}
 
 void MonitoringEntity::deliver(const Event& e) {
   const ProcessId p = e.id.process;
   CT_CHECK_MSG(events_[p].size() + 1 == e.id.index,
-               "delivery out of order at " << e.id);
+               "delivery out of order at " << e.id << " (process " << p
+                                           << " has " << events_[p].size()
+                                           << " events stored, arrival #"
+                                           << health().ingested << ")");
   events_[p].push_back(e);
   // The record handle encodes the event's position directly.
   index_.insert(e.id, (static_cast<RecordHandle>(p) << 32) | e.id.index);
   ++store_count_;
+  delivery_log_.push_back(e.id);
 
   if (fm_) {
     fm_clocks_[p].push_back(fm_->observe(e));
   } else {
     cluster_->observe(e);
   }
+}
+
+void MonitoringEntity::replay_delivered(const Event& e) { deliver(e); }
+
+void MonitoringEntity::finish_restore(const MonitorHealth& saved) {
+  std::vector<EventIndex> counts(process_count_, 0);
+  std::vector<std::vector<std::uint8_t>> kinds(process_count_);
+  std::unordered_set<EventId> consumed;
+  for (ProcessId p = 0; p < process_count_; ++p) {
+    counts[p] = static_cast<EventIndex>(events_[p].size());
+    kinds[p].reserve(events_[p].size());
+    for (const Event& e : events_[p]) {
+      kinds[p].push_back(static_cast<std::uint8_t>(e.kind));
+      if (e.kind == EventKind::kReceive) consumed.insert(e.partner);
+    }
+  }
+  delivery_.restore(counts, std::move(kinds), std::move(consumed), saved);
 }
 
 const Event& MonitoringEntity::stored_event(EventId id) const {
@@ -88,6 +127,32 @@ std::uint64_t MonitoringEntity::timestamp_words() const {
 std::optional<ClusterEngineStats> MonitoringEntity::cluster_stats() const {
   if (!cluster_) return std::nullopt;
   return cluster_->stats();
+}
+
+std::uint64_t MonitoringEntity::state_digest() const {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, process_count_);
+  fnv_mix(h, store_count_);
+  for (ProcessId p = 0; p < process_count_; ++p) {
+    fnv_mix(h, events_[p].size());
+    for (const Event& e : events_[p]) {
+      fnv_mix(h, (static_cast<std::uint64_t>(e.id.process) << 32) |
+                     e.id.index);
+      fnv_mix(h, static_cast<std::uint64_t>(e.kind));
+      fnv_mix(h, (static_cast<std::uint64_t>(e.partner.process) << 32) |
+                     e.partner.index);
+    }
+  }
+  fnv_mix(h, timestamp_words());
+  if (cluster_) {
+    fnv_mix(h, cluster_->state_digest());
+  } else {
+    // The FM frontier (latest clock per process) summarizes backend state.
+    for (ProcessId p = 0; p < process_count_; ++p) {
+      for (const EventIndex c : fm_->current(p)) fnv_mix(h, c);
+    }
+  }
+  return h;
 }
 
 }  // namespace ct

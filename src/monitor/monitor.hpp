@@ -6,24 +6,40 @@
 // "store everything" strategy of §1.1) or self-organizing cluster timestamps
 // (the paper's contribution). Visualization engines and control entities
 // query it for events and precedence.
+//
+// Ingestion is fault tolerant (docs/FAULT_MODEL.md): ingest() reports a
+// structured IngestResult, health() accounts for every record that did not
+// make it into the store, and save_snapshot()/load_snapshot() (trace/
+// snapshot.hpp) checkpoint the delivered state so a restarted monitor
+// replays only the tail of a stream.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "index/event_index.hpp"
 #include "model/event.hpp"
+#include "model/ids.hpp"
 #include "monitor/delivery_manager.hpp"
+#include "monitor/ingest_result.hpp"
 #include "timestamp/fm_clock.hpp"
 #include "timestamp/fm_engine.hpp"
 #include "util/check.hpp"
 
 namespace ct {
 
-enum class TimestampBackend {
+class MonitoringEntity;
+void save_snapshot(std::ostream& out, const MonitoringEntity& monitor);
+std::unique_ptr<MonitoringEntity> load_snapshot(std::istream& in);
+
+enum class TimestampBackend : std::uint8_t {
   kPrecomputedFm,   ///< full FM vector stored per event (§1.1 baseline)
   kClusterDynamic,  ///< cluster timestamps, self-organizing (merge policy)
 };
@@ -34,25 +50,38 @@ struct MonitorOptions {
   /// Dynamic strategy when backend == kClusterDynamic:
   /// < 0 → merge-on-1st; otherwise merge-on-Nth with this threshold.
   double nth_threshold = 10.0;
+  /// Buffering limits of the ingest path (defaults: unbounded, no timeout).
+  DeliveryPolicy delivery;
 };
 
 class MonitoringEntity {
  public:
   MonitoringEntity(std::size_t process_count, MonitorOptions options);
 
-  /// Feeds one event from its process stream (any cross-process
-  /// interleaving; per-process FIFO).
-  void ingest(const Event& e);
+  /// Feeds one record from its process stream (any cross-process
+  /// interleaving). Malformed, duplicate, or out-of-order records are
+  /// absorbed and accounted, never thrown on — see IngestResult and
+  /// health().
+  IngestResult ingest(const Event& e);
 
   /// Events buffered awaiting causal prerequisites.
   std::size_t pending() const { return delivery_.pending(); }
   std::size_t stored() const { return store_count_; }
+  std::size_t process_count() const { return process_count_; }
+  const MonitorOptions& options() const { return options_; }
+
+  /// Ingest-path accounting: every ingested record lands in exactly one of
+  /// delivered / duplicates / rejected / evicted / pending / quarantined.
+  const MonitorHealth& health() const { return delivery_.health(); }
 
   /// Delivered events of one process.
   EventIndex delivered_count(ProcessId p) const {
     CT_CHECK_MSG(p < events_.size(), "process " << p << " out of range");
     return static_cast<EventIndex>(events_[p].size());
   }
+
+  /// Delivered events in delivery order (the replay log a snapshot saves).
+  std::span<const EventId> delivery_log() const { return delivery_log_; }
 
   /// Point lookup through the B+-tree index.
   std::optional<Event> find(EventId id) const;
@@ -71,9 +100,23 @@ class MonitoringEntity {
   /// Cluster statistics (cluster backend only).
   std::optional<ClusterEngineStats> cluster_stats() const;
 
+  /// Order-insensitive digest of the delivered state (events, frontier,
+  /// timestamp backend). Snapshots embed it so a divergent restore-replay is
+  /// detected instead of silently answering differently.
+  std::uint64_t state_digest() const;
+
  private:
+  friend void save_snapshot(std::ostream& out, const MonitoringEntity& m);
+  friend std::unique_ptr<MonitoringEntity> load_snapshot(std::istream& in);
+
   void deliver(const Event& e);
   const Event& stored_event(EventId id) const;
+  /// Snapshot restore: re-applies one delivered event to the store and
+  /// backends, bypassing the delivery manager.
+  void replay_delivered(const Event& e);
+  /// Snapshot restore: synchronizes the delivery manager with the replayed
+  /// state and adopts the saved counters.
+  void finish_restore(const MonitorHealth& saved);
 
   MonitorOptions options_;
   std::size_t process_count_;
@@ -81,6 +124,7 @@ class MonitoringEntity {
   std::vector<std::vector<Event>> events_;  // record store, per process
   EventStoreIndex index_;
   std::size_t store_count_ = 0;
+  std::vector<EventId> delivery_log_;
 
   // Backends (exactly one active).
   std::unique_ptr<FmEngine> fm_;

@@ -18,6 +18,7 @@
 // responsiveness (bench/gbench_frontier measures this end to end).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "model/ids.hpp"

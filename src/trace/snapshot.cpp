@@ -1,0 +1,188 @@
+#include "trace/snapshot.hpp"
+
+#include <bit>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "util/check.hpp"
+#include "util/varint.hpp"
+
+namespace ct {
+namespace {
+
+constexpr char kSnapshotMagic[] = "CTS1";
+constexpr std::uint8_t kSnapshotVersion = 1;
+
+void put_u64_le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (i * 8)) & 0xff));
+  }
+}
+
+std::uint64_t get_u64_le(const std::string& data, std::size_t& pos) {
+  CT_CHECK_MSG(pos + 8 <= data.size(), "snapshot truncated in fixed64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[pos++]))
+         << (i * 8);
+  }
+  return v;
+}
+
+}  // namespace
+
+void save_snapshot(std::ostream& out, const MonitoringEntity& monitor) {
+  std::string buffer;
+  buffer.append(kSnapshotMagic, 4);
+  buffer.push_back(static_cast<char>(kSnapshotVersion));
+
+  const MonitorOptions& options = monitor.options();
+  buffer.push_back(static_cast<char>(options.backend));
+  put_u64_le(buffer, std::bit_cast<std::uint64_t>(options.nth_threshold));
+  put_varint(buffer, options.cluster.max_cluster_size);
+  put_varint(buffer, options.cluster.fm_vector_width);
+  put_varint(buffer, options.cluster.encoded_cluster_width);
+  put_varint(buffer, options.delivery.max_buffered);
+  put_varint(buffer, options.delivery.orphan_timeout);
+
+  put_varint(buffer, monitor.process_count());
+  const auto log = monitor.delivery_log();
+  put_varint(buffer, log.size());
+  for (const EventId id : log) {
+    const auto e = monitor.find(id);
+    CT_CHECK_MSG(e.has_value(), "delivery log names unstored event " << id);
+    put_varint(buffer, e->id.process);
+    put_varint(buffer, e->id.index);
+    buffer.push_back(static_cast<char>(e->kind));
+    put_varint(buffer, e->partner.process);
+    put_varint(buffer, e->partner.index);
+  }
+
+  // Restored-state accounting (docs/FAULT_MODEL.md): records still buffered
+  // or quarantined are not captured, so their ingestion is uncounted after
+  // restore — the invariant holds on the saved counters as written.
+  MonitorHealth health = monitor.health();
+  health.ingested -= health.pending + health.quarantined;
+  health.pending = 0;
+  health.quarantined = 0;
+  put_varint(buffer, health.ingested);
+  put_varint(buffer, health.delivered);
+  put_varint(buffer, health.duplicates);
+  put_varint(buffer, health.rejected);
+  put_varint(buffer, health.evicted);
+  put_varint(buffer, health.readmitted);
+  put_varint(buffer, health.max_queue_depth);
+
+  put_u64_le(buffer, monitor.state_digest());
+
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  CT_CHECK_MSG(out.good(), "error writing monitor snapshot");
+}
+
+std::unique_ptr<MonitoringEntity> load_snapshot(std::istream& in) {
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  CT_CHECK_MSG(data.size() >= 5 && data.compare(0, 4, kSnapshotMagic) == 0,
+               "not a CTS1 monitor snapshot");
+  std::size_t pos = 4;
+  const auto version = static_cast<std::uint8_t>(data[pos++]);
+  CT_CHECK_MSG(version == kSnapshotVersion,
+               "unsupported snapshot version " << int{version});
+
+  MonitorOptions options;
+  CT_CHECK_MSG(pos < data.size(), "snapshot truncated");
+  const auto backend_raw = static_cast<std::uint8_t>(data[pos++]);
+  CT_CHECK_MSG(
+      backend_raw <=
+          static_cast<std::uint8_t>(TimestampBackend::kClusterDynamic),
+      "unknown backend code " << int{backend_raw});
+  options.backend = static_cast<TimestampBackend>(backend_raw);
+  options.nth_threshold = std::bit_cast<double>(get_u64_le(data, pos));
+  options.cluster.max_cluster_size =
+      static_cast<std::size_t>(get_varint(data, pos));
+  options.cluster.fm_vector_width =
+      static_cast<std::size_t>(get_varint(data, pos));
+  options.cluster.encoded_cluster_width =
+      static_cast<std::size_t>(get_varint(data, pos));
+  options.delivery.max_buffered =
+      static_cast<std::size_t>(get_varint(data, pos));
+  options.delivery.orphan_timeout = get_varint(data, pos);
+
+  const std::uint64_t process_count = get_varint(data, pos);
+  CT_CHECK_MSG(process_count > 0 && process_count <= (1u << 20),
+               "implausible snapshot process count " << process_count);
+  const std::uint64_t event_count = get_varint(data, pos);
+
+  auto monitor = std::make_unique<MonitoringEntity>(
+      static_cast<std::size_t>(process_count), options);
+  for (std::uint64_t i = 0; i < event_count; ++i) {
+    Event e;
+    const std::uint64_t p = get_varint(data, pos);
+    const std::uint64_t index = get_varint(data, pos);
+    CT_CHECK_MSG(p < process_count && index > 0 && index <= 0xffffffffull,
+                 "snapshot event " << i << " out of range");
+    e.id = EventId{static_cast<ProcessId>(p),
+                   static_cast<EventIndex>(index)};
+    CT_CHECK_MSG(pos < data.size(), "snapshot truncated in event " << i);
+    const auto kind_raw = static_cast<std::uint8_t>(data[pos++]);
+    CT_CHECK_MSG(kind_raw <= static_cast<std::uint8_t>(EventKind::kSync),
+                 "snapshot event " << i << " has bad kind " << int{kind_raw});
+    e.kind = static_cast<EventKind>(kind_raw);
+    const std::uint64_t pp = get_varint(data, pos);
+    const std::uint64_t pi = get_varint(data, pos);
+    CT_CHECK_MSG(pp <= 0xffffffffull && pi <= 0xffffffffull,
+                 "snapshot event " << i << " has bad partner");
+    e.partner = EventId{static_cast<ProcessId>(pp),
+                        static_cast<EventIndex>(pi)};
+    monitor->replay_delivered(e);
+  }
+
+  MonitorHealth health;
+  health.ingested = get_varint(data, pos);
+  health.delivered = get_varint(data, pos);
+  health.duplicates = get_varint(data, pos);
+  health.rejected = get_varint(data, pos);
+  health.evicted = get_varint(data, pos);
+  health.readmitted = get_varint(data, pos);
+  health.max_queue_depth = get_varint(data, pos);
+  CT_CHECK_MSG(health.delivered == event_count,
+               "snapshot counters disagree with the log: delivered "
+                   << health.delivered << " vs " << event_count << " events");
+  CT_CHECK_MSG(health.accounted(),
+               "snapshot counters do not account for every record");
+  monitor->finish_restore(health);
+
+  const std::uint64_t digest = get_u64_le(data, pos);
+  CT_CHECK_MSG(monitor->state_digest() == digest,
+               "snapshot replay diverged from the saved state digest");
+  CT_CHECK_MSG(pos == data.size(),
+               "trailing bytes after snapshot (" << data.size() - pos << ")");
+  return monitor;
+}
+
+void save_snapshot(const std::string& path, const MonitoringEntity& monitor) {
+  try {
+    std::ofstream out(path, std::ios::binary);
+    CT_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+    save_snapshot(out, monitor);
+    out.flush();
+    CT_CHECK_MSG(out.good(), "error writing '" << path << "'");
+  } catch (const CheckFailure& f) {
+    throw CheckFailure(std::string(f.what()) + " [snapshot file: " + path +
+                       "]");
+  }
+}
+
+std::unique_ptr<MonitoringEntity> load_snapshot(const std::string& path) {
+  try {
+    std::ifstream in(path, std::ios::binary);
+    CT_CHECK_MSG(in.good(), "cannot open '" << path << "' for reading");
+    return load_snapshot(in);
+  } catch (const CheckFailure& f) {
+    throw CheckFailure(std::string(f.what()) + " [snapshot file: " + path +
+                       "]");
+  }
+}
+
+}  // namespace ct

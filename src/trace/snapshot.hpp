@@ -1,0 +1,36 @@
+// Versioned monitor snapshots — checkpoint/restore for the monitoring
+// entity ("CTS1" format; docs/FAULT_MODEL.md documents the layout and the
+// restored-state accounting).
+//
+// A snapshot captures everything a restarted monitor needs to answer the
+// same precedence queries: the configuration, the delivered events in their
+// delivery order (the replay log), the delivery-manager frontier, the
+// health counters, and a digest of the backend state. Restore rebuilds the
+// timestamp backend by replaying the log — the engines are deterministic,
+// so the rebuilt state is bit-identical, and the embedded digest verifies
+// it. Records still buffered or quarantined at checkpoint time are NOT
+// captured; re-feeding the stream tail (overlap included — duplicates drop
+// idempotently) resumes exactly where the checkpoint left off.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "monitor/monitor.hpp"
+
+namespace ct {
+
+/// Writes the monitor's delivered state. Throws CheckFailure on I/O error.
+void save_snapshot(std::ostream& out, const MonitoringEntity& monitor);
+
+/// Reads a snapshot and rebuilds a monitor by replaying the delivered log.
+/// Throws CheckFailure on malformed input, version mismatch, or a replay
+/// that diverges from the embedded state digest.
+std::unique_ptr<MonitoringEntity> load_snapshot(std::istream& in);
+
+/// File-path conveniences; errors include the path.
+void save_snapshot(const std::string& path, const MonitoringEntity& monitor);
+std::unique_ptr<MonitoringEntity> load_snapshot(const std::string& path);
+
+}  // namespace ct

@@ -194,9 +194,12 @@ Trace read_trace_binary(std::istream& in) {
   CT_CHECK_MSG(family_raw <= static_cast<std::uint8_t>(TraceFamily::kControl),
                "unknown trace family code " << int{family_raw});
   const auto family = static_cast<TraceFamily>(family_raw);
+  // Bounded so that a corrupt varint cannot force a giant builder
+  // allocation before any record is validated (the fuzz tests feed
+  // adversarial headers).
   const std::uint64_t process_count = get_varint(data, pos);
-  CT_CHECK_MSG(process_count > 0 && process_count <= (1u << 24),
-               "implausible process count");
+  CT_CHECK_MSG(process_count > 0 && process_count <= (1u << 20),
+               "implausible process count " << process_count);
   const std::uint64_t declared_events = get_varint(data, pos);
 
   TraceBuilder builder;
@@ -242,28 +245,38 @@ Trace read_trace_binary(std::istream& in) {
 }
 
 void save_trace(const std::string& path, const Trace& trace) {
-  const bool binary =
-      path.size() >= 4 && path.compare(path.size() - 4, 4, ".ctb") == 0;
-  std::ofstream out(path, binary ? std::ios::binary : std::ios::out);
-  CT_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
-  if (binary) {
-    write_trace_binary(out, trace);
-  } else {
-    write_trace(out, trace);
+  try {
+    const bool binary =
+        path.size() >= 4 && path.compare(path.size() - 4, 4, ".ctb") == 0;
+    std::ofstream out(path, binary ? std::ios::binary : std::ios::out);
+    CT_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+    if (binary) {
+      write_trace_binary(out, trace);
+    } else {
+      write_trace(out, trace);
+    }
+    out.flush();
+    CT_CHECK_MSG(out.good(), "error writing '" << path << "'");
+  } catch (const CheckFailure& f) {
+    // Every failure names the file it came from (text-format messages
+    // already carry the line number).
+    throw CheckFailure(std::string(f.what()) + " [trace file: " + path + "]");
   }
-  out.flush();
-  CT_CHECK_MSG(out.good(), "error writing '" << path << "'");
 }
 
 Trace load_trace(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  CT_CHECK_MSG(in.good(), "cannot open '" << path << "' for reading");
-  char magic[4] = {0, 0, 0, 0};
-  in.read(magic, 4);
-  in.clear();
-  in.seekg(0);
-  if (std::string(magic, 4) == kBinaryMagic) return read_trace_binary(in);
-  return read_trace(in);
+  try {
+    std::ifstream in(path, std::ios::binary);
+    CT_CHECK_MSG(in.good(), "cannot open '" << path << "' for reading");
+    char magic[4] = {0, 0, 0, 0};
+    in.read(magic, 4);
+    in.clear();
+    in.seekg(0);
+    if (std::string(magic, 4) == kBinaryMagic) return read_trace_binary(in);
+    return read_trace(in);
+  } catch (const CheckFailure& f) {
+    throw CheckFailure(std::string(f.what()) + " [trace file: " + path + "]");
+  }
 }
 
 }  // namespace ct

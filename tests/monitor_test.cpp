@@ -110,11 +110,94 @@ TEST(DeliveryManager, OrphanReceiveStaysPending) {
   EXPECT_EQ(pending[0].id, (EventId{1, 1}));
 }
 
-TEST(DeliveryManager, RejectsNonFifoStream) {
-  DeliveryManager dm(1, [](const Event&) {});
-  dm.ingest(Event{EventId{0, 1}, EventKind::kUnary, kNoEvent});
-  EXPECT_THROW(dm.ingest(Event{EventId{0, 3}, EventKind::kUnary, kNoEvent}),
-               CheckFailure);
+TEST(DeliveryManager, QuarantinesNonFifoStreamAndReadmitsOnGapFill) {
+  std::vector<EventId> delivered;
+  DeliveryManager dm(1, [&](const Event& e) { delivered.push_back(e.id); });
+  EXPECT_TRUE(dm.ingest(Event{EventId{0, 1}, EventKind::kUnary, kNoEvent})
+                  .accepted());
+  // Index 3 skips ahead of the admitted prefix: held in quarantine.
+  const auto gap = dm.ingest(Event{EventId{0, 3}, EventKind::kUnary, kNoEvent});
+  EXPECT_EQ(gap.status, IngestStatus::kQuarantined);
+  EXPECT_EQ(gap.error, IngestError::kFifoGap);
+  EXPECT_EQ(dm.health().quarantined, 1u);
+  // The gap fills: index 2 is admitted and index 3 readmitted behind it.
+  const auto fill =
+      dm.ingest(Event{EventId{0, 2}, EventKind::kUnary, kNoEvent});
+  EXPECT_TRUE(fill.accepted());
+  EXPECT_EQ(fill.delivered_now, 2u);
+  EXPECT_EQ(dm.health().readmitted, 1u);
+  EXPECT_EQ(dm.health().quarantined, 0u);
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_EQ(delivered.back(), (EventId{0, 3}));
+  EXPECT_TRUE(dm.health().accounted());
+}
+
+TEST(DeliveryManager, DuplicatesDropIdempotently) {
+  std::vector<EventId> delivered;
+  DeliveryManager dm(1, [&](const Event& e) { delivered.push_back(e.id); });
+  const Event e{EventId{0, 1}, EventKind::kUnary, kNoEvent};
+  EXPECT_TRUE(dm.ingest(e).accepted());
+  EXPECT_EQ(dm.ingest(e).status, IngestStatus::kDuplicate);
+  EXPECT_EQ(dm.ingest(e).status, IngestStatus::kDuplicate);
+  EXPECT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(dm.health().duplicates, 2u);
+  EXPECT_TRUE(dm.health().accounted());
+}
+
+TEST(DeliveryManager, RejectsStructurallyUnusableRecords) {
+  DeliveryManager dm(2, [](const Event&) {});
+  EXPECT_EQ(dm.ingest(Event{EventId{9, 1}, EventKind::kUnary, kNoEvent}).error,
+            IngestError::kProcessOutOfRange);
+  EXPECT_EQ(dm.ingest(Event{EventId{0, 0}, EventKind::kUnary, kNoEvent}).error,
+            IngestError::kBadIndex);
+  EXPECT_EQ(dm.ingest(Event{EventId{0, 1}, static_cast<EventKind>(7),
+                            kNoEvent})
+                .error,
+            IngestError::kBadKind);
+  // A receive naming an out-of-range partner can never be satisfied.
+  EXPECT_EQ(dm.ingest(Event{EventId{0, 1}, EventKind::kReceive,
+                            EventId{9, 1}})
+                .error,
+            IngestError::kBadPartner);
+  EXPECT_EQ(dm.health().rejected, 3u);
+  EXPECT_EQ(dm.health().quarantined, 1u);
+  EXPECT_TRUE(dm.health().accounted());
+}
+
+TEST(DeliveryManager, BoundedBufferEvictsOldestBlockedRecord) {
+  DeliveryPolicy policy;
+  policy.max_buffered = 2;
+  std::vector<EventId> delivered;
+  DeliveryManager dm(
+      3, [&](const Event& e) { delivered.push_back(e.id); }, policy);
+  // Three receives whose sends never arrive — the third pushes the first
+  // (oldest) out of the bounded buffer.
+  dm.ingest(Event{EventId{0, 1}, EventKind::kReceive, EventId{2, 1}});
+  dm.ingest(Event{EventId{1, 1}, EventKind::kReceive, EventId{2, 2}});
+  dm.ingest(Event{EventId{0, 2}, EventKind::kReceive, EventId{2, 3}});
+  EXPECT_EQ(dm.health().evicted, 1u);
+  EXPECT_EQ(dm.pending(), 2u);
+  EXPECT_TRUE(dm.health().accounted());
+  // The hole left by the eviction keeps process 0's later events blocked —
+  // delivered events always form a contiguous prefix.
+  dm.ingest(Event{EventId{2, 1}, EventKind::kSend, EventId{0, 1}});
+  EXPECT_TRUE(delivered.empty() ||
+              delivered.front() != (EventId{0, 1}));
+}
+
+TEST(DeliveryManager, OrphanTimeoutEvictsStaleReceive) {
+  DeliveryPolicy policy;
+  policy.orphan_timeout = 3;
+  DeliveryManager dm(2, [](const Event&) {}, policy);
+  dm.ingest(Event{EventId{1, 1}, EventKind::kReceive, EventId{0, 99}});
+  EXPECT_EQ(dm.pending(), 1u);
+  // Three more ticks age the orphan past the timeout.
+  for (EventIndex i = 1; i <= 4; ++i) {
+    dm.ingest(Event{EventId{0, i}, EventKind::kUnary, kNoEvent});
+  }
+  EXPECT_EQ(dm.pending(), 0u);
+  EXPECT_EQ(dm.health().evicted, 1u);
+  EXPECT_TRUE(dm.health().accounted());
 }
 
 TEST(DeliveryManager, SyncHalvesWaitForEachOther) {

@@ -3,7 +3,9 @@
 // conditions that individual module tests don't reach.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <string>
 
 #include "core/batch_hybrid.hpp"
 #include "core/engine.hpp"
@@ -85,6 +87,84 @@ TEST(TraceFuzz, CorruptedFilesNeverCrashTheReader) {
   // comment bytes). Both outcomes are fine — crashes are not.
   EXPECT_GT(rejected, 150u);
   EXPECT_EQ(parsed + rejected, 300u);
+}
+
+// Same contract for the binary ("CTB1") format: corrupt varints, flipped
+// tags, truncation and bad magic must parse to a valid trace or throw
+// CheckFailure — never crash, hang, or over-allocate.
+TEST(TraceFuzz, CorruptedBinaryFilesNeverCrashTheReader) {
+  const Trace original = generate_rpc_business({.groups = 2,
+                                                .clients_per_group = 3,
+                                                .servers_per_group = 2,
+                                                .calls = 60,
+                                                .seed = 77});
+  std::ostringstream os;
+  write_trace_binary(os, original);
+  const std::string good = os.str();
+
+  Prng rng(8484);
+  std::size_t parsed = 0, rejected = 0;
+  for (int round = 0; round < 300; ++round) {
+    std::string bad = good;
+    const std::size_t mutations = 1 + rng.index(3);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      if (bad.empty()) break;
+      switch (rng.index(5)) {
+        case 0: {  // flip a byte to any value
+          bad[rng.index(bad.size())] = static_cast<char>(rng.uniform(0, 255));
+          break;
+        }
+        case 1: {  // delete a span
+          const std::size_t at = rng.index(bad.size());
+          bad.erase(at, 1 + rng.index(8));
+          break;
+        }
+        case 2: {  // duplicate a span
+          const std::size_t at = rng.index(bad.size());
+          const std::size_t len =
+              std::min<std::size_t>(1 + rng.index(8), bad.size() - at);
+          bad.insert(at, bad.substr(at, len));
+          break;
+        }
+        case 3: {  // truncate
+          bad.resize(rng.index(bad.size()));
+          break;
+        }
+        case 4: {  // truncated varint: set continuation bits on the tail
+          bad.push_back(static_cast<char>(0x80));
+          bad.push_back(static_cast<char>(0x80));
+          break;
+        }
+      }
+    }
+    std::istringstream in(bad);
+    try {
+      const Trace t = read_trace_binary(in);
+      const FmStore store(t);
+      (void)store.stored_elements();
+      ++parsed;
+    } catch (const CheckFailure&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 150u);
+  EXPECT_EQ(parsed + rejected, 300u);
+}
+
+TEST(TraceFuzz, BinaryBadMagicRejected) {
+  const Trace original = generate_ring({.processes = 4, .iterations = 2,
+                                        .seed = 9});
+  std::ostringstream os;
+  write_trace_binary(os, original);
+  std::string bad = os.str();
+  bad[0] = 'X';  // magic mismatch
+  std::istringstream in(bad);
+  EXPECT_THROW((void)read_trace_binary(in), CheckFailure);
+  // Empty and sub-magic-length inputs as well.
+  std::istringstream empty;
+  EXPECT_THROW((void)read_trace_binary(empty), CheckFailure);
+  std::istringstream tiny(std::string("CT"));
+  EXPECT_THROW((void)read_trace_binary(tiny), CheckFailure);
 }
 
 TEST(TraceFuzz, RandomGarbageRejected) {
