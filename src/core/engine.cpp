@@ -160,6 +160,14 @@ const ClusterTimestamp& ClusterTimestampEngine::timestamp(EventId e) const {
 
 bool ClusterTimestampEngine::precedes(const Event& ev_e,
                                       const Event& ev_f) const {
+  QueryCost unlimited;
+  const auto answer = precedes_metered(ev_e, ev_f, unlimited);
+  comparisons_ += unlimited.ticks;
+  return *answer;
+}
+
+std::optional<bool> ClusterTimestampEngine::precedes_metered(
+    const Event& ev_e, const Event& ev_f, QueryCost& cost) const {
   const EventId e = ev_e.id;
   const EventId f = ev_f.id;
   if (e == f) return false;
@@ -170,7 +178,7 @@ bool ClusterTimestampEngine::precedes(const Event& ev_e,
 
   // Direct test: FM(e)[p_e] is e's own index; exact whenever f's timestamp
   // covers e's process (same cluster, or f is a full cluster receive).
-  ++comparisons_;
+  if (!cost.charge(1)) return std::nullopt;
   if (const auto comp = tf.component(e.process)) return e.index <= *comp;
 
   // e's process is outside covered(f): any causal path from e into f's
@@ -188,7 +196,7 @@ bool ClusterTimestampEngine::precedes(const Event& ev_e,
     const EventIndex r_index = *(it - 1);
     const ClusterTimestamp& tr = ts_[q][r_index - 1];
     CT_DCHECK(tr.is_full());
-    ++comparisons_;
+    if (!cost.charge(1)) return std::nullopt;
     if (e.index <= tr.values[e.process]) return true;
   }
   return false;
@@ -205,6 +213,66 @@ ClusterEngineStats ClusterTimestampEngine::stats() const {
   s.encoded_words = encoded_words_;
   s.exact_words = exact_words_;
   return s;
+}
+
+std::uint64_t ClusterTimestampEngine::cluster_digest(ClusterId c) const {
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (i * 8)) & 0xff)) * kPrime;
+    }
+  };
+  for (const ProcessId p : *clusters_.members(c)) {
+    mix(p);
+    mix(ts_[p].size());
+    for (const ClusterTimestamp& ts : ts_[p]) {
+      mix(ts.cluster_receive ? 1 : 0);
+      mix(ts.values.size());
+      for (const EventIndex v : ts.values) mix(v);
+    }
+  }
+  return h;
+}
+
+void ClusterTimestampEngine::inject_corruption(EventId e, std::size_t slot,
+                                               EventIndex value) {
+  CT_CHECK_MSG(e.process < ts_.size() && e.index >= 1 &&
+                   e.index <= ts_[e.process].size(),
+               "event " << e << " has not been observed");
+  auto& values = ts_[e.process][e.index - 1].values;
+  CT_CHECK_MSG(!values.empty(), "timestamp of " << e << " has no components");
+  values[slot % values.size()] = value;
+}
+
+std::uint64_t ClusterTimestampEngine::rebuild_cluster(
+    ClusterId c, std::span<const EventId> log,
+    const std::function<const Event&(EventId)>& event_of) {
+  const auto members = clusters_.members(c);
+  std::vector<bool> in_cluster(ts_.size(), false);
+  for (const ProcessId p : *members) in_cluster[p] = true;
+
+  FmEngine scratch(ts_.size());
+  std::uint64_t elements_written = 0;
+  for (const EventId id : log) {
+    const Event& e = event_of(id);
+    const FmClock& fm = scratch.observe(e);
+    if (!in_cluster[e.id.process]) continue;
+    ClusterTimestamp& ts = ts_[e.id.process][e.id.index - 1];
+    if (ts.is_full()) {
+      ts.values.assign(fm.begin(), fm.end());
+    } else {
+      // Historical covered set: projection shape is part of the retained
+      // structure, only the component values are restored.
+      const auto& procs = *ts.covered;
+      ts.values.resize(procs.size());
+      for (std::size_t i = 0; i < procs.size(); ++i) {
+        ts.values[i] = fm[procs[i]];
+      }
+    }
+    elements_written += ts.values.size();
+  }
+  return elements_written;
 }
 
 std::uint64_t ClusterTimestampEngine::state_digest() const {

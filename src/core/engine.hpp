@@ -28,7 +28,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -37,6 +40,7 @@
 #include "core/cluster_timestamp.hpp"
 #include "model/trace.hpp"
 #include "timestamp/fm_engine.hpp"
+#include "timestamp/query_cost.hpp"
 
 namespace ct {
 
@@ -103,6 +107,13 @@ class ClusterTimestampEngine {
   /// `ev_e`/`ev_f` are the event records (needed for the sync-partner rule).
   bool precedes(const Event& ev_e, const Event& ev_f) const;
 
+  /// Cost-instrumented precedence for the query broker: charges one tick per
+  /// component comparison to `cost` and returns nullopt if the budget runs
+  /// out mid-test. Unlike precedes(), touches no engine state, so concurrent
+  /// calls with distinct meters are safe on a quiescent engine.
+  std::optional<bool> precedes_metered(const Event& ev_e, const Event& ev_f,
+                                       QueryCost& cost) const;
+
   const ClusterSet& clusters() const { return clusters_; }
   ClusterEngineStats stats() const;
 
@@ -114,6 +125,29 @@ class ClusterTimestampEngine {
 
   /// Component-comparison count across precedes() calls (query-cost probe).
   std::uint64_t comparisons() const { return comparisons_; }
+
+  /// Digest of the timestamp values stored for the processes of cluster `c`
+  /// (an *online-auditable* slice of state_digest()). Any in-place mutation
+  /// of a stored component or cluster-receive flag in that cluster changes
+  /// the digest; the IntegrityAuditor compares against a trusted baseline.
+  std::uint64_t cluster_digest(ClusterId c) const;
+
+  /// Fault-injection hook (tests/benches model in-memory state corruption —
+  /// a flipped bit in the timestamp store): overwrites component
+  /// `slot % width` of e's stored timestamp. Never used on a healthy path.
+  void inject_corruption(EventId e, std::size_t slot, EventIndex value);
+
+  /// Self-repair hook: recomputes the stored timestamp *values* of every
+  /// event of cluster `c`'s processes by replaying `log` (a valid delivery
+  /// order covering all observed events; `event_of` resolves the records)
+  /// through a scratch Fidge/Mattern engine. Structural state (membership,
+  /// covered sets, cluster-receive positions) is re-derived per event from
+  /// the retained shape, so a value-corrupted cluster is restored without
+  /// rebuilding the other clusters. Returns vector elements written (work
+  /// ticks of the repair).
+  std::uint64_t rebuild_cluster(
+      ClusterId c, std::span<const EventId> log,
+      const std::function<const Event&(EventId)>& event_of);
 
  private:
   const ClusterTimestamp& store(const Event& e, ClusterTimestamp ts);

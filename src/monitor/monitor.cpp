@@ -1,7 +1,9 @@
 #include "monitor/monitor.hpp"
 
+#include <unordered_map>
 #include <unordered_set>
 
+#include "model/trace_builder.hpp"
 #include "util/check.hpp"
 
 namespace ct {
@@ -114,6 +116,83 @@ bool MonitoringEntity::precedes(EventId e, EventId f) const {
                        fm_clocks_[f.process][f.index - 1]);
   }
   return cluster_->precedes(ev_e, ev_f);
+}
+
+std::optional<bool> MonitoringEntity::precedes_metered(EventId e, EventId f,
+                                                       QueryCost& cost) const {
+  const Event& ev_e = stored_event(e);
+  const Event& ev_f = stored_event(f);
+  if (fm_) {
+    if (!cost.charge(1)) return std::nullopt;
+    return fm_precedes(ev_e, fm_clocks_[e.process][e.index - 1], ev_f,
+                       fm_clocks_[f.process][f.index - 1]);
+  }
+  return cluster_->precedes_metered(ev_e, ev_f, cost);
+}
+
+std::vector<ClusterId> MonitoringEntity::cluster_ids() const {
+  if (!cluster_) return {};
+  return cluster_->clusters().clusters();
+}
+
+std::optional<ClusterId> MonitoringEntity::cluster_of(ProcessId p) const {
+  if (!cluster_) return std::nullopt;
+  return cluster_->clusters().cluster_of(p);
+}
+
+std::uint64_t MonitoringEntity::cluster_digest(ClusterId c) const {
+  CT_CHECK_MSG(cluster_, "cluster digests require the cluster backend");
+  return cluster_->cluster_digest(c);
+}
+
+std::uint64_t MonitoringEntity::rebuild_cluster(ClusterId c) {
+  CT_CHECK_MSG(cluster_, "rebuild requires the cluster backend");
+  return cluster_->rebuild_cluster(
+      c, delivery_log_,
+      [this](EventId id) -> const Event& { return stored_event(id); });
+}
+
+void MonitoringEntity::inject_timestamp_corruption(EventId e,
+                                                   std::size_t slot,
+                                                   EventIndex value) {
+  CT_CHECK_MSG(cluster_, "corruption hook targets the cluster backend");
+  cluster_->inject_corruption(e, slot, value);
+}
+
+Trace MonitoringEntity::delivered_trace() const {
+  TraceBuilder builder;
+  builder.add_processes(process_count_);
+  // Sends are re-partnered by the builder when their receive is appended;
+  // a delivered receive always follows its send in the log (prefix
+  // integrity), and sync halves are adjacent, so one forward pass suffices.
+  std::unordered_map<EventId, EventId> send_ids;  // original -> rebuilt
+  for (std::size_t i = 0; i < delivery_log_.size(); ++i) {
+    const Event& e = stored_event(delivery_log_[i]);
+    switch (e.kind) {
+      case EventKind::kUnary:
+        builder.unary(e.id.process);
+        break;
+      case EventKind::kSend:
+        send_ids.emplace(e.id, builder.send(e.id.process));
+        break;
+      case EventKind::kReceive: {
+        const auto it = send_ids.find(e.partner);
+        CT_CHECK_MSG(it != send_ids.end(),
+                     "delivered receive " << e.id
+                                          << " without its send in the log");
+        builder.receive(e.id.process, it->second);
+        break;
+      }
+      case EventKind::kSync:
+        // The pair is adjacent in the log; emit it once, at its first half.
+        if (i + 1 < delivery_log_.size() &&
+            delivery_log_[i + 1] == e.partner) {
+          builder.sync(e.id.process, e.partner.process);
+        }
+        break;
+    }
+  }
+  return builder.build("delivered", TraceFamily::kControl);
 }
 
 std::uint64_t MonitoringEntity::timestamp_words() const {

@@ -27,10 +27,12 @@
 #include "index/event_index.hpp"
 #include "model/event.hpp"
 #include "model/ids.hpp"
+#include "model/trace.hpp"
 #include "monitor/delivery_manager.hpp"
 #include "monitor/ingest_result.hpp"
 #include "timestamp/fm_clock.hpp"
 #include "timestamp/fm_engine.hpp"
+#include "timestamp/query_cost.hpp"
 #include "util/check.hpp"
 
 namespace ct {
@@ -86,6 +88,9 @@ class MonitoringEntity {
   /// Point lookup through the B+-tree index.
   std::optional<Event> find(EventId id) const;
 
+  /// Record of a delivered event; checks that it was delivered.
+  const Event& event(EventId id) const { return stored_event(id); }
+
   /// In-process range scan (partial-order scrolling): visits stored events
   /// of `p` starting at index `from` until the visitor returns false.
   void scroll(ProcessId p, EventIndex from,
@@ -93,6 +98,12 @@ class MonitoringEntity {
 
   /// Precedence query; both events must have been delivered and stored.
   bool precedes(EventId e, EventId f) const;
+
+  /// Cost-instrumented precedence for the query broker: charges work ticks
+  /// to `cost`, returns nullopt on budget exhaustion, and mutates no
+  /// monitor state — safe to call concurrently on a quiescent monitor.
+  std::optional<bool> precedes_metered(EventId e, EventId f,
+                                       QueryCost& cost) const;
 
   /// Timestamp storage in 32-bit words under §4's encoding conventions.
   std::uint64_t timestamp_words() const;
@@ -104,6 +115,36 @@ class MonitoringEntity {
   /// timestamp backend). Snapshots embed it so a divergent restore-replay is
   /// detected instead of silently answering differently.
   std::uint64_t state_digest() const;
+
+  // --- integrity-audit hooks (cluster backend; see query_broker.hpp) ---
+
+  /// Current cluster ids (cluster backend only; empty for FM).
+  std::vector<ClusterId> cluster_ids() const;
+
+  /// Cluster of process `p` (cluster backend only).
+  std::optional<ClusterId> cluster_of(ProcessId p) const;
+
+  /// Auditable digest of one cluster's stored timestamps.
+  std::uint64_t cluster_digest(ClusterId c) const;
+
+  /// Recomputes the stored timestamp values of cluster `c`'s processes by
+  /// replaying the delivery log (self-repair after detected corruption).
+  /// Returns vector elements rewritten (the repair's work ticks).
+  std::uint64_t rebuild_cluster(ClusterId c);
+
+  /// Fault-injection hook for tests/benches: overwrites one stored
+  /// timestamp component of the cluster backend (models a bit flip in the
+  /// timestamp store — docs/FAULT_MODEL.md §6).
+  void inject_timestamp_corruption(EventId e, std::size_t slot,
+                                   EventIndex value);
+
+  /// Reconstructs the delivered prefix as an immutable Trace (the broker's
+  /// fallback backends — differential, on-demand FM — are built over it).
+  /// Valid because delivered events always form a causally closed prefix
+  /// and the delivery log is a valid linear extension with sync halves
+  /// adjacent. Sends whose receives were never delivered become in-flight
+  /// sends, which carry identical causality.
+  Trace delivered_trace() const;
 
  private:
   friend void save_snapshot(std::ostream& out, const MonitoringEntity& m);

@@ -38,25 +38,47 @@ DifferentialStore::DifferentialStore(const Trace& trace,
   }
 }
 
-FmClock DifferentialStore::clock(EventId e) const {
+std::optional<FmClock> DifferentialStore::decode(EventId e,
+                                                 QueryCost* cost) const {
   CT_CHECK_MSG(e.process < trace_.process_count() && e.index >= 1 &&
                    e.index <= trace_.process_size(e.process),
                "unknown event " << e);
   const std::size_t slot = (e.index - 1) / interval_;
+  if (cost != nullptr && !cost->charge(trace_.process_count())) {
+    return std::nullopt;
+  }
   FmClock clock = checkpoints_[e.process][slot];
   const EventIndex checkpoint_index =
       static_cast<EventIndex>(slot * interval_ + 1);
   for (EventIndex i = checkpoint_index + 1; i <= e.index; ++i) {
-    for (const auto& [q, v] : deltas_[e.process][i - 1].changed) clock[q] = v;
-    ++events_replayed_;
+    const auto& changed = deltas_[e.process][i - 1].changed;
+    if (cost != nullptr && !cost->charge(1 + changed.size())) {
+      return std::nullopt;
+    }
+    for (const auto& [q, v] : changed) clock[q] = v;
+    if (cost == nullptr) ++events_replayed_;
   }
   return clock;
+}
+
+FmClock DifferentialStore::clock(EventId e) const {
+  return *decode(e, nullptr);
 }
 
 bool DifferentialStore::precedes(EventId e, EventId f) const {
   const FmClock fm_e = clock(e);
   const FmClock fm_f = clock(f);
   return fm_precedes(trace_.event(e), fm_e, trace_.event(f), fm_f);
+}
+
+std::optional<bool> DifferentialStore::precedes_metered(EventId e, EventId f,
+                                                        QueryCost& cost) const {
+  const auto fm_e = decode(e, &cost);
+  if (!fm_e) return std::nullopt;
+  const auto fm_f = decode(f, &cost);
+  if (!fm_f) return std::nullopt;
+  if (!cost.charge(1)) return std::nullopt;
+  return fm_precedes(trace_.event(e), *fm_e, trace_.event(f), *fm_f);
 }
 
 std::size_t DifferentialStore::full_words() const {

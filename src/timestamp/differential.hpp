@@ -14,11 +14,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "model/trace.hpp"
 #include "timestamp/fm_clock.hpp"
+#include "timestamp/query_cost.hpp"
 
 namespace ct {
 
@@ -30,6 +32,14 @@ class DifferentialStore {
   FmClock clock(EventId e) const;
 
   bool precedes(EventId e, EventId f) const;
+
+  /// Cost-instrumented precedence for the query broker: charges one tick per
+  /// vector element touched while decoding (checkpoint copy + delta replay)
+  /// and returns nullopt when the budget runs out mid-decode. Touches no
+  /// store state (not even the replay counter), so concurrent calls with
+  /// distinct meters are safe.
+  std::optional<bool> precedes_metered(EventId e, EventId f,
+                                       QueryCost& cost) const;
 
   /// Storage in 32-bit words: checkpoints count N words; each delta entry
   /// counts 2 words (component id, value); every event pays 1 word of
@@ -49,6 +59,10 @@ class DifferentialStore {
   struct Delta {
     std::vector<std::pair<ProcessId, EventIndex>> changed;
   };
+
+  /// Shared decode; `cost == nullptr` runs unmetered (and bumps the replay
+  /// counter), otherwise charges per element and may abort with nullopt.
+  std::optional<FmClock> decode(EventId e, QueryCost* cost) const;
 
   const Trace& trace_;
   std::size_t interval_;

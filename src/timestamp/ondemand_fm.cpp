@@ -46,20 +46,29 @@ FmClock OnDemandFmEngine::combine(
 }
 
 FmClock OnDemandFmEngine::clock(EventId e) {
+  QueryCost unlimited;
+  return *clock_metered(e, unlimited);
+}
+
+std::optional<FmClock> OnDemandFmEngine::clock_metered(EventId e,
+                                                       QueryCost& cost) {
   ++counters_.queries;
   if (const FmClock* hit = cache_.get(e)) {
     ++counters_.cache_hits;
+    if (!cost.charge(1)) return std::nullopt;
     return *hit;
   }
   ++counters_.cache_misses;
 
   // Iterative dependency-chasing: resolve every uncached ancestor needed for
   // FM(e) into a query-local map (immune to cache eviction mid-computation),
-  // then publish results to the LRU cache.
+  // then publish results to the LRU cache. On budget exhaustion the local
+  // map is discarded — an aborted query leaves the cache untouched.
   std::unordered_map<EventId, FmClock> local;
   std::vector<EventId> stack{e};
   while (!stack.empty()) {
     const EventId id = stack.back();
+    if (!cost.charge(1)) return std::nullopt;
     if (lookup(local, id) != nullptr) {
       stack.pop_back();
       continue;
@@ -72,6 +81,7 @@ FmClock OnDemandFmEngine::clock(EventId e) {
       }
     }
     if (!ready) continue;
+    if (!cost.charge(trace_.process_count())) return std::nullopt;
     FmClock clock = combine(id, local);
     const Event& ev = trace_.event(id);
     if (ev.kind == EventKind::kSync) {
@@ -90,6 +100,16 @@ bool OnDemandFmEngine::precedes(EventId e, EventId f) {
   const FmClock fm_e = clock(e);
   const FmClock fm_f = clock(f);
   return fm_precedes(trace_.event(e), fm_e, trace_.event(f), fm_f);
+}
+
+std::optional<bool> OnDemandFmEngine::precedes_metered(EventId e, EventId f,
+                                                       QueryCost& cost) {
+  const auto fm_e = clock_metered(e, cost);
+  if (!fm_e) return std::nullopt;
+  const auto fm_f = clock_metered(f, cost);
+  if (!fm_f) return std::nullopt;
+  if (!cost.charge(1)) return std::nullopt;
+  return fm_precedes(trace_.event(e), *fm_e, trace_.event(f), *fm_f);
 }
 
 }  // namespace ct

@@ -8,11 +8,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "model/trace.hpp"
 #include "timestamp/fm_clock.hpp"
+#include "timestamp/query_cost.hpp"
 #include "util/lru_cache.hpp"
 
 namespace ct {
@@ -36,6 +38,16 @@ class OnDemandFmEngine {
   FmClock clock(EventId e);
 
   bool precedes(EventId e, EventId f);
+
+  /// Cost-instrumented variants for the query broker: charge one tick per
+  /// vector element written (plus one per dependency lookup) and abort with
+  /// nullopt once the budget is exhausted — this is the backend whose
+  /// unbounded recomputations (§1.1's "minutes per query") made deadlines
+  /// necessary in the first place. An aborted computation publishes nothing
+  /// to the cache. NOT thread-safe (cache and counters mutate); the broker
+  /// serializes access.
+  std::optional<FmClock> clock_metered(EventId e, QueryCost& cost);
+  std::optional<bool> precedes_metered(EventId e, EventId f, QueryCost& cost);
 
   const Counters& counters() const { return counters_; }
   void reset_counters() { counters_ = Counters{}; }

@@ -1,0 +1,36 @@
+// Deterministic work-tick accounting for query deadlines.
+//
+// The broker (src/monitor/query_broker.hpp) bounds per-query latency without
+// a wall clock: every backend charges one tick per component comparison or
+// vector element touched, and a query whose meter exhausts its budget aborts
+// with a structured deadline outcome instead of blocking its caller. Ticks
+// are the same unit the paper reasons in ("elements of timestamps fetched",
+// §1.1), so deadline behaviour is reproducible across machines and under
+// sanitizers.
+#pragma once
+
+#include <cstdint>
+
+namespace ct {
+
+/// Mutable per-query meter threaded through the metered query entry points
+/// (ClusterTimestampEngine::precedes_metered, DifferentialStore::
+/// precedes_metered, OnDemandFmEngine::precedes_metered). Not thread-safe;
+/// each in-flight query owns its meter.
+struct QueryCost {
+  /// Work ticks spent so far (comparisons + vector elements touched).
+  std::uint64_t ticks = 0;
+  /// Abort threshold; 0 means unlimited.
+  std::uint64_t budget = 0;
+
+  /// Charges `n` ticks. Returns false once the budget is exhausted —
+  /// callers must then unwind and report a deadline expiry.
+  bool charge(std::uint64_t n) {
+    ticks += n;
+    return budget == 0 || ticks <= budget;
+  }
+
+  bool exhausted() const { return budget != 0 && ticks > budget; }
+};
+
+}  // namespace ct

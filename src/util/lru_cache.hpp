@@ -3,6 +3,11 @@
 // Models the timestamp caches of POET and Object-Level Trace (§1.1): those
 // tools keep a bounded set of computed Fidge/Mattern vectors and recompute
 // forward on miss. Intrusive list + hash map; all operations O(1) expected.
+//
+// CONTRACT: single-threaded. Even get() mutates the recency list, so any
+// cross-thread sharing — including all-reader sharing — is a data race.
+// Concurrent users wrap it (util/synchronized_lru.hpp, as the query
+// broker's answer cache does) or keep one instance per thread.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,57 @@
+// Mutex-guarded wrapper around util::LruCache.
+//
+// LruCache is strictly single-threaded (even get() mutates the recency
+// list). The query broker's answer cache is read and written by every pool
+// worker, so it goes through this wrapper: one mutex, value-copy reads —
+// returning a pointer into the cache would dangle the moment another thread
+// evicts the entry. Coarse locking is deliberate: entries are small
+// (precedence booleans), the critical sections are O(1), and the broker's
+// work per query dwarfs the lock hold time.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/lru_cache.hpp"
+
+namespace ct {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class SynchronizedLruCache {
+ public:
+  explicit SynchronizedLruCache(std::size_t capacity) : cache_(capacity) {}
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return cache_.size();
+  }
+
+  std::size_t capacity() const { return cache_.capacity(); }
+
+  /// Returns a copy of the cached value (marking it most-recently used),
+  /// or nullopt on miss.
+  std::optional<Value> get(const Key& key) {
+    std::lock_guard lock(mu_);
+    if (const Value* hit = cache_.get(key)) return *hit;
+    return std::nullopt;
+  }
+
+  /// Inserts or replaces; returns the number of evictions (0 or 1).
+  std::size_t put(const Key& key, Value value) {
+    std::lock_guard lock(mu_);
+    return cache_.put(key, std::move(value));
+  }
+
+  void clear() {
+    std::lock_guard lock(mu_);
+    cache_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  LruCache<Key, Value, Hash> cache_;
+};
+
+}  // namespace ct

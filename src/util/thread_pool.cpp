@@ -17,13 +17,22 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::unique_lock lock(mu_);
     stop_ = true;
+    if (joined_) return;
+    joined_ = true;
   }
   cv_task_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::stopped() const {
+  std::unique_lock lock(mu_);
+  return stop_;
 }
 
 void ThreadPool::submit(std::function<void()> task) {

@@ -22,7 +22,7 @@ class ThreadPool {
   /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
   explicit ThreadPool(std::size_t threads = 0);
 
-  /// Drains outstanding tasks, then joins the workers.
+  /// Equivalent to shutdown().
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -32,20 +32,31 @@ class ThreadPool {
 
   /// Enqueues a task. Tasks must not throw; exceptions escaping a task
   /// terminate the program (there is nowhere sensible to deliver them).
+  /// Submitting after shutdown() is a checked error.
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished executing.
   void wait_idle();
 
+  /// Drains outstanding tasks, then joins the workers. Idempotent, safe to
+  /// call from any non-worker thread; after it returns no task is running
+  /// and further submit() calls fail their check. Lets owners (the query
+  /// broker) sequence "stop serving, then tear down state the tasks read".
+  void shutdown();
+
+  /// True once shutdown() has begun; submissions are no longer accepted.
+  bool stopped() const;
+
  private:
   void worker_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  bool joined_ = false;
   std::vector<std::thread> workers_;
 };
 

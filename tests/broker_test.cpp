@@ -1,0 +1,565 @@
+// Tests for the resilient query broker: deadlines, admission control,
+// fallback chain with circuit breakers, and the online integrity audit
+// with self-repair (docs/FAULT_MODEL.md §6).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "model/oracle.hpp"
+#include "monitor/monitor.hpp"
+#include "monitor/queries.hpp"
+#include "monitor/query_broker.hpp"
+#include "trace/generators.hpp"
+#include "util/prng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ct {
+namespace {
+
+Trace small_trace() {
+  return generate_rpc_business({.groups = 2,
+                                .clients_per_group = 2,
+                                .servers_per_group = 2,
+                                .calls = 40,
+                                .seed = 51});
+}
+
+MonitorOptions broker_monitor_options(const Trace& t,
+                                      TimestampBackend backend =
+                                          TimestampBackend::kClusterDynamic) {
+  MonitorOptions options;
+  options.backend = backend;
+  options.cluster.max_cluster_size = 4;
+  options.cluster.fm_vector_width = t.process_count();
+  return options;
+}
+
+void feed(MonitoringEntity& monitor, const Trace& t) {
+  for (const EventId id : t.delivery_order()) monitor.ingest(t.event(id));
+}
+
+std::vector<EventId> all_events(const Trace& t) {
+  return {t.delivery_order().begin(), t.delivery_order().end()};
+}
+
+/// Expected frontiers straight from the ground-truth oracle.
+CausalFrontiers oracle_frontiers(const Trace& t, const CausalityOracle& oracle,
+                                 EventId e) {
+  return compute_frontiers_with(
+      t.process_count(), e,
+      [&](EventId a, EventId b) { return oracle.happened_before(a, b); },
+      [&](ProcessId q) { return t.process_size(q); });
+}
+
+TEST(QueryBroker, PrecedenceAnswersMatchOracle) {
+  const Trace t = small_trace();
+  MonitoringEntity monitor(t.process_count(), broker_monitor_options(t));
+  feed(monitor, t);
+  const CausalityOracle oracle(t);
+  const auto events = all_events(t);
+
+  ThreadPool pool(4);
+  BrokerOptions options;
+  options.max_queue = 0;  // the sweep outpaces the workers; never shed
+  QueryBroker broker(monitor, pool, options);
+
+  Prng rng(7);
+  std::vector<std::pair<EventId, EventId>> pairs;
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 200; ++i) {
+    const EventId e = rng.pick(events);
+    const EventId f = rng.pick(events);
+    pairs.emplace_back(e, f);
+    futures.push_back(broker.submit_precedence(e, f));
+  }
+  broker.drain();
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const QueryResult r = futures[i].get();
+    ASSERT_EQ(r.outcome, QueryOutcome::kAnswered);
+    ASSERT_TRUE(r.answer.has_value());
+    EXPECT_EQ(*r.answer,
+              oracle.happened_before(pairs[i].first, pairs[i].second))
+        << pairs[i].first << " vs " << pairs[i].second;
+  }
+  const BrokerHealth h = broker.health();
+  EXPECT_TRUE(h.accounted());
+  EXPECT_EQ(h.submitted, futures.size());
+  EXPECT_EQ(h.in_flight, 0u);
+}
+
+TEST(QueryBroker, FrontierAndBatchMatchOracle) {
+  const Trace t = small_trace();
+  MonitoringEntity monitor(t.process_count(), broker_monitor_options(t));
+  feed(monitor, t);
+  const CausalityOracle oracle(t);
+  const auto events = all_events(t);
+
+  ThreadPool pool(2);
+  QueryBroker broker(monitor, pool);
+
+  Prng rng(13);
+  const EventId probe = rng.pick(events);
+  auto frontier_future = broker.submit_frontier(probe);
+
+  std::vector<std::pair<EventId, EventId>> batch;
+  for (int i = 0; i < 16; ++i) {
+    batch.emplace_back(rng.pick(events), rng.pick(events));
+  }
+  auto batch_future = broker.submit_batch(batch);
+  broker.drain();
+
+  const QueryResult fr = frontier_future.get();
+  ASSERT_EQ(fr.outcome, QueryOutcome::kAnswered);
+  ASSERT_TRUE(fr.frontiers.has_value());
+  const CausalFrontiers expected = oracle_frontiers(t, oracle, probe);
+  EXPECT_EQ(fr.frontiers->greatest_predecessor, expected.greatest_predecessor);
+  EXPECT_EQ(fr.frontiers->greatest_concurrent, expected.greatest_concurrent);
+
+  const QueryResult br = batch_future.get();
+  ASSERT_EQ(br.outcome, QueryOutcome::kAnswered);
+  ASSERT_EQ(br.batch.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(br.batch[i].has_value());
+    EXPECT_EQ(*br.batch[i],
+              oracle.happened_before(batch[i].first, batch[i].second));
+  }
+}
+
+TEST(QueryBroker, DeadlineExpiryIsDeterministic) {
+  const Trace t = small_trace();
+  MonitoringEntity monitor(t.process_count(), broker_monitor_options(t));
+  feed(monitor, t);
+  ThreadPool pool(1);
+  BrokerOptions options;
+  options.answer_cache_capacity = 0;  // keep repeat costs identical
+  QueryBroker broker(monitor, pool, options);
+
+  // Find a pair whose exact answer needs several work ticks (pairs whose
+  // target covers the source's process can resolve in one comparison).
+  const auto events = all_events(t);
+  EventId e = kNoEvent, f = kNoEvent;
+  std::uint64_t full_cost = 0;
+  Prng rng(3);
+  for (int i = 0; i < 200 && full_cost < 3; ++i) {
+    const EventId a = rng.pick(events);
+    const EventId b = rng.pick(events);
+    const QueryResult r = broker.submit_precedence(a, b, 0).get();
+    ASSERT_EQ(r.outcome, QueryOutcome::kAnswered);
+    if (r.cost >= 3) {
+      e = a;
+      f = b;
+      full_cost = r.cost;
+    }
+  }
+  ASSERT_GE(full_cost, 3u);
+
+  // A one-tick budget cannot finish it.
+  const QueryResult starved = broker.submit_precedence(e, f, 1).get();
+  EXPECT_EQ(starved.outcome, QueryOutcome::kDeadlineExpired);
+  EXPECT_FALSE(starved.answer.has_value());
+  EXPECT_GT(starved.cost, 1u);
+
+  // The metered cost is reproducible tick for tick.
+  const QueryResult again = broker.submit_precedence(e, f, 0).get();
+  ASSERT_EQ(again.outcome, QueryOutcome::kAnswered);
+  EXPECT_EQ(again.backend_used, ServingBackend::kCluster);
+  EXPECT_EQ(again.cost, full_cost);
+
+  // A budget at exactly the measured cost answers; one tick less expires.
+  const QueryResult exact = broker.submit_precedence(e, f, full_cost).get();
+  EXPECT_EQ(exact.outcome, QueryOutcome::kAnswered);
+  const QueryResult minus =
+      broker.submit_precedence(e, f, full_cost - 1).get();
+  EXPECT_EQ(minus.outcome, QueryOutcome::kDeadlineExpired);
+  EXPECT_TRUE(broker.health().accounted());
+}
+
+TEST(QueryBroker, BatchAnswersPrefixUnderSharedBudget) {
+  const Trace t = small_trace();
+  MonitoringEntity monitor(t.process_count(), broker_monitor_options(t));
+  feed(monitor, t);
+  ThreadPool pool(1);
+  BrokerOptions options;
+  options.answer_cache_capacity = 0;
+  QueryBroker broker(monitor, pool, options);
+
+  std::vector<std::pair<EventId, EventId>> pairs(
+      8, {EventId{0, 1}, EventId{1, 2}});
+  const std::uint64_t per_pair =
+      broker.submit_precedence(EventId{0, 1}, EventId{1, 2}, 0).get().cost;
+
+  // Budget for roughly three pairs: a prefix answers, the rest do not.
+  const QueryResult r =
+      broker.submit_batch(pairs, per_pair * 3).get();
+  EXPECT_EQ(r.outcome, QueryOutcome::kDeadlineExpired);
+  ASSERT_EQ(r.batch.size(), pairs.size());
+  EXPECT_TRUE(r.batch.front().has_value());
+  EXPECT_FALSE(r.batch.back().has_value());
+}
+
+/// Blocks the (single-threaded) pool so admissions queue deterministically.
+class PoolGate {
+ public:
+  explicit PoolGate(ThreadPool& pool) {
+    std::shared_future<void> released = gate_.get_future().share();
+    pool.submit([released] { released.wait(); });
+  }
+  void open() { gate_.set_value(); }
+
+ private:
+  std::promise<void> gate_;
+};
+
+TEST(QueryBroker, AdmissionShedsNewestWhenConfigured) {
+  const Trace t = small_trace();
+  MonitoringEntity monitor(t.process_count(), broker_monitor_options(t));
+  feed(monitor, t);
+  ThreadPool pool(1);
+  BrokerOptions options;
+  options.max_queue = 2;
+  options.shed_policy = ShedPolicy::kRejectNewest;
+  QueryBroker broker(monitor, pool, options);
+
+  PoolGate gate(pool);
+  auto f1 = broker.submit_precedence(EventId{0, 1}, EventId{1, 1});
+  auto f2 = broker.submit_precedence(EventId{0, 1}, EventId{1, 2});
+  auto f3 = broker.submit_precedence(EventId{0, 1}, EventId{1, 3});
+
+  // The overflowing (newest) query is bounced synchronously.
+  ASSERT_EQ(f3.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(f3.get().outcome, QueryOutcome::kShed);
+
+  gate.open();
+  broker.drain();
+  EXPECT_EQ(f1.get().outcome, QueryOutcome::kAnswered);
+  EXPECT_EQ(f2.get().outcome, QueryOutcome::kAnswered);
+
+  const BrokerHealth h = broker.health();
+  EXPECT_TRUE(h.accounted());
+  EXPECT_EQ(h.submitted, 3u);
+  EXPECT_EQ(h.shed, 1u);
+  EXPECT_EQ(h.in_flight, 0u);
+  EXPECT_EQ(h.max_queue_depth, 2u);
+}
+
+TEST(QueryBroker, AdmissionShedsOldestWhenConfigured) {
+  const Trace t = small_trace();
+  MonitoringEntity monitor(t.process_count(), broker_monitor_options(t));
+  feed(monitor, t);
+  ThreadPool pool(1);
+  BrokerOptions options;
+  options.max_queue = 2;
+  options.shed_policy = ShedPolicy::kRejectOldest;
+  QueryBroker broker(monitor, pool, options);
+
+  PoolGate gate(pool);
+  auto f1 = broker.submit_precedence(EventId{0, 1}, EventId{1, 1});
+  auto f2 = broker.submit_precedence(EventId{0, 1}, EventId{1, 2});
+  auto f3 = broker.submit_precedence(EventId{0, 1}, EventId{1, 3});
+
+  // The queue head (oldest) is bounced; the incoming query takes its slot.
+  ASSERT_EQ(f1.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(f1.get().outcome, QueryOutcome::kShed);
+
+  gate.open();
+  broker.drain();
+  EXPECT_EQ(f2.get().outcome, QueryOutcome::kAnswered);
+  EXPECT_EQ(f3.get().outcome, QueryOutcome::kAnswered);
+
+  const BrokerHealth h = broker.health();
+  EXPECT_TRUE(h.accounted());
+  EXPECT_EQ(h.submitted, 3u);
+  EXPECT_EQ(h.shed, 1u);
+  EXPECT_EQ(h.in_flight, 0u);
+}
+
+TEST(QueryBroker, AnswerCacheServesRepeats) {
+  const Trace t = small_trace();
+  MonitoringEntity monitor(t.process_count(), broker_monitor_options(t));
+  feed(monitor, t);
+  ThreadPool pool(1);
+  QueryBroker broker(monitor, pool);
+
+  const QueryResult first =
+      broker.submit_precedence(EventId{0, 2}, EventId{1, 3}).get();
+  const QueryResult repeat =
+      broker.submit_precedence(EventId{0, 2}, EventId{1, 3}).get();
+  ASSERT_EQ(first.outcome, QueryOutcome::kAnswered);
+  ASSERT_EQ(repeat.outcome, QueryOutcome::kAnswered);
+  EXPECT_EQ(first.backend_used, ServingBackend::kCluster);
+  EXPECT_EQ(repeat.backend_used, ServingBackend::kCache);
+  EXPECT_EQ(*first.answer, *repeat.answer);
+  EXPECT_LT(repeat.cost, first.cost);
+  EXPECT_GE(broker.health().cache_hits, 1u);
+}
+
+TEST(QueryBroker, FallbackChainDegradesAndStaysExact) {
+  const Trace t = small_trace();
+  MonitoringEntity monitor(t.process_count(), broker_monitor_options(t));
+  feed(monitor, t);
+  const CausalityOracle oracle(t);
+  ThreadPool pool(1);
+  BrokerOptions options;
+  options.answer_cache_capacity = 0;  // force every query through the chain
+  options.breaker_probe_stride = 0;   // no self-healing probes in this test
+  QueryBroker broker(monitor, pool, options);
+
+  const EventId e{0, 3};
+  const EventId f{1, 4};
+  const bool expected = oracle.happened_before(e, f);
+
+  broker.trip_backend(ServingBackend::kCluster);
+  const QueryResult via_diff = broker.submit_precedence(e, f).get();
+  ASSERT_EQ(via_diff.outcome, QueryOutcome::kAnswered);
+  EXPECT_EQ(via_diff.backend_used, ServingBackend::kDifferential);
+  EXPECT_EQ(*via_diff.answer, expected);
+
+  broker.trip_backend(ServingBackend::kDifferential);
+  const QueryResult via_fm = broker.submit_precedence(e, f).get();
+  ASSERT_EQ(via_fm.outcome, QueryOutcome::kAnswered);
+  EXPECT_EQ(via_fm.backend_used, ServingBackend::kOnDemandFm);
+  EXPECT_EQ(*via_fm.answer, expected);
+
+  // Every backend open: the broker says "unknown", never guesses.
+  broker.trip_backend(ServingBackend::kOnDemandFm);
+  const QueryResult unknown = broker.submit_precedence(e, f).get();
+  EXPECT_EQ(unknown.outcome, QueryOutcome::kUnknown);
+  EXPECT_FALSE(unknown.answer.has_value());
+  EXPECT_EQ(unknown.backend_used, ServingBackend::kNone);
+
+  broker.readmit_backend(ServingBackend::kCluster);
+  const QueryResult healed = broker.submit_precedence(e, f).get();
+  ASSERT_EQ(healed.outcome, QueryOutcome::kAnswered);
+  EXPECT_EQ(healed.backend_used, ServingBackend::kCluster);
+
+  const BrokerHealth h = broker.health();
+  EXPECT_TRUE(h.accounted());
+  EXPECT_EQ(h.unknown, 1u);
+  EXPECT_GE(h.fallback_answers, 2u);
+  EXPECT_EQ(h.breaker_trips, 3u);
+}
+
+TEST(QueryBroker, OpenFallbackBreakerHealsViaProbe) {
+  const Trace t = small_trace();
+  MonitoringEntity monitor(t.process_count(), broker_monitor_options(t));
+  feed(monitor, t);
+  ThreadPool pool(1);
+  BrokerOptions options;
+  options.answer_cache_capacity = 0;
+  options.breaker_probe_stride = 2;  // every 2nd bypass probes
+  QueryBroker broker(monitor, pool, options);
+
+  broker.trip_backend(ServingBackend::kCluster);
+  broker.trip_backend(ServingBackend::kDifferential);
+
+  // First query bypasses the open differential breaker (served on-demand);
+  // the second probes it, succeeds, and closes the breaker.
+  const QueryResult q1 =
+      broker.submit_precedence(EventId{0, 1}, EventId{1, 1}).get();
+  EXPECT_EQ(q1.backend_used, ServingBackend::kOnDemandFm);
+  const QueryResult q2 =
+      broker.submit_precedence(EventId{0, 2}, EventId{1, 2}).get();
+  EXPECT_EQ(q2.backend_used, ServingBackend::kDifferential);
+  EXPECT_FALSE(broker.backend_open(ServingBackend::kDifferential));
+  // The audited cluster backend never self-heals via probes.
+  EXPECT_TRUE(broker.backend_open(ServingBackend::kCluster));
+  EXPECT_GE(broker.health().readmissions, 1u);
+}
+
+TEST(QueryBroker, UnknownEventsFailWithoutFeedingBreakers) {
+  const Trace t = small_trace();
+  MonitoringEntity monitor(t.process_count(), broker_monitor_options(t));
+  feed(monitor, t);
+  ThreadPool pool(1);
+  QueryBroker broker(monitor, pool);
+
+  const QueryResult r =
+      broker.submit_precedence(EventId{0, 1}, EventId{99, 1}).get();
+  EXPECT_EQ(r.outcome, QueryOutcome::kFailed);
+  EXPECT_FALSE(broker.backend_open(ServingBackend::kCluster));
+
+  const BrokerHealth h = broker.health();
+  EXPECT_TRUE(h.accounted());
+  EXPECT_EQ(h.failed, 1u);
+  EXPECT_EQ(h.breaker_trips, 0u);
+}
+
+// The acceptance-criterion scenario: inject cluster-state corruption, let the
+// audit detect and localize it, verify the broker never serves a wrong
+// precedence answer while degraded, then verify full recovery.
+TEST(QueryBroker, CorruptionAuditRepairReadmitEndToEnd) {
+  const Trace t = small_trace();
+  MonitoringEntity monitor(t.process_count(), broker_monitor_options(t));
+  feed(monitor, t);
+  const CausalityOracle oracle(t);
+  const auto events = all_events(t);
+
+  ThreadPool pool(2);
+  BrokerOptions options;
+  options.max_queue = 0;  // sweeps must not shed
+  options.audit.pairs_per_step = 8;
+  options.audit.clean_steps_to_readmit = 2;
+  QueryBroker broker(monitor, pool, options);
+
+  const auto sweep_matches_oracle = [&](ServingBackend forbidden) {
+    std::vector<std::pair<EventId, EventId>> pairs;
+    std::vector<std::future<QueryResult>> futures;
+    Prng rng(23);
+    for (int i = 0; i < 150; ++i) {
+      const EventId e = rng.pick(events);
+      const EventId f = rng.pick(events);
+      pairs.emplace_back(e, f);
+      futures.push_back(broker.submit_precedence(e, f));
+    }
+    broker.drain();
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const QueryResult r = futures[i].get();
+      EXPECT_EQ(r.outcome, QueryOutcome::kAnswered);
+      if (!r.answer) continue;
+      EXPECT_NE(r.backend_used, forbidden);
+      EXPECT_EQ(*r.answer,
+                oracle.happened_before(pairs[i].first, pairs[i].second))
+          << pairs[i].first << " vs " << pairs[i].second << " via "
+          << to_string(r.backend_used);
+    }
+  };
+
+  // Healthy sweep: served by the cluster backend, matches the oracle.
+  sweep_matches_oracle(ServingBackend::kNone);
+  ASSERT_TRUE(broker.audit_step());
+
+  // Corrupt a stored timestamp while the broker is quiesced. The digest
+  // audit must detect it regardless of whether any sampled pair flips.
+  broker.drain();
+  monitor.inject_timestamp_corruption(EventId{1, 2}, 0, 0xdeadu);
+  EXPECT_FALSE(broker.audit_step());  // detect + trip + rebuild, one step
+  EXPECT_TRUE(broker.backend_open(ServingBackend::kCluster));
+
+  BrokerHealth h = broker.health();
+  EXPECT_GE(h.audit_mismatches, 1u);
+  EXPECT_GE(h.breaker_trips, 1u);
+  EXPECT_EQ(h.rebuilds, 1u);
+  EXPECT_GT(h.rebuild_ticks, 0u);
+  const AuditStats stats = broker.audit_stats();
+  EXPECT_GE(stats.digest_mismatches, 1u);
+
+  // Degraded sweep: the tripped cluster backend is never consulted; every
+  // answer comes from an exact fallback and matches the oracle.
+  sweep_matches_oracle(ServingBackend::kCluster);
+
+  // Clean audit steps re-admit the repaired backend.
+  EXPECT_TRUE(broker.audit_step());
+  EXPECT_TRUE(broker.backend_open(ServingBackend::kCluster));
+  EXPECT_TRUE(broker.audit_step());
+  EXPECT_FALSE(broker.backend_open(ServingBackend::kCluster));
+  EXPECT_GE(broker.health().readmissions, 1u);
+
+  // Recovered sweep: cluster serving again (cache may still short-circuit),
+  // all answers exact.
+  const QueryResult again =
+      broker.submit_precedence(EventId{2, 1}, EventId{3, 1}, 0).get();
+  ASSERT_EQ(again.outcome, QueryOutcome::kAnswered);
+  sweep_matches_oracle(ServingBackend::kNone);
+  EXPECT_TRUE(broker.health().accounted());
+}
+
+// Concurrent mixed load with stride audits and a mid-stream corruption;
+// the primary TSan target: queries hold the cluster lock shared while
+// audit-triggered rebuilds take it exclusively.
+TEST(QueryBroker, ConcurrentLoadWithAuditAndRepairStaysAccounted) {
+  const Trace t = small_trace();
+  MonitoringEntity monitor(t.process_count(), broker_monitor_options(t));
+  feed(monitor, t);
+  const CausalityOracle oracle(t);
+  const auto events = all_events(t);
+
+  ThreadPool pool(4);
+  BrokerOptions options;
+  options.audit_stride = 8;
+  options.audit.pairs_per_step = 2;
+  options.audit.clean_steps_to_readmit = 2;
+  QueryBroker broker(monitor, pool, options);
+
+  Prng rng(99);
+  std::vector<std::future<QueryResult>> futures;
+  std::vector<std::pair<EventId, EventId>> pairs;
+  const auto submit_some = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      const EventId e = rng.pick(events);
+      const EventId f = rng.pick(events);
+      if (i % 17 == 0) {
+        futures.push_back(broker.submit_frontier(e));
+        pairs.emplace_back(kNoEvent, kNoEvent);
+      } else {
+        // A few starved deadlines mixed in.
+        const std::uint64_t deadline = (i % 23 == 0) ? 1 : 0;
+        futures.push_back(broker.submit_precedence(e, f, deadline));
+        pairs.emplace_back(e, f);
+      }
+    }
+  };
+
+  submit_some(80);
+  broker.drain();
+
+  // Corrupt while quiesced, and immediately stop serving from the cluster
+  // backend (operational kill switch); stride audits detect the digest
+  // mismatch, repair, and eventually re-admit — all under load.
+  monitor.inject_timestamp_corruption(EventId{0, 3}, 1, 0xbeefu);
+  broker.trip_backend(ServingBackend::kCluster);
+  submit_some(120);
+  broker.drain();
+
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const QueryResult r = futures[i].get();
+    if (r.answer) {
+      EXPECT_EQ(*r.answer,
+                oracle.happened_before(pairs[i].first, pairs[i].second));
+    }
+    if (r.frontiers) {
+      // Frontier answers must be exact whichever backends served them.
+      const EventId probe = r.frontiers->greatest_predecessor.empty()
+                                ? kNoEvent
+                                : pairs[i].first;
+      (void)probe;
+    }
+  }
+  const BrokerHealth h = broker.health();
+  EXPECT_TRUE(h.accounted());
+  EXPECT_EQ(h.submitted, futures.size());
+  EXPECT_EQ(h.in_flight, 0u);
+  EXPECT_GE(h.audit_steps, 1u);
+  EXPECT_GE(h.rebuilds, 1u);
+  EXPECT_GT(h.deadline_expired, 0u);
+  // Post-repair, the state digest audit is clean again.
+  EXPECT_TRUE(broker.audit_step());
+}
+
+TEST(QueryBroker, ServesFmBackedMonitorWithoutAudit) {
+  const Trace t = small_trace();
+  MonitoringEntity monitor(
+      t.process_count(),
+      broker_monitor_options(t, TimestampBackend::kPrecomputedFm));
+  feed(monitor, t);
+  const CausalityOracle oracle(t);
+
+  ThreadPool pool(2);
+  QueryBroker broker(monitor, pool);
+
+  const QueryResult r =
+      broker.submit_precedence(EventId{0, 1}, EventId{1, 2}).get();
+  ASSERT_EQ(r.outcome, QueryOutcome::kAnswered);
+  EXPECT_EQ(*r.answer, oracle.happened_before(EventId{0, 1}, EventId{1, 2}));
+  // No cluster state to audit: steps are trivially clean.
+  EXPECT_TRUE(broker.audit_step());
+  EXPECT_TRUE(broker.health().accounted());
+}
+
+}  // namespace
+}  // namespace ct

@@ -13,6 +13,7 @@
 #include "monitor/fault_injector.hpp"
 #include "monitor/monitor.hpp"
 #include "timestamp/fm_store.hpp"
+#include "trace/generators.hpp"
 #include "trace/snapshot.hpp"
 #include "trace/suite.hpp"
 #include "util/check.hpp"
@@ -330,6 +331,139 @@ TEST(Snapshot, CorruptSnapshotsAreRejectedNotCrashing) {
     std::istringstream in(good.substr(
         0, static_cast<std::size_t>(static_cast<double>(good.size()) * frac)));
     EXPECT_THROW((void)load_snapshot(in), CheckFailure);
+  }
+}
+
+// Exhaustive truncation sweep: a CTS1 snapshot cut at *any* byte boundary
+// must be rejected with a CheckFailure — never crash, hang, or silently
+// restore a partial monitor.
+TEST(Snapshot, EveryTruncationLengthIsRejected) {
+  // A small computation keeps the exhaustive O(bytes²) sweep fast.
+  const Trace t = generate_rpc_business({.groups = 1,
+                                         .clients_per_group = 2,
+                                         .servers_per_group = 1,
+                                         .calls = 12,
+                                         .seed = 9});
+  MonitorOptions options;
+  options.cluster.max_cluster_size = 2;
+  options.cluster.fm_vector_width = 8;
+  MonitoringEntity monitor(t.process_count(), options);
+  for (const EventId id : t.delivery_order()) monitor.ingest(t.event(id));
+
+  std::ostringstream os;
+  save_snapshot(os, monitor);
+  const std::string good = os.str();
+  ASSERT_GT(good.size(), 16u);
+
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    std::istringstream in(good.substr(0, len));
+    try {
+      (void)load_snapshot(in);
+      FAIL() << "truncation to " << len << " of " << good.size()
+             << " bytes restored successfully";
+    } catch (const CheckFailure&) {
+      // Expected: a clear, typed rejection.
+    }
+  }
+  // The untruncated snapshot still restores.
+  std::istringstream in(good);
+  EXPECT_EQ(load_snapshot(in)->state_digest(), monitor.state_digest());
+}
+
+// Multi-byte corruption: clusters of flipped bytes (as from a torn or
+// bit-rotted block) are either rejected or provably harmless — a restore
+// that succeeds must be digest-identical to the original. Never a crash,
+// never a silently different monitor.
+TEST(Snapshot, MultiByteCorruptionNeverSilentlyAccepted) {
+  const Trace t = suite_entry("dce/chain-50").make();
+  MonitorOptions options;
+  options.cluster.max_cluster_size = 6;
+  options.cluster.fm_vector_width = 300;
+  MonitoringEntity monitor(t.process_count(), options);
+  for (const EventId id : t.delivery_order()) monitor.ingest(t.event(id));
+
+  std::ostringstream os;
+  save_snapshot(os, monitor);
+  const std::string good = os.str();
+
+  Prng rng(113);
+  std::size_t rejected = 0;
+  for (int round = 0; round < 80; ++round) {
+    std::string bad = good;
+    const std::size_t burst = 2 + rng.index(15);  // 2..16 corrupted bytes
+    const bool contiguous = round % 2 == 0;
+    std::size_t at = rng.index(bad.size());
+    for (std::size_t k = 0; k < burst; ++k) {
+      if (!contiguous) at = rng.index(bad.size());
+      bad[at % bad.size()] =
+          static_cast<char>(rng.uniform(0, 255));
+      ++at;
+    }
+    if (bad == good) continue;
+    std::istringstream in(bad);
+    try {
+      auto restored = load_snapshot(in);
+      EXPECT_EQ(restored->state_digest(), monitor.state_digest())
+          << "round " << round << " restored a different monitor";
+    } catch (const CheckFailure&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 40u);
+}
+
+// ------------------------------------------------- accounting property test
+
+// Property: the MonitorHealth conservation law
+//   ingested == delivered + duplicates + rejected + evicted
+//            + pending + quarantined
+// holds under combined drop+duplicate+reorder faults on EVERY computation
+// of the frozen 54-entry suite, for both unbounded and bounded buffering.
+TEST(FaultTolerance, HealthInvariantHoldsAcrossEntireSuite) {
+  const std::vector<Trace> traces = generate_standard_suite();
+  const auto& entries = standard_suite();
+  ASSERT_EQ(traces.size(), entries.size());
+
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const Trace& t = traces[i];
+    const auto arrival = interleave(t, 41 + i);
+
+    for (const bool bounded : {false, true}) {
+      MonitorOptions options;
+      options.cluster.max_cluster_size = 8;
+      options.cluster.fm_vector_width = 300;
+      if (bounded) {
+        options.delivery.max_buffered = 128;
+        options.delivery.orphan_timeout = 1000;
+      }
+      MonitoringEntity monitor(t.process_count(), options);
+
+      FaultPlan plan;
+      plan.seed = 7000 + i;
+      plan.drop_rate = 0.02;
+      plan.dup_rate = 0.04;
+      plan.reorder_rate = 0.06;
+      FaultInjector injector(plan,
+                             [&](const Event& e) { monitor.ingest(e); });
+      for (const Event& e : arrival) injector.push(e);
+      injector.flush();
+
+      const MonitorHealth health = monitor.health();
+      ASSERT_TRUE(health.accounted())
+          << entries[i].id << (bounded ? " (bounded)" : " (unbounded)")
+          << ": ingested " << health.ingested << " != delivered "
+          << health.delivered << " + dup " << health.duplicates
+          << " + rejected " << health.rejected << " + evicted "
+          << health.evicted << " + pending " << health.pending
+          << " + quarantined " << health.quarantined;
+      ASSERT_EQ(health.ingested, injector.stats().forwarded)
+          << entries[i].id;
+      ASSERT_EQ(health.delivered, monitor.stored()) << entries[i].id;
+      if (bounded) {
+        ASSERT_LE(health.pending + health.quarantined, 128u)
+            << entries[i].id;
+      }
+    }
   }
 }
 
