@@ -5,11 +5,19 @@
 // machine-readable CSV block, and (c) a human-readable analysis — ASCII
 // tables/plots plus explicit paper-vs-measured verdict lines that
 // EXPERIMENTS.md quotes.
+//
+// Perf harness (docs/PERF.md): every bench additionally accepts
+// `--json[=PATH]`. When given, bench_finish() writes a flat
+// BENCH_<name>.json with every json_metric() recorded during the run plus
+// the verdict tally, so CI can diff runs against checked-in baselines
+// (bench/baselines/). Without the flag the sink is inert and the bench
+// output is unchanged.
 #pragma once
 
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "eval/analysis.hpp"
@@ -20,6 +28,98 @@
 #include "util/stats.hpp"
 
 namespace ct::bench {
+
+/// Process-wide metric sink behind `--json`. Flat on purpose: a BENCH json
+/// is a dictionary of doubles, nothing nested, so the perf-smoke checker can
+/// parse it without a JSON library.
+struct JsonSink {
+  std::string bench_name;
+  std::string path;  // empty = disabled
+  std::vector<std::pair<std::string, double>> metrics;
+  std::size_t verdicts = 0;
+  std::size_t verdicts_hold = 0;
+};
+
+inline JsonSink& json_sink() {
+  static JsonSink sink;
+  return sink;
+}
+
+/// Parses `--json[=PATH]` (default PATH: BENCH_<name>.json in the working
+/// directory). Call first thing in main(); unrelated arguments are ignored.
+inline void bench_init(int argc, char** argv, const std::string& name) {
+  JsonSink& sink = json_sink();
+  sink.bench_name = name;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      sink.path = "BENCH_" + name + ".json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      sink.path = arg.substr(7);
+    }
+  }
+}
+
+/// Records one metric for the JSON report (no-op unless --json was given —
+/// recording is cheap enough to do unconditionally).
+inline void json_metric(const std::string& key, double value) {
+  json_sink().metrics.emplace_back(key, value);
+}
+
+/// Writes the JSON report if --json was requested. Returns main()'s exit
+/// code (non-zero only when the report cannot be written).
+inline int bench_finish() {
+  JsonSink& sink = json_sink();
+  if (sink.path.empty()) return 0;
+  std::FILE* f = std::fopen(sink.path.c_str(), "w");
+  if (f == nullptr) {
+    std::cerr << "cannot write " << sink.path << "\n";
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {\n",
+               sink.bench_name.c_str());
+  std::fprintf(f, "    \"verdicts_total\": %zu,\n", sink.verdicts);
+  std::fprintf(f, "    \"verdicts_hold\": %zu", sink.verdicts_hold);
+  for (const auto& [key, value] : sink.metrics) {
+    std::fprintf(f, ",\n    \"%s\": %.9g", key.c_str(), value);
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+  std::cout << "\n[json] wrote " << sink.path << "\n";
+  return 0;
+}
+
+/// Rewritten argv for a google-benchmark binary: `--json[=PATH]` becomes
+/// the library's own JSON reporter flags, everything else passes through.
+struct GbenchArgs {
+  std::vector<std::string> storage;
+  std::vector<char*> argv;
+  int argc = 0;
+};
+
+inline GbenchArgs gbench_args(int argc, char** argv,
+                              const std::string& name) {
+  GbenchArgs out;
+  out.storage.reserve(2 * static_cast<std::size_t>(argc) + 2);
+  out.storage.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string path;
+    if (arg == "--json") {
+      path = "BENCH_" + name + ".json";
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      out.storage.push_back(arg);
+      continue;
+    }
+    out.storage.push_back("--benchmark_out=" + path);
+    out.storage.emplace_back("--benchmark_out_format=json");
+  }
+  for (std::string& s : out.storage) out.argv.push_back(s.data());
+  out.argc = static_cast<int>(out.argv.size());
+  return out;
+}
 
 inline void header(const std::string& name, const std::string& artifact,
                    const std::string& description) {
@@ -37,6 +137,8 @@ inline void section(const std::string& title) {
 /// One paper-vs-measured verdict line (quoted by EXPERIMENTS.md).
 inline void verdict(const std::string& claim, const std::string& paper,
                     const std::string& measured, bool holds) {
+  json_sink().verdicts += 1;
+  json_sink().verdicts_hold += holds ? 1 : 0;
   std::cout << (holds ? "[SHAPE HOLDS] " : "[SHAPE DIFFERS] ") << claim
             << "\n    paper:    " << paper << "\n    measured: " << measured
             << "\n";

@@ -9,7 +9,8 @@
 //   * both sit far below the Fidge/Mattern ratio of 1.0 (off the scale).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ct::bench::bench_init(argc, argv, "fig4_static_vs_merge1st");
   using namespace ct;
   bench::header(
       "fig4_static_vs_merge1st", "Figure 4 (both panels)",
@@ -80,5 +81,5 @@ int main() {
                    *std::max_element(m1.ratios.begin(), m1.ratios.end()) <
                        0.9);
   }
-  return 0;
+  return ct::bench::bench_finish();
 }

@@ -10,7 +10,8 @@
 //     "smoothed at the 40% mark, not the 20% mark").
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ct::bench::bench_init(argc, argv, "fig5_dynamic_threshold");
   using namespace ct;
   bench::header(
       "fig5_dynamic_threshold", "Figure 5 (both panels)",
@@ -75,5 +76,5 @@ int main() {
         "mean CR>10 / m1st best = " + fmt(mean10 / m1.best_ratio(), 2) + "x",
         mean10 >= m1.best_ratio() * 0.95);
   }
-  return 0;
+  return ct::bench::bench_finish();
 }

@@ -13,14 +13,18 @@
 // compute-on-demand FM.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/engine.hpp"
 #include "monitor/queries.hpp"
 #include "timestamp/fm_store.hpp"
 #include "timestamp/ondemand_fm.hpp"
 #include "trace/generators.hpp"
+#include "util/check.hpp"
 #include "util/prng.hpp"
 
 namespace ct {
@@ -93,6 +97,59 @@ BENCHMARK(BM_Frontier_Cluster)
     ->Arg(300)
     ->Unit(benchmark::kMicrosecond);
 
+// A/B control: the same engine with the arena mirror off — every test pays
+// the per-vector binary searches the cursor path amortizes away.
+void BM_Frontier_ClusterLegacy(benchmark::State& state) {
+  const Trace& t = trace_for(static_cast<std::size_t>(state.range(0)));
+  ClusterEngineConfig config{.max_cluster_size = 13,
+                             .fm_vector_width = 300,
+                             .use_arena = false};
+  ClusterTimestampEngine engine(t.process_count(), config,
+                                make_merge_on_nth(10));
+  engine.observe_trace(t);
+  run_frontiers(state, t, [&](EventId a, EventId b) {
+    return engine.precedes(t.event(a), t.event(b));
+  });
+}
+BENCHMARK(BM_Frontier_ClusterLegacy)
+    ->Arg(100)
+    ->Arg(300)
+    ->Unit(benchmark::kMicrosecond);
+
+// The batched frontier kernel: a frontier query tests thousands of events
+// against ONE fixed anchor, so the cursor resolves the anchor's row, dense
+// covered-set index, and greatest-cluster-receive rows once per query
+// instead of once per test.
+void BM_Frontier_ClusterCursor(benchmark::State& state) {
+  const Trace& t = trace_for(static_cast<std::size_t>(state.range(0)));
+  ClusterEngineConfig config{.max_cluster_size = 13, .fm_vector_width = 300};
+  ClusterTimestampEngine engine(t.process_count(), config,
+                                make_merge_on_nth(10));
+  engine.observe_trace(t);
+  const auto probes = probe_events(t, 64);
+  std::size_t i = 0;
+  std::size_t tests = 0;
+  for (auto _ : state) {
+    const EventId e = probes[i++ & 63];
+    const auto cur = engine.cursor(t.event(e));
+    const auto frontiers = compute_frontiers_with(
+        t.process_count(), e,
+        [&](EventId a, EventId b) {
+          return a == e ? cur.anchor_precedes(t.event(b))
+                        : cur.precedes_anchor(t.event(a));
+        },
+        [&](ProcessId q) { return t.process_size(q); });
+    tests += frontiers.precedence_tests;
+    benchmark::DoNotOptimize(frontiers.greatest_concurrent.data());
+  }
+  state.counters["precedence_tests_per_op"] =
+      static_cast<double>(tests) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Frontier_ClusterCursor)
+    ->Arg(100)
+    ->Arg(300)
+    ->Unit(benchmark::kMicrosecond);
+
 // The paper's "several minutes" regime: each of the thousands of precedence
 // tests may recompute vectors. Kept to N=100 and few iterations so the
 // bench binary still finishes promptly — the gap is the point.
@@ -107,7 +164,108 @@ BENCHMARK(BM_Frontier_OnDemandFm)
     ->Iterations(3)
     ->Unit(benchmark::kMillisecond);
 
+// ------------------------------------------- arena acceptance verification
+
+/// The acceptance gate run before every benchmark session: at the largest
+/// standard size the cursor path must answer every single precedence test
+/// of every frontier query exactly like the legacy engine — verified
+/// inside the query (test-for-test), not just on the final frontiers.
+void verify_cursor_exactness() {
+  constexpr std::size_t kN = 300;
+  const Trace& t = trace_for(kN);
+  ClusterEngineConfig fast_cfg{.max_cluster_size = 13,
+                               .fm_vector_width = 300};
+  ClusterEngineConfig slow_cfg = fast_cfg;
+  slow_cfg.use_arena = false;
+  ClusterTimestampEngine fast(t.process_count(), fast_cfg,
+                              make_merge_on_nth(10));
+  ClusterTimestampEngine slow(t.process_count(), slow_cfg,
+                              make_merge_on_nth(10));
+  fast.observe_trace(t);
+  slow.observe_trace(t);
+
+  const auto probes = probe_events(t, 64);
+  const auto size_of = [&](ProcessId q) { return t.process_size(q); };
+  std::size_t tests = 0;
+  for (const EventId e : probes) {
+    const auto cur = fast.cursor(t.event(e));
+    const auto checked = [&](EventId a, EventId b) {
+      const bool fast_answer = a == e ? cur.anchor_precedes(t.event(b))
+                                      : cur.precedes_anchor(t.event(a));
+      const bool slow_answer = slow.precedes(t.event(a), t.event(b));
+      CT_CHECK_MSG(fast_answer == slow_answer,
+                   "cursor/legacy disagree on " << a << " -> " << b);
+      ++tests;
+      return fast_answer;
+    };
+    const auto via_cursor =
+        compute_frontiers_with(t.process_count(), e, checked, size_of);
+    const auto via_legacy = compute_frontiers_with(
+        t.process_count(), e,
+        [&](EventId a, EventId b) {
+          return slow.precedes(t.event(a), t.event(b));
+        },
+        size_of);
+    CT_CHECK_MSG(
+        via_cursor.greatest_predecessor == via_legacy.greatest_predecessor &&
+            via_cursor.greatest_concurrent == via_legacy.greatest_concurrent,
+        "frontiers diverge at probe " << e);
+  }
+
+  // Timing on the verified workload: full frontier queries, best of 3.
+  using clock = std::chrono::steady_clock;
+  const auto run = [&](auto&& precedes) {
+    double best = 1e100;
+    for (int rep = 0; rep < 3; ++rep) {
+      std::size_t total = 0;
+      const auto start = clock::now();
+      for (const EventId e : probes) {
+        total += precedes(e).precedence_tests;
+      }
+      const double s =
+          std::chrono::duration<double>(clock::now() - start).count();
+      benchmark::DoNotOptimize(total);
+      best = std::min(best, s);
+    }
+    return best;
+  };
+  const double slow_s = run([&](EventId e) {
+    return compute_frontiers_with(
+        t.process_count(), e,
+        [&](EventId a, EventId b) {
+          return slow.precedes(t.event(a), t.event(b));
+        },
+        size_of);
+  });
+  const double fast_s = run([&](EventId e) {
+    const auto cur = fast.cursor(t.event(e));
+    return compute_frontiers_with(
+        t.process_count(), e,
+        [&](EventId a, EventId b) {
+          return a == e ? cur.anchor_precedes(t.event(b))
+                        : cur.precedes_anchor(t.event(a));
+        },
+        size_of);
+  });
+  const double per = 1e6 / static_cast<double>(probes.size());
+  std::printf(
+      "[perf] N=%zu: %zu frontier queries (%zu precedence tests) verified "
+      "cursor == legacy\n[perf] frontier speedup %.2fx (legacy %.1f "
+      "us/query, cursor %.1f us/query)\n\n",
+      kN, probes.size(), tests, slow_s / fast_s, slow_s * per, fast_s * per);
+}
+
 }  // namespace
 }  // namespace ct
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ct::verify_cursor_exactness();
+  auto args = ct::bench::gbench_args(argc, argv, "gbench_frontier");
+  benchmark::Initialize(&args.argc, args.argv.data());
+  if (benchmark::ReportUnrecognizedArguments(args.argc, args.argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

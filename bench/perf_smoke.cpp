@@ -1,0 +1,345 @@
+// Perf-regression smoke (docs/PERF.md): reduced-size runs of the hot paths
+// the performance layer accelerates, gated against a checked-in baseline.
+//
+// Every gated metric is machine-independent by construction:
+//   * speedup_*  — same-binary, same-run ratios (legacy path time / fast
+//     path time), so the machine's absolute speed divides out. A >30%
+//     drop vs. the baseline ratio fails the run.
+//   * det_*      — deterministic counters (cluster counts, query answers,
+//     test counts, arena footprint); any deviation from the baseline fails
+//     — these only change when behaviour changes.
+// Absolute ns_per_* metrics are recorded for humans but never gated.
+//
+// Usage:
+//   perf_smoke --json                      write BENCH_perf_smoke.json
+//   perf_smoke --json=PATH                 write PATH
+//   perf_smoke --check=BASELINE.json       gate this run against a baseline
+//
+// Refreshing the baseline after an intentional perf change:
+//   ./build/bench/perf_smoke --json=bench/baselines/BENCH_perf_smoke.json
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/comm_matrix.hpp"
+#include "cluster/static_greedy.hpp"
+#include "core/engine.hpp"
+#include "monitor/queries.hpp"
+#include "trace/generators.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace ct {
+namespace {
+
+constexpr std::size_t kProcesses = 128;  // reduced size: CI-friendly
+
+volatile std::size_t g_sink = 0;  // defeats dead-code elimination
+
+using steady = std::chrono::steady_clock;
+
+double best_of(int reps, const auto& body) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = steady::now();
+    body();
+    const double s =
+        std::chrono::duration<double>(steady::now() - start).count();
+    best = std::min(best, s);
+  }
+  return best;
+}
+
+Trace make_trace() {
+  return generate_locality_random({.processes = kProcesses,
+                                   .group_size = 10,
+                                   .intra_rate = 0.85,
+                                   .messages = kProcesses * 30,
+                                   .seed = 1000 + kProcesses});
+}
+
+std::vector<std::pair<EventId, EventId>> query_pairs(const Trace& t,
+                                                     std::size_t count) {
+  Prng rng(7);
+  const auto order = t.delivery_order();
+  std::vector<std::pair<EventId, EventId>> pairs;
+  pairs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pairs.emplace_back(order[rng.index(order.size())],
+                       order[rng.index(order.size())]);
+  }
+  return pairs;
+}
+
+// ------------------------------------------------ precedence: arena A/B
+
+void smoke_precedence(const Trace& t) {
+  ClusterEngineConfig fast_cfg{.max_cluster_size = 13,
+                               .fm_vector_width = kProcesses};
+  ClusterEngineConfig slow_cfg = fast_cfg;
+  slow_cfg.use_arena = false;
+  ClusterTimestampEngine fast(t.process_count(), fast_cfg,
+                              make_merge_on_nth(10));
+  ClusterTimestampEngine slow(t.process_count(), slow_cfg,
+                              make_merge_on_nth(10));
+  fast.observe_trace(t);
+  slow.observe_trace(t);
+
+  const auto pairs = query_pairs(t, 1 << 15);
+  std::size_t trues = 0;
+  for (const auto& [e, f] : pairs) {
+    const bool a = fast.precedes(t.event(e), t.event(f));
+    const bool b = slow.precedes(t.event(e), t.event(f));
+    CT_CHECK_MSG(a == b, "arena/legacy disagree on " << e << " -> " << f);
+    trues += a ? 1 : 0;
+  }
+
+  // Pre-resolved records: the sweep times the precedence paths, not the
+  // trace's bounds-checked event lookups (identical for both variants).
+  std::vector<std::pair<const Event*, const Event*>> records;
+  records.reserve(pairs.size());
+  for (const auto& [e, f] : pairs) {
+    records.emplace_back(&t.event(e), &t.event(f));
+  }
+  const auto sweep = [&](const ClusterTimestampEngine& engine) {
+    std::size_t hits = 0;
+    for (const auto& [e, f] : records) {
+      hits += engine.precedes(*e, *f) ? 1U : 0U;
+    }
+    g_sink = hits;
+  };
+  const double slow_s = best_of(5, [&] { sweep(slow); });
+  const double fast_s = best_of(5, [&] { sweep(fast); });
+
+  const double per = 1e9 / static_cast<double>(pairs.size());
+  bench::json_metric("speedup_precedence_arena", slow_s / fast_s);
+  bench::json_metric("det_precedence_true", static_cast<double>(trues));
+  bench::json_metric("det_cluster_receives",
+                     static_cast<double>(fast.stats().cluster_receives));
+  bench::json_metric("det_arena_words",
+                     static_cast<double>(fast.arena_words()));
+  bench::json_metric("ns_per_query_legacy", slow_s * per);
+  bench::json_metric("ns_per_query_arena", fast_s * per);
+  std::printf("precedence: %zu pairs, arena speedup %.2fx (%.1f -> %.1f "
+              "ns/query)\n",
+              pairs.size(), slow_s / fast_s, slow_s * per, fast_s * per);
+
+  // ------------------------------------------------ frontier: cursor A/B
+  Prng rng(3);
+  const auto order = t.delivery_order();
+  std::vector<EventId> probes;
+  for (std::size_t i = 0; i < 48; ++i) {
+    probes.push_back(order[rng.index(order.size())]);
+  }
+  const auto size_of = [&](ProcessId q) { return t.process_size(q); };
+  std::size_t tests = 0;
+  for (const EventId e : probes) {
+    const auto cur = fast.cursor(t.event(e));
+    const auto via_cursor = compute_frontiers_with(
+        t.process_count(), e,
+        [&](EventId a, EventId b) {
+          return a == e ? cur.anchor_precedes(t.event(b))
+                        : cur.precedes_anchor(t.event(a));
+        },
+        size_of);
+    const auto via_legacy = compute_frontiers_with(
+        t.process_count(), e,
+        [&](EventId a, EventId b) {
+          return slow.precedes(t.event(a), t.event(b));
+        },
+        size_of);
+    CT_CHECK_MSG(
+        via_cursor.greatest_predecessor == via_legacy.greatest_predecessor &&
+            via_cursor.greatest_concurrent == via_legacy.greatest_concurrent,
+        "frontiers diverge at probe " << e);
+    tests += via_cursor.precedence_tests;
+  }
+
+  const double slow_f = best_of(5, [&] {
+    std::size_t total = 0;
+    for (const EventId e : probes) {
+      total += compute_frontiers_with(
+                   t.process_count(), e,
+                   [&](EventId a, EventId b) {
+                     return slow.precedes(t.event(a), t.event(b));
+                   },
+                   size_of)
+                   .precedence_tests;
+    }
+    g_sink = total;
+  });
+  const double fast_f = best_of(5, [&] {
+    std::size_t total = 0;
+    for (const EventId e : probes) {
+      const auto cur = fast.cursor(t.event(e));
+      total += compute_frontiers_with(
+                   t.process_count(), e,
+                   [&](EventId a, EventId b) {
+                     return a == e ? cur.anchor_precedes(t.event(b))
+                                   : cur.precedes_anchor(t.event(a));
+                   },
+                   size_of)
+                   .precedence_tests;
+    }
+    g_sink = total;
+  });
+
+  const double perq = 1e6 / static_cast<double>(probes.size());
+  bench::json_metric("speedup_frontier_cursor", slow_f / fast_f);
+  bench::json_metric("det_frontier_tests", static_cast<double>(tests));
+  bench::json_metric("us_per_frontier_legacy", slow_f * perq);
+  bench::json_metric("us_per_frontier_cursor", fast_f * perq);
+  std::printf("frontier:   %zu queries (%zu tests), cursor speedup %.2fx "
+              "(%.1f -> %.1f us/query)\n",
+              probes.size(), tests, slow_f / fast_f, slow_f * perq,
+              fast_f * perq);
+}
+
+// ------------------------------------------------ greedy clustering A/B
+
+void smoke_greedy(const Trace& t) {
+  const CommMatrix comm(t);
+  std::size_t clusters_at_13 = 0;
+  for (const std::size_t max_cs : {2UL, 5UL, 13UL, 40UL}) {
+    const StaticGreedyOptions options{.max_cluster_size = max_cs};
+    const auto heap = static_greedy_clusters(comm, options);
+    const auto reference = static_greedy_clusters_reference(comm, options);
+    CT_CHECK_MSG(heap == reference,
+                 "heap greedy diverges from reference at maxCS=" << max_cs);
+    if (max_cs == 13) clusters_at_13 = heap.size();
+  }
+
+  const StaticGreedyOptions options{.max_cluster_size = 13};
+  const double slow_s = best_of(3, [&] {
+    g_sink = static_greedy_clusters_reference(comm, options).size();
+  });
+  const double fast_s = best_of(3, [&] {
+    g_sink = static_greedy_clusters(comm, options).size();
+  });
+
+  bench::json_metric("speedup_greedy_heap", slow_s / fast_s);
+  bench::json_metric("det_greedy_clusters",
+                     static_cast<double>(clusters_at_13));
+  bench::json_metric("ms_greedy_reference", slow_s * 1e3);
+  bench::json_metric("ms_greedy_heap", fast_s * 1e3);
+  std::printf("greedy:     C=%zu, heap speedup %.2fx (%.2f -> %.2f ms), "
+              "partitions identical at maxCS {2,5,13,40}\n",
+              comm.process_count(), slow_s / fast_s, slow_s * 1e3,
+              fast_s * 1e3);
+}
+
+// ------------------------------------------------ baseline gate (--check)
+
+/// Minimal parser for the flat BENCH json this binary writes: extracts
+/// every `"key": number` pair inside the "metrics" object. No JSON
+/// library in the container, none needed for this grammar.
+std::vector<std::pair<std::string, double>> parse_baseline(
+    const std::string& path) {
+  std::ifstream in(path);
+  CT_CHECK_MSG(in.good(), "cannot read baseline " << path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::vector<std::pair<std::string, double>> out;
+  std::size_t pos = 0;
+  while ((pos = text.find('"', pos)) != std::string::npos) {
+    const std::size_t end = text.find('"', pos + 1);
+    if (end == std::string::npos) break;
+    const std::string key = text.substr(pos + 1, end - pos - 1);
+    std::size_t after = end + 1;
+    while (after < text.size() &&
+           (text[after] == ':' || text[after] == ' ')) {
+      ++after;
+    }
+    if (after < text.size() && text[after] != ':' && key != "bench" &&
+        key != "metrics") {
+      char* parsed_end = nullptr;
+      const double value = std::strtod(text.c_str() + after, &parsed_end);
+      if (parsed_end != text.c_str() + after) out.emplace_back(key, value);
+    }
+    pos = end + 1;
+  }
+  return out;
+}
+
+int check_against(const std::string& path) {
+  const auto baseline = parse_baseline(path);
+  const auto& measured = bench::json_sink().metrics;
+  const auto lookup = [&](const std::string& key) -> const double* {
+    for (const auto& [k, v] : measured) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  };
+
+  int failures = 0;
+  std::printf("\n-- baseline check vs %s --\n", path.c_str());
+  for (const auto& [key, expected] : baseline) {
+    const double* got = lookup(key);
+    if (got == nullptr) {
+      if (key.rfind("verdicts_", 0) == 0) continue;  // sink bookkeeping
+      std::printf("[FAIL] %-28s missing from this run\n", key.c_str());
+      ++failures;
+      continue;
+    }
+    if (key.rfind("speedup_", 0) == 0) {
+      // Ratio gate: tolerate noise, fail a >30% regression.
+      const double floor = expected / 1.3;
+      const bool ok = *got >= floor;
+      std::printf("[%s] %-28s %.3f (baseline %.3f, floor %.3f)\n",
+                  ok ? " ok " : "FAIL", key.c_str(), *got, expected, floor);
+      failures += ok ? 0 : 1;
+    } else if (key.rfind("det_", 0) == 0) {
+      // Deterministic gate: exact or the behaviour changed.
+      const bool ok = *got == expected;
+      std::printf("[%s] %-28s %.0f (baseline %.0f)\n",
+                  ok ? " ok " : "FAIL", key.c_str(), *got, expected);
+      failures += ok ? 0 : 1;
+    }
+    // Absolute-time metrics: informational only, machine-dependent.
+  }
+  if (failures > 0) {
+    std::printf("perf smoke FAILED: %d gated metric(s) regressed\n",
+                failures);
+    return 1;
+  }
+  std::printf("perf smoke passed: all gated metrics within tolerance\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ct
+
+int main(int argc, char** argv) {
+  ct::bench::bench_init(argc, argv, "perf_smoke");
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--check=", 0) == 0) check_path = arg.substr(8);
+  }
+
+  ct::bench::header("perf_smoke", "perf-regression gate (docs/PERF.md)",
+                    "Reduced-size A/B runs of the arena precedence path, "
+                    "the frontier cursor, and the heap greedy clustering; "
+                    "gated on same-run speedup ratios and deterministic "
+                    "counters only.");
+
+  const ct::Trace t = ct::make_trace();
+  std::printf("trace: %zu processes, %zu events\n\n", t.process_count(),
+              t.event_count());
+  ct::smoke_precedence(t);
+  ct::smoke_greedy(t);
+
+  int exit_code = ct::bench::bench_finish();
+  if (!check_path.empty()) {
+    exit_code = std::max(exit_code, ct::check_against(check_path));
+  }
+  return exit_code;
+}

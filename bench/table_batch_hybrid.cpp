@@ -10,7 +10,8 @@
 #include "bench_common.hpp"
 #include "core/batch_hybrid.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ct::bench::bench_init(argc, argv, "table_batch_hybrid");
   using namespace ct;
   bench::header(
       "table_batch_hybrid", "§5 future work, variant 1",
@@ -83,5 +84,5 @@ int main() {
       "batch-500 mean=" + fmt(hybrid_ratio[0].mean(), 4) + " vs batch-2000 "
           "mean=" + fmt(hybrid_ratio.back().mean(), 4),
       hybrid_ratio.back().mean() <= hybrid_ratio[0].mean() + 0.01);
-  return 0;
+  return ct::bench::bench_finish();
 }

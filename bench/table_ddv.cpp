@@ -10,7 +10,8 @@
 #include "timestamp/direct_dependency.hpp"
 #include "util/prng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ct::bench::bench_init(argc, argv, "table_ddv");
   using namespace ct;
   bench::header(
       "table_ddv", "§2.4 text — direct-dependency vectors",
@@ -89,5 +90,5 @@ int main() {
       fmt(ddv_edges.mean(), 0) + " edges/query vs " +
           fmt(cluster_cmps.mean(), 2) + " comparisons for cluster timestamps",
       ddv_edges.mean() > 20 * cluster_cmps.mean());
-  return 0;
+  return ct::bench::bench_finish();
 }

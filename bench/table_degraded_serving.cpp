@@ -148,7 +148,8 @@ Row run_one(const std::string& id, const Trace& t, const FmStore& oracle,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ct::bench::bench_init(argc, argv, "table_degraded_serving");
   using namespace ct;
   bench::header(
       "table_degraded_serving",
@@ -273,5 +274,5 @@ int main() {
       "clean mean " + fmt(clean_mean, 1) + " vs corrupted mean " +
           fmt(corrupt_mean, 1),
       corrupt_mean > clean_mean);
-  return 0;
+  return ct::bench::bench_finish();
 }

@@ -12,7 +12,8 @@
 #include "timestamp/differential.hpp"
 #include "util/prng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ct::bench::bench_init(argc, argv, "table_differential");
   using namespace ct;
   bench::header(
       "table_differential", "§2.4 text — differential technique ≤ ~3x",
@@ -93,5 +94,5 @@ int main() {
           fmt(saving[practical].mean(), 2) + "x",
       cluster_saving.mean() > saving[practical].mean() &&
           cluster_saving.max() >= 8.0);
-  return 0;
+  return ct::bench::bench_finish();
 }

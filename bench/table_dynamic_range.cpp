@@ -8,7 +8,8 @@
 //     third of the Fidge/Mattern size.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ct::bench::bench_init(argc, argv, "table_dynamic_range");
   using namespace ct;
   bench::header(
       "table_dynamic_range", "§4 text — merge-on-Nth range result",
@@ -105,5 +106,5 @@ int main() {
           "ratio-of-bests " +
           fmt(rise.mean(), 2) + "x)",
       raised * 10 >= rows.size() * 8);
-  return 0;
+  return ct::bench::bench_finish();
 }

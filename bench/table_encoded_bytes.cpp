@@ -11,7 +11,8 @@
 #include "core/compact_store.hpp"
 #include "core/engine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ct::bench::bench_init(argc, argv, "table_encoded_bytes");
   using namespace ct;
   bench::header(
       "table_encoded_bytes", "§3.1 assumption — fixed-width encoding",
@@ -73,5 +74,5 @@ int main() {
       "compact " + fmt(compact_bpe.mean(), 0) + " B/event vs padded " +
           fmt(padded_bpe.mean(), 0) + " B/event",
       compact_bpe.mean() < padded_bpe.mean());
-  return 0;
+  return ct::bench::bench_finish();
 }

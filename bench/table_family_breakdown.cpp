@@ -11,7 +11,8 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ct::bench::bench_init(argc, argv, "table_family_breakdown");
   using namespace ct;
   bench::header(
       "table_family_breakdown", "§4 — results by environment",
@@ -100,5 +101,5 @@ int main() {
                 static_best[TraceFamily::kJava].mean(),
                 static_best[TraceFamily::kDce].mean(),
                 static_best[TraceFamily::kControl].mean()}) < 0.5);
-  return 0;
+  return ct::bench::bench_finish();
 }

@@ -104,7 +104,8 @@ Row run_one(const std::string& id, const Trace& t, double drop_rate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ct::bench::bench_init(argc, argv, "table_fault_degradation");
   using namespace ct;
   bench::header(
       "table_fault_degradation",
@@ -198,5 +199,5 @@ int main() {
       "ctl/local coverage " + fmt(loose_cov_at_5, 3) + " vs pvm/wavefront " +
           fmt(tight_cov_at_5, 3),
       loose_cov_at_5 >= tight_cov_at_5);
-  return 0;
+  return ct::bench::bench_finish();
 }

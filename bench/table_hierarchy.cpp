@@ -11,7 +11,8 @@
 #include "cluster/comm_matrix.hpp"
 #include "core/hierarchy.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ct::bench::bench_init(argc, argv, "table_hierarchy");
   using namespace ct;
   bench::header(
       "table_hierarchy", "§2.3 design — multi-level cluster hierarchy",
@@ -79,5 +80,5 @@ int main() {
           std::to_string(improved) + "/" + std::to_string(considered),
       three_level.mean() < two_level.mean() &&
           improved * 2 >= considered);
-  return 0;
+  return ct::bench::bench_finish();
 }

@@ -14,7 +14,8 @@
 #include "cluster/kmedoid.hpp"
 #include "cluster/static_greedy.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ct::bench::bench_init(argc, argv, "table_kmedoid_ablation");
   using namespace ct;
   bench::header(
       "table_kmedoid_ablation", "§3.1 text — rejected clustering approaches",
@@ -101,5 +102,5 @@ int main() {
           ", k-means=" + fmt(means_ratio.mean(), 3),
       greedy_ratio.mean() < medoid_ratio.mean() &&
           greedy_ratio.mean() < means_ratio.mean());
-  return 0;
+  return ct::bench::bench_finish();
 }

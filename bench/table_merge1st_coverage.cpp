@@ -7,7 +7,8 @@
 // failure that motivates the whole paper.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ct::bench::bench_init(argc, argv, "table_merge1st_coverage");
   using namespace ct;
   bench::header(
       "table_merge1st_coverage", "§4 text — merge-on-1st has no good maxCS",
@@ -85,5 +86,5 @@ int main() {
       "fixed-contiguous universal sizes: " +
           std::to_string(fixed_universal.size()),
       fixed_universal.empty());
-  return 0;
+  return ct::bench::bench_finish();
 }

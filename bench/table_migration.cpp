@@ -11,7 +11,8 @@
 #include "core/migrating_engine.hpp"
 #include "trace/generators.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ct::bench::bench_init(argc, argv, "table_migration");
   using namespace ct;
   bench::header(
       "table_migration", "§5 future work, variant 2",
@@ -113,5 +114,5 @@ int main() {
           fmt(frozen_ratios[2], 4) + " vs " + fmt(migrating_ratios[2], 4),
       migrating_ratios[1] < frozen_ratios[1] &&
           migrating_ratios[2] < frozen_ratios[2]);
-  return 0;
+  return ct::bench::bench_finish();
 }

@@ -7,7 +7,8 @@
 // suite and compares the resulting timestamp ratios.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ct::bench::bench_init(argc, argv, "table_normalization_ablation");
   using namespace ct;
   bench::header(
       "table_normalization_ablation", "§3.1 design choice — normalization",
@@ -64,5 +65,5 @@ int main() {
           " vs raw=" + fmt(raw.mean(), 4) + "; wins " +
           std::to_string(normalized_wins) + ":" + std::to_string(raw_wins),
       normalized.mean() <= raw.mean() + 1e-6);
-  return 0;
+  return ct::bench::bench_finish();
 }

@@ -7,7 +7,8 @@
 //   * a wide contiguous range (paper: [9,17]) covers all but one.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ct::bench::bench_init(argc, argv, "table_static_range");
   using namespace ct;
   bench::header(
       "table_static_range", "§4 text — static clustering range result",
@@ -86,5 +87,5 @@ int main() {
   bench::section("curve smoothness across the suite");
   std::printf("roughness mean=%.4f max=%.4f\n", roughness.mean(),
               roughness.max());
-  return 0;
+  return ct::bench::bench_finish();
 }

@@ -8,7 +8,8 @@
 // the curve roughness (predictability).
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  ct::bench::bench_init(argc, argv, "table_threshold_sweep");
   using namespace ct;
   bench::header(
       "table_threshold_sweep", "extension of §3.2 — the threshold frontier",
@@ -82,5 +83,5 @@ int main() {
       "mean roughness " + fmt(roughness_mean.front(), 4) + " (T=0) -> " +
           fmt(roughness_mean.back(), 4) + " (T=50)",
       roughness_mean.back() < roughness_mean.front());
-  return 0;
+  return ct::bench::bench_finish();
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/precedence_kernels.hpp"
 #include "util/check.hpp"
 
 namespace ct {
@@ -30,6 +31,16 @@ ClusterTimestampEngine::ClusterTimestampEngine(
                "fm_vector_width " << config_.fm_vector_width
                                   << " cannot encode " << process_count
                                   << " processes");
+  if (config_.use_arena) {
+    // Interning stays OFF: inject_corruption / rebuild_cluster mutate rows
+    // in place, and sync halves (identical vectors) would otherwise alias.
+    arena_ = std::make_unique<TsArena>(process_count,
+                                       TsArena::Options{.intern = false});
+    row_refs_.resize(process_count);
+    row_handles_.resize(process_count);
+    receive_rows_.resize(process_count);
+    probe_pool_.resize(process_count);
+  }
 }
 
 ClusterTimestampEngine::ClusterTimestampEngine(
@@ -59,6 +70,14 @@ ClusterTimestampEngine::ClusterTimestampEngine(
                "partition has a cluster of "
                    << clusters_.max_cluster_size()
                    << " processes, larger than the encoding width " << width);
+  if (config_.use_arena) {
+    arena_ = std::make_unique<TsArena>(process_count,
+                                       TsArena::Options{.intern = false});
+    row_refs_.resize(process_count);
+    row_handles_.resize(process_count);
+    receive_rows_.resize(process_count);
+    probe_pool_.resize(process_count);
+  }
 }
 
 bool ClusterTimestampEngine::classify_cluster_receive(
@@ -81,6 +100,44 @@ bool ClusterTimestampEngine::classify_cluster_receive(
   return false;  // merged: the event is no longer a cluster receive
 }
 
+std::uint32_t ClusterTimestampEngine::covered_set_id(
+    const std::shared_ptr<const std::vector<ProcessId>>& covered) {
+  // Keyed by members-pointer identity: ClusterSet hands out one immutable
+  // snapshot per (cluster, merge-epoch), so identity captures content.
+  const auto [it, inserted] = covered_ids_.try_emplace(
+      covered.get(), static_cast<std::uint32_t>(covered_sets_.size()));
+  if (inserted) {
+    CoveredSet cs;
+    cs.procs = covered;
+    cs.pos.assign(ts_.size(), -1);
+    const auto& procs = *covered;
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+      cs.pos[procs[i]] = static_cast<std::int32_t>(i);
+    }
+    covered_sets_.push_back(std::move(cs));
+  }
+  return it->second;
+}
+
+std::uint32_t ClusterTimestampEngine::resolve_probe(
+    ProcessId q, EventIndex bound) const {
+  const auto& receives = cluster_receives_[q];
+  const std::size_t k =
+      kernels::count_leq(receives.data(), receives.size(), bound);
+  return k == 0 ? kNoProbe : arena_->offset_of(receive_rows_[q][k - 1]);
+}
+
+void ClusterTimestampEngine::refresh_probes(EventId id) {
+  const RowRef& ref = row_refs_[id.process][id.index - 1];
+  if (ref.aux == kFullRowAux) return;  // full rows carry no probes
+  const auto& procs = *covered_sets_[ref.aux].procs;
+  const EventIndex* row = arena_->pool_data() + ref.offset;
+  std::uint32_t* probes = probe_pool_[id.process].data() + ref.probe_off;
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    probes[i] = resolve_probe(procs[i], row[i]);
+  }
+}
+
 const ClusterTimestamp& ClusterTimestampEngine::store(const Event& e,
                                                       ClusterTimestamp ts) {
   auto& list = ts_[e.id.process];
@@ -98,6 +155,29 @@ const ClusterTimestamp& ClusterTimestampEngine::store(const Event& e,
     encoded_words_ += width;
   }
   exact_words_ += ts.values.size();
+
+  if (arena_) {
+    const ProcessId p = e.id.process;
+    const TsArena::RowHandle h =
+        arena_->append(p, ts.values.data(), ts.values.size());
+    row_handles_[p].push_back(h);
+    RowRef ref{arena_->offset_of(h), kFullRowAux,
+               static_cast<std::uint32_t>(probe_pool_[p].size())};
+    if (ts.cluster_receive) {
+      receive_rows_[p].push_back(h);
+    } else {
+      ref.aux = covered_set_id(ts.covered);
+      // Resolve the greatest-cluster-receive probe per covered slot NOW:
+      // the query-time binary search of the legacy path, paid once here
+      // (the resolved set is final — see resolve_probe).
+      const auto& procs = *ts.covered;
+      for (std::size_t i = 0; i < procs.size(); ++i) {
+        probe_pool_[p].push_back(resolve_probe(procs[i], ts.values[i]));
+      }
+    }
+    row_refs_[p].push_back(ref);
+  }
+
   list.push_back(std::move(ts));
   return list.back();
 }
@@ -148,6 +228,14 @@ void ClusterTimestampEngine::observe_trace(const Trace& trace) {
   CT_CHECK_MSG(trace.process_count() == ts_.size(),
                "trace has " << trace.process_count()
                             << " processes, engine built for " << ts_.size());
+  if (arena_) {
+    // Allocation-churn satellite: the trace knows its totals, so the mirror
+    // pool is sized once. Projections are bounded by maxCS, full vectors by
+    // the process count; the sum overshoots but caps at one allocation.
+    const std::size_t n = trace.delivery_order().size();
+    arena_->reserve(n, n * std::min(ts_.size(), config_.max_cluster_size) +
+                           trace.process_count());
+  }
   for (const EventId id : trace.delivery_order()) observe(trace.event(id));
 }
 
@@ -160,13 +248,87 @@ const ClusterTimestamp& ClusterTimestampEngine::timestamp(EventId e) const {
 
 bool ClusterTimestampEngine::precedes(const Event& ev_e,
                                       const Event& ev_f) const {
+  if (arena_) return precedes_arena(ev_e, ev_f);
   QueryCost unlimited;
-  const auto answer = precedes_metered(ev_e, ev_f, unlimited);
+  const auto answer = precedes_metered_legacy(ev_e, ev_f, unlimited);
   comparisons_ += unlimited.ticks;
   return *answer;
 }
 
+bool ClusterTimestampEngine::precedes_arena(const Event& ev_e,
+                                            const Event& ev_f) const {
+  const EventId e = ev_e.id;
+  const EventId f = ev_f.id;
+  if (e == f) return false;
+  if (ev_e.kind == EventKind::kSync && ev_e.partner == f) return false;
+  CT_DCHECK(f.process < ts_.size() && f.index >= 1 &&
+            f.index <= ts_[f.process].size());
+
+  const RowRef& ref = row_refs_[f.process][f.index - 1];
+  const EventIndex* pool = arena_->pool_data();
+  const EventIndex* row = pool + ref.offset;
+
+  ++comparisons_;
+  if (ref.aux == kFullRowAux) return e.index <= row[e.process];
+  const CoveredSet& cs = covered_sets_[ref.aux];
+  if (const std::int32_t slot = cs.pos[e.process]; slot >= 0) {
+    return e.index <= row[static_cast<std::size_t>(slot)];
+  }
+
+  const std::uint32_t* probes =
+      probe_pool_[f.process].data() + ref.probe_off;
+  const std::size_t width = cs.procs->size();
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::uint32_t off = probes[i];
+    if (off == kNoProbe) continue;  // no cluster receive seen yet
+    ++comparisons_;
+    if (e.index <= pool[off + e.process]) return true;
+  }
+  return false;
+}
+
 std::optional<bool> ClusterTimestampEngine::precedes_metered(
+    const Event& ev_e, const Event& ev_f, QueryCost& cost) const {
+  if (arena_) return precedes_metered_arena(ev_e, ev_f, cost);
+  return precedes_metered_legacy(ev_e, ev_f, cost);
+}
+
+std::optional<bool> ClusterTimestampEngine::precedes_metered_arena(
+    const Event& ev_e, const Event& ev_f, QueryCost& cost) const {
+  const EventId e = ev_e.id;
+  const EventId f = ev_f.id;
+  if (e == f) return false;
+  if (ev_e.kind == EventKind::kSync && ev_e.partner == f) return false;
+  CT_CHECK_MSG(f.process < ts_.size() && f.index >= 1 &&
+                   f.index <= ts_[f.process].size(),
+               "event " << f << " has not been observed");
+
+  const RowRef& ref = row_refs_[f.process][f.index - 1];
+  const EventIndex* pool = arena_->pool_data();
+  const EventIndex* row = pool + ref.offset;
+
+  // Tick accounting mirrors the legacy path exactly: one charge for the
+  // direct test, one per greatest-cluster-receive probe.
+  if (!cost.charge(1)) return std::nullopt;
+  if (ref.aux == kFullRowAux) return e.index <= row[e.process];
+  const CoveredSet& cs = covered_sets_[ref.aux];
+  if (const std::int32_t slot = cs.pos[e.process]; slot >= 0) {
+    return e.index <= row[static_cast<std::size_t>(slot)];
+  }
+
+  const std::uint32_t* probes =
+      probe_pool_[f.process].data() + ref.probe_off;
+  const std::size_t width = cs.procs->size();
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::uint32_t off = probes[i];
+    if (off == kNoProbe) continue;
+    if (!cost.charge(1)) return std::nullopt;
+    if (e.index <= pool[off + e.process]) return true;
+  }
+  return false;
+}
+
+std::optional<bool> ClusterTimestampEngine::precedes_metered_legacy(
     const Event& ev_e, const Event& ev_f, QueryCost& cost) const {
   const EventId e = ev_e.id;
   const EventId f = ev_f.id;
@@ -200,6 +362,102 @@ std::optional<bool> ClusterTimestampEngine::precedes_metered(
     if (e.index <= tr.values[e.process]) return true;
   }
   return false;
+}
+
+std::size_t ClusterTimestampEngine::precedes_batch_metered(
+    std::span<const std::pair<const Event*, const Event*>> pairs,
+    QueryCost& cost, std::optional<bool>* out) const {
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto answer = precedes_metered(*pairs[i].first, *pairs[i].second,
+                                         cost);
+    if (!answer.has_value()) return i;
+    out[i] = answer;
+  }
+  return pairs.size();
+}
+
+ClusterTimestampEngine::PrecedenceCursor::PrecedenceCursor(
+    const ClusterTimestampEngine& engine, const Event& anchor)
+    : engine_(engine),
+      anchor_(anchor.id),
+      anchor_partner_(kNoEvent) {
+  CT_CHECK_MSG(engine_.arena_ != nullptr,
+               "PrecedenceCursor requires config.use_arena");
+  CT_CHECK_MSG(anchor_.process < engine_.ts_.size() && anchor_.index >= 1 &&
+                   anchor_.index <= engine_.ts_[anchor_.process].size(),
+               "event " << anchor_ << " has not been observed");
+  if (anchor.kind == EventKind::kSync) anchor_partner_ = anchor.partner;
+
+  const EventIndex* pool = engine_.arena_->pool_data();
+  const RowRef& ref =
+      engine_.row_refs_[anchor_.process][anchor_.index - 1];
+  row_ = pool + ref.offset;
+  if (ref.aux == kFullRowAux) return;  // pos_ stays null: full-vector anchor
+
+  const CoveredSet& cs = engine_.covered_sets_[ref.aux];
+  pos_ = cs.pos.data();
+  // Materialize the anchor's store-time-resolved probe rows as direct
+  // pointers; precedes_anchor then reads components with no offset hops.
+  const std::size_t width = cs.procs->size();
+  const std::uint32_t* probes =
+      engine_.probe_pool_[anchor_.process].data() + ref.probe_off;
+  receive_rows_.resize(width, nullptr);
+  for (std::size_t i = 0; i < width; ++i) {
+    if (probes[i] != kNoProbe) receive_rows_[i] = pool + probes[i];
+  }
+}
+
+bool ClusterTimestampEngine::PrecedenceCursor::anchor_precedes(
+    const Event& ev_x) const {
+  const EventId x = ev_x.id;
+  if (x == anchor_) return false;
+  if (x == anchor_partner_) return false;  // sync halves are concurrent
+
+  const RowRef& ref = engine_.row_refs_[x.process][x.index - 1];
+  const EventIndex* pool = engine_.arena_->pool_data();
+  const EventIndex* row = pool + ref.offset;
+
+  ++engine_.comparisons_;
+  if (ref.aux == kFullRowAux) return anchor_.index <= row[anchor_.process];
+  const CoveredSet& cs = engine_.covered_sets_[ref.aux];
+  if (const std::int32_t slot = cs.pos[anchor_.process]; slot >= 0) {
+    return anchor_.index <= row[static_cast<std::size_t>(slot)];
+  }
+
+  const std::uint32_t* probes =
+      engine_.probe_pool_[x.process].data() + ref.probe_off;
+  const std::size_t width = cs.procs->size();
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::uint32_t off = probes[i];
+    if (off == kNoProbe) continue;
+    ++engine_.comparisons_;
+    if (anchor_.index <= pool[off + anchor_.process]) return true;
+  }
+  return false;
+}
+
+bool ClusterTimestampEngine::PrecedenceCursor::precedes_anchor(
+    const Event& ev_x) const {
+  const EventId x = ev_x.id;
+  if (x == anchor_) return false;
+  if (ev_x.kind == EventKind::kSync && ev_x.partner == anchor_) return false;
+
+  ++engine_.comparisons_;
+  if (pos_ == nullptr) return x.index <= row_[x.process];  // full anchor
+  if (const std::int32_t slot = pos_[x.process]; slot >= 0) {
+    return x.index <= row_[static_cast<std::size_t>(slot)];
+  }
+  for (const EventIndex* rr : receive_rows_) {
+    if (rr == nullptr) continue;
+    ++engine_.comparisons_;
+    if (x.index <= rr[x.process]) return true;
+  }
+  return false;
+}
+
+ClusterTimestampEngine::PrecedenceCursor ClusterTimestampEngine::cursor(
+    const Event& anchor) const {
+  return PrecedenceCursor(*this, anchor);
 }
 
 ClusterEngineStats ClusterTimestampEngine::stats() const {
@@ -243,6 +501,15 @@ void ClusterTimestampEngine::inject_corruption(EventId e, std::size_t slot,
   auto& values = ts_[e.process][e.index - 1].values;
   CT_CHECK_MSG(!values.empty(), "timestamp of " << e << " has no components");
   values[slot % values.size()] = value;
+  if (arena_) {
+    // The fast path must observe the corrupted value too, or the A/B flag
+    // would change the failure-detection behaviour under audit. A mutated
+    // projection component also shifts its greatest-cluster-receive bound,
+    // which the legacy path re-searches per query — follow it.
+    arena_->overwrite_component(row_handles_[e.process][e.index - 1],
+                                slot % values.size(), value);
+    refresh_probes(e);
+  }
 }
 
 std::uint64_t ClusterTimestampEngine::rebuild_cluster(
@@ -269,6 +536,11 @@ std::uint64_t ClusterTimestampEngine::rebuild_cluster(
       for (std::size_t i = 0; i < procs.size(); ++i) {
         ts.values[i] = fm[procs[i]];
       }
+    }
+    if (arena_) {
+      arena_->overwrite_row(row_handles_[e.id.process][e.id.index - 1],
+                            ts.values.data(), ts.values.size());
+      refresh_probes(e.id);
     }
     elements_written += ts.values.size();
   }

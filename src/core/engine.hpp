@@ -25,6 +25,17 @@
 // using the fact that FM(e)[p_e] is just e's own index, and that any causal
 // path entering covered(f) from outside must pass through a non-merged
 // cluster receive (whose full vector the engine retained).
+//
+// Performance layer (docs/PERF.md): with config.use_arena (the default) the
+// engine mirrors every stored row into a flat TsArena and keeps a dense
+// process→position index per covered set, so the test above runs over
+// contiguous pools with O(1) component lookups (core/precedence_kernels.hpp)
+// instead of per-vector heap hops and binary searches. The mirror is an
+// acceleration structure only: ts_ remains the canonical store for digests,
+// corruption injection and rebuilds (which keep the mirror coherent), and
+// answers are bit-identical to the legacy path — asserted across all trace
+// families by tests/perf_layer_test.cpp and re-verified pair-for-pair inside
+// the gbench binaries.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +43,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -41,6 +53,7 @@
 #include "model/trace.hpp"
 #include "timestamp/fm_engine.hpp"
 #include "timestamp/query_cost.hpp"
+#include "timestamp/ts_arena.hpp"
 
 namespace ct {
 
@@ -52,6 +65,10 @@ struct ClusterEngineConfig {
   /// Fixed encoding width of projections; 0 means max_cluster_size. Set
   /// explicitly for unbounded static partitions (k-means/k-medoid ablation).
   std::size_t encoded_cluster_width = 0;
+  /// Performance flag (A/B): mirror rows into a flat arena and answer
+  /// precedence through the word-parallel fast path. Trades one extra copy
+  /// of the stored components for contiguous reads; answers are identical.
+  bool use_arena = true;
 };
 
 struct ClusterEngineStats {
@@ -110,9 +127,52 @@ class ClusterTimestampEngine {
   /// Cost-instrumented precedence for the query broker: charges one tick per
   /// component comparison to `cost` and returns nullopt if the budget runs
   /// out mid-test. Unlike precedes(), touches no engine state, so concurrent
-  /// calls with distinct meters are safe on a quiescent engine.
+  /// calls with distinct meters are safe on a quiescent engine. Tick
+  /// accounting is identical with and without the arena.
   std::optional<bool> precedes_metered(const Event& ev_e, const Event& ev_f,
                                        QueryCost& cost) const;
+
+  /// Metered batch entry point (the broker's batch path): answers pairs in
+  /// order with tick accounting identical to sequential precedes_metered
+  /// calls. Returns the number of answered pairs; a return short of
+  /// pairs.size() means the budget ran out at that pair (its slot and all
+  /// later slots are untouched). For one-sided batches (a shared anchor),
+  /// PrecedenceCursor amortizes far more — prefer it where it applies.
+  std::size_t precedes_batch_metered(
+      std::span<const std::pair<const Event*, const Event*>> pairs,
+      QueryCost& cost, std::optional<bool>* out) const;
+
+  /// Amortized one-sided precedence for frontier-style query batches (many
+  /// tests against one fixed anchor event). Construction resolves the
+  /// anchor's row, covered-set index, and — decisive for the x→anchor
+  /// direction — the greatest cluster receive of every covered process
+  /// ONCE; each test is then a handful of contiguous component reads.
+  /// Requires the arena flag; the cursor borrows the engine (no writes may
+  /// interleave with its use).
+  class PrecedenceCursor {
+   public:
+    /// anchor → x. `ev_x` must have been observed.
+    bool anchor_precedes(const Event& ev_x) const;
+    /// x → anchor.
+    bool precedes_anchor(const Event& ev_x) const;
+
+   private:
+    friend class ClusterTimestampEngine;
+    PrecedenceCursor(const ClusterTimestampEngine& engine,
+                     const Event& anchor);
+
+    const ClusterTimestampEngine& engine_;
+    EventId anchor_;
+    EventId anchor_partner_;  // kNoEvent unless the anchor is a sync half
+    const EventIndex* row_ = nullptr;     // anchor's component row
+    const std::int32_t* pos_ = nullptr;   // dense process→slot, full row: null
+    /// Resolved full rows of the greatest cluster receive per covered
+    /// process of the anchor (empty for full-row anchors).
+    std::vector<const EventIndex*> receive_rows_;
+  };
+
+  /// Builds a cursor anchored at `anchor` (arena mode only).
+  PrecedenceCursor cursor(const Event& anchor) const;
 
   const ClusterSet& clusters() const { return clusters_; }
   ClusterEngineStats stats() const;
@@ -134,7 +194,9 @@ class ClusterTimestampEngine {
 
   /// Fault-injection hook (tests/benches model in-memory state corruption —
   /// a flipped bit in the timestamp store): overwrites component
-  /// `slot % width` of e's stored timestamp. Never used on a healthy path.
+  /// `slot % width` of e's stored timestamp, in the canonical store AND the
+  /// arena mirror (the queries must read the corrupted value either way).
+  /// Never used on a healthy path.
   void inject_corruption(EventId e, std::size_t slot, EventIndex value);
 
   /// Self-repair hook: recomputes the stored timestamp *values* of every
@@ -143,19 +205,68 @@ class ClusterTimestampEngine {
   /// through a scratch Fidge/Mattern engine. Structural state (membership,
   /// covered sets, cluster-receive positions) is re-derived per event from
   /// the retained shape, so a value-corrupted cluster is restored without
-  /// rebuilding the other clusters. Returns vector elements written (work
-  /// ticks of the repair).
+  /// rebuilding the other clusters. The arena mirror is refreshed in the
+  /// same pass. Returns vector elements written (work ticks of the repair).
   std::uint64_t rebuild_cluster(
       ClusterId c, std::span<const EventId> log,
       const std::function<const Event&(EventId)>& event_of);
 
+  /// Arena mirror footprint in components (0 when the flag is off); the
+  /// space cost of the fast path, reported by the perf harness.
+  std::size_t arena_words() const {
+    return arena_ ? arena_->pool_words() : 0;
+  }
+
  private:
+  /// RowRef::aux marker for rows holding a full Fidge/Mattern vector.
+  static constexpr std::uint32_t kFullRowAux = 0xffff'ffffu;
+  /// probe_pool_ marker for "no cluster receive at or below the bound".
+  static constexpr std::uint32_t kNoProbe = 0xffff'ffffu;
+
+  /// Per-event arena descriptor, one 12-byte record instead of three
+  /// parallel arrays: a query touches one cache line, not three.
+  struct RowRef {
+    std::uint32_t offset;     ///< row start in the arena pool
+    std::uint32_t aux;        ///< covered-set id, or kFullRowAux
+    std::uint32_t probe_off;  ///< start of the row's probes in probe_pool_
+  };
+
+  /// Dense index of one interned covered set: pos[q] is q's slot in the
+  /// projection, or -1. Replaces the per-query binary search.
+  struct CoveredSet {
+    std::shared_ptr<const std::vector<ProcessId>> procs;
+    std::vector<std::int32_t> pos;
+  };
+
   const ClusterTimestamp& store(const Event& e, ClusterTimestamp ts);
   /// Handles classification + merge decision for a receive-like event whose
   /// partner process is `q`. Returns true if the event is a (non-merged)
   /// cluster receive.
   bool classify_cluster_receive(const Event& e, ProcessId q,
                                 std::uint64_t occurrences);
+
+  std::uint32_t covered_set_id(
+      const std::shared_ptr<const std::vector<ProcessId>>& covered);
+
+  /// Greatest cluster receive of `q` with index <= bound, as an arena pool
+  /// offset (kNoProbe if none). At store time the answer is final: delivery
+  /// order respects causality, so every event of q at or below a stored
+  /// row's component has already been delivered.
+  std::uint32_t resolve_probe(ProcessId q, EventIndex bound) const;
+
+  /// Re-resolves the stored probe rows of a projection row whose component
+  /// values were mutated in place (corruption injection / rebuild) — the
+  /// legacy path re-searches per query, so the precomputed probes must
+  /// follow the mutated bounds to stay answer-identical.
+  void refresh_probes(EventId id);
+
+  bool precedes_arena(const Event& ev_e, const Event& ev_f) const;
+  std::optional<bool> precedes_metered_arena(const Event& ev_e,
+                                             const Event& ev_f,
+                                             QueryCost& cost) const;
+  std::optional<bool> precedes_metered_legacy(const Event& ev_e,
+                                              const Event& ev_f,
+                                              QueryCost& cost) const;
 
   ClusterEngineConfig config_;
   FmEngine fm_;
@@ -167,6 +278,26 @@ class ClusterTimestampEngine {
   std::vector<std::vector<EventIndex>> cluster_receives_;
   /// Sync halves whose pair decision was taken at the partner's observation.
   std::unordered_set<EventId> sync_decided_;
+
+  // --- arena acceleration (config_.use_arena) ---------------------------
+  std::unique_ptr<TsArena> arena_;  // interning OFF: rows mutate in place
+  /// Per event: its arena descriptor (pool offset, covered set, probes).
+  std::vector<std::vector<RowRef>> row_refs_;
+  /// Per event: its arena row handle (mutation hooks only — queries go
+  /// through row_refs_ offsets).
+  std::vector<std::vector<TsArena::RowHandle>> row_handles_;
+  /// Arena rows of the non-merged cluster receives, parallel to
+  /// cluster_receives_.
+  std::vector<std::vector<TsArena::RowHandle>> receive_rows_;
+  /// Store-time-resolved probe rows: for each projection row, the pool
+  /// offset of the greatest cluster receive per covered slot (kNoProbe
+  /// where none) — the query-time binary searches of the legacy path, paid
+  /// once at ingestion. A row's probes start at RowRef::probe_off and span
+  /// the covered-set size (full rows own zero entries).
+  std::vector<std::vector<std::uint32_t>> probe_pool_;
+  /// Interned covered sets (by members-pointer identity) + dense indices.
+  std::unordered_map<const void*, std::uint32_t> covered_ids_;
+  std::vector<CoveredSet> covered_sets_;
 
   std::size_t events_ = 0;
   std::size_t cluster_receive_count_ = 0;

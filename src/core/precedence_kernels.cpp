@@ -1,0 +1,24 @@
+#include "core/precedence_kernels.hpp"
+
+namespace ct::kernels {
+
+void batch_component_leq(EventIndex bound, std::size_t slot,
+                         const EventIndex* const* rows, std::size_t count,
+                         std::uint8_t* out) {
+  // One load + compare per row; the rows were resolved (arena-decoded) once
+  // by the caller, so the loop body is pure data movement the compiler can
+  // software-pipeline.
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = static_cast<std::uint8_t>(bound <= rows[i][slot]);
+  }
+}
+
+void batch_all_leq(const EventIndex* a, std::size_t width,
+                   const EventIndex* const* rows, std::size_t count,
+                   std::uint8_t* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = static_cast<std::uint8_t>(all_leq(a, rows[i], width));
+  }
+}
+
+}  // namespace ct::kernels

@@ -1,0 +1,152 @@
+// Word-parallel precedence kernels.
+//
+// The precedence tests of every backend reduce to a handful of primitive
+// operations over vectors of 32-bit components: "is a[i] <= b[i] for all i",
+// "component at slot s versus a bound", and "into = max(into, other)". The
+// scalar loops the engines shipped with spend most of their time in branch
+// mispredictions and per-element loop overhead; these kernels process two
+// components per 64-bit word with branch-free SWAR arithmetic
+// (Hacker's-Delight-style carry capture, no inter-lane borrow), which is the
+// restructure-the-clock-layout lesson of tree clocks (Mathur et al. 2022)
+// applied to our flat rows.
+//
+// Contracts (asserted by tests/perf_layer_test.cpp against scalar
+// references, including the edge values 0, 2^31, 2^32-1 and every
+// word-boundary length):
+//   * all ops treat components as unsigned 32-bit values over the FULL range;
+//   * no kernel reads past `n` elements; unaligned bases are allowed (loads
+//     go through memcpy, which compiles to plain MOVs);
+//   * kernels never allocate and never touch errno/FP state.
+//
+// The single-component FM fast path (component_leq) is deliberately tiny and
+// inline: FM(e)[p_e] is e's own index, so the whole Fidge/Mattern precedence
+// test is one bounded lookup — engine.cpp, ondemand_fm.cpp,
+// recursive_precedence.cpp and the broker's batch path all funnel through
+// it. Batched variants that amortize row decoding live in the .cpp.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+#include "model/ids.hpp"
+
+namespace ct::kernels {
+
+/// High bit of each 32-bit lane in a 64-bit word.
+inline constexpr std::uint64_t kLaneHigh = 0x8000'0000'8000'0000ull;
+
+/// Per-lane unsigned "x < y" over two 32-bit lanes: returns a mask with the
+/// HIGH bit of each lane set where that lane of `x` is below `y`.
+/// Branch-free: `t` computes (x_lo + 2^31) - y_lo per lane (minuend's lane
+/// high bit forced, subtrahend's cleared, so no borrow crosses lanes); the
+/// lane's high bit of `t` is then "no borrow" for the low 31 bits, and the
+/// usual sign-case split on the real high bits finishes the comparison.
+inline std::uint64_t lane_lt_mask(std::uint64_t x, std::uint64_t y) {
+  const std::uint64_t t = (x | kLaneHigh) - (y & ~kLaneHigh);
+  return ((~x & y) | (~(x ^ y) & ~t)) & kLaneHigh;
+}
+
+/// Loads two consecutive 32-bit components as one 64-bit word (byte order is
+/// irrelevant: both sides of every comparison load the same way).
+inline std::uint64_t load_word(const EventIndex* p) {
+  std::uint64_t w;
+  std::memcpy(&w, p, sizeof(w));
+  return w;
+}
+
+/// True iff a[i] <= b[i] for every i < n. Word-parallel: two lanes per
+/// iteration, scalar tail for odd n. Early-exits per word (a violated word
+/// is final), which in practice fires within the first cache line for
+/// concurrent events.
+inline bool all_leq(const EventIndex* a, const EventIndex* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // any lane of a > b  <=>  some lane of b < a.
+    if (lane_lt_mask(load_word(b + i), load_word(a + i)) != 0) return false;
+  }
+  if (i < n && a[i] > b[i]) return false;
+  return true;
+}
+
+/// True iff some a[i] > b[i] (the negation of all_leq, exposed for callers
+/// that read better in that polarity).
+inline bool any_gt(const EventIndex* a, const EventIndex* b, std::size_t n) {
+  return !all_leq(a, b, n);
+}
+
+/// The single-component Fidge/Mattern fast path: FM(e)[p_e] equals e's own
+/// index, so e -> f over a row that covers slot `slot` is exactly
+/// `bound <= row[slot]`. Bounds-checked, branch-minimal.
+inline bool component_leq(EventIndex bound, const EventIndex* row,
+                          std::size_t width, std::size_t slot) {
+  return slot < width && bound <= row[slot];
+}
+
+/// into = max(into, other), element-wise, word-parallel. The lane-lt mask is
+/// widened to full lanes (m - (m >> 31) | m turns a lane's high bit into an
+/// all-ones lane without crossing lane boundaries) and used as a blend.
+inline void max_into(EventIndex* into, const EventIndex* other,
+                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const std::uint64_t a = load_word(into + i);
+    const std::uint64_t b = load_word(other + i);
+    const std::uint64_t m = lane_lt_mask(a, b);  // lanes where a < b
+    const std::uint64_t full = (m - (m >> 31)) | m;
+    const std::uint64_t r = (a & ~full) | (b & full);
+    std::memcpy(into + i, &r, sizeof(r));
+  }
+  if (i < n && other[i] > into[i]) into[i] = other[i];
+}
+
+/// Branchless upper_bound over a sorted ascending array: the number of
+/// elements <= `bound` (i.e. the index one past the last such element).
+/// Power-of-two stride descent; every iteration is a conditional add the
+/// compiler turns into CMOV.
+inline std::size_t count_leq(const EventIndex* sorted, std::size_t n,
+                             EventIndex bound) {
+  std::size_t pos = 0;
+  std::size_t step = std::bit_ceil(n + 1) >> 1;
+  for (; step != 0; step >>= 1) {
+    const std::size_t probe = pos + step;
+    pos += (probe <= n && sorted[probe - 1] <= bound) ? step : 0;
+  }
+  return pos;
+}
+
+/// Batched single-component test: out[i] = (bound <= rows[i][slot]) for a
+/// batch of row base pointers. Amortizes the per-call overhead of the
+/// frontier's repeated tests against the same covered set; row pointers are
+/// resolved once by the caller (arena handles decoded a single time).
+void batch_component_leq(EventIndex bound, std::size_t slot,
+                         const EventIndex* const* rows, std::size_t count,
+                         std::uint8_t* out);
+
+/// Batched whole-vector dominance: out[i] = all_leq(a, rows[i], width).
+/// Used by store-level sweeps (integrity audits, oracle cross-checks) where
+/// one query row is compared against many stored rows of equal width.
+void batch_all_leq(const EventIndex* a, std::size_t width,
+                   const EventIndex* const* rows, std::size_t count,
+                   std::uint8_t* out);
+
+/// Scalar reference implementations (test oracles; intentionally naive).
+namespace reference {
+
+inline bool all_leq(const EventIndex* a, const EventIndex* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+inline void max_into(EventIndex* into, const EventIndex* other,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (other[i] > into[i]) into[i] = other[i];
+  }
+}
+
+}  // namespace reference
+
+}  // namespace ct::kernels

@@ -3,6 +3,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/precedence_kernels.hpp"
 #include "util/check.hpp"
 
 namespace ct {
@@ -40,20 +41,27 @@ struct Walker {
     const ClusterTimestamp& ts = timestamp(node);
     ++comparisons;
     bool result;
-    if (const auto comp = ts.component(target_process)) {
+    if (ts.is_full()) {
       // Exact: FM(e)[p_e] equals e's own index.
-      result = target_index <= *comp;
+      result = target_index <= ts.values[target_process];
     } else {
-      CT_DCHECK(!ts.is_full());  // full vectors cover every process
-      result = false;
       const auto& covered = *ts.covered;
-      for (std::size_t i = 0; i < covered.size() && !result; ++i) {
-        const ProcessId q = covered[i];
-        if (q == node.process) continue;  // own chain handled below
-        result = reaches(EventId{q, ts.values[i]});
-      }
-      if (!result) {
-        result = reaches(EventId{node.process, node.index - 1});
+      // Branchless membership probe (count_leq over the sorted covered
+      // set) instead of ClusterTimestamp::component's binary search.
+      const std::size_t k =
+          kernels::count_leq(covered.data(), covered.size(), target_process);
+      if (k > 0 && covered[k - 1] == target_process) {
+        result = target_index <= ts.values[k - 1];
+      } else {
+        result = false;
+        for (std::size_t i = 0; i < covered.size() && !result; ++i) {
+          const ProcessId q = covered[i];
+          if (q == node.process) continue;  // own chain handled below
+          result = reaches(EventId{q, ts.values[i]});
+        }
+        if (!result) {
+          result = reaches(EventId{node.process, node.index - 1});
+        }
       }
     }
 

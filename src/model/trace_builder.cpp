@@ -6,10 +6,20 @@
 
 namespace ct {
 
+void TraceBuilder::reserve(std::size_t processes, std::size_t total_events) {
+  events_.reserve(events_.size() + processes);
+  order_.reserve(order_.size() + total_events);
+  if (processes != 0) {
+    per_process_hint_ = (total_events + processes - 1) / processes;
+  }
+  in_flight_.reserve(total_events / 2 + 1);
+}
+
 ProcessId TraceBuilder::add_process() {
   CT_CHECK_MSG(events_.size() < std::numeric_limits<ProcessId>::max(),
                "too many processes");
   events_.emplace_back();
+  if (per_process_hint_ != 0) events_.back().reserve(per_process_hint_);
   return static_cast<ProcessId>(events_.size() - 1);
 }
 

@@ -19,6 +19,12 @@ namespace ct {
 
 class TraceBuilder {
  public:
+  /// Pre-sizes the internal tables from generator/reader metadata: the
+  /// per-process event lists and the delivery order then grow without
+  /// reallocation. `total_events` is a hint, not a cap; call before the
+  /// processes are added so the per-process hint applies to all of them.
+  void reserve(std::size_t processes, std::size_t total_events);
+
   /// Registers a new process; returns its id (dense, starting at 0).
   ProcessId add_process();
 
@@ -63,6 +69,7 @@ class TraceBuilder {
   std::vector<std::vector<Event>> events_;
   std::vector<EventId> order_;
   std::unordered_map<EventId, bool> in_flight_;  // send id -> true
+  std::size_t per_process_hint_ = 0;
 };
 
 }  // namespace ct

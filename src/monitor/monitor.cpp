@@ -130,6 +130,26 @@ std::optional<bool> MonitoringEntity::precedes_metered(EventId e, EventId f,
   return cluster_->precedes_metered(ev_e, ev_f, cost);
 }
 
+std::size_t MonitoringEntity::precedes_batch_metered(
+    std::span<const std::pair<EventId, EventId>> pairs, QueryCost& cost,
+    std::optional<bool>* out) const {
+  if (fm_) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const auto answer =
+          precedes_metered(pairs[i].first, pairs[i].second, cost);
+      if (!answer.has_value()) return i;
+      out[i] = answer;
+    }
+    return pairs.size();
+  }
+  std::vector<std::pair<const Event*, const Event*>> records;
+  records.reserve(pairs.size());
+  for (const auto& [e, f] : pairs) {
+    records.emplace_back(&stored_event(e), &stored_event(f));
+  }
+  return cluster_->precedes_batch_metered(records, cost, out);
+}
+
 std::vector<ClusterId> MonitoringEntity::cluster_ids() const {
   if (!cluster_) return {};
   return cluster_->clusters().clusters();

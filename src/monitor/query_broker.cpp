@@ -291,7 +291,43 @@ QueryResult QueryBroker::execute(const Job& job) {
       ServingBackend worst = ServingBackend::kNone;
       ChainStatus failure = ChainStatus::kOk;
       result.batch.assign(job.pairs.size(), std::nullopt);
-      for (std::size_t i = 0; i < job.pairs.size(); ++i) {
+      std::size_t start = 0;
+      // Bulk fast path: with no answer cache and a healthy cluster backend,
+      // the whole batch runs through the monitor's kernel-backed batch
+      // entry under ONE reader lock — tick accounting and answers are
+      // identical to the per-pair chain below (which, with the cache off,
+      // is exactly "cluster backend per pair"). Any mid-batch backend
+      // failure falls back to the chain from the failing pair on.
+      if (!answer_cache_ && !backend_open(ServingBackend::kCluster)) {
+        std::size_t done = 0;
+        bool bulk_failed = false;
+        {
+          std::shared_lock reader(cluster_mu_);
+          try {
+            done = monitor_.precedes_batch_metered(job.pairs, cost,
+                                                   result.batch.data());
+          } catch (const CheckFailure&) {
+            bulk_failed = true;
+            while (done < job.pairs.size() &&
+                   result.batch[done].has_value()) {
+              ++done;  // the answered prefix stands; retry the rest
+            }
+          }
+        }
+        if (done > 0) {
+          // The chain resets the failure streak after every served pair.
+          std::lock_guard lock(mu_);
+          breakers_[slot(ServingBackend::kCluster)].consecutive_failures = 0;
+          worst = worse(worst, ServingBackend::kCluster);
+        }
+        if (bulk_failed) {
+          start = done;  // the failing pair re-runs through the full chain
+        } else {
+          if (done < job.pairs.size()) failure = ChainStatus::kDeadline;
+          start = job.pairs.size();
+        }
+      }
+      for (std::size_t i = start; i < job.pairs.size(); ++i) {
         bool answer = false;
         ServingBackend used = ServingBackend::kNone;
         const ChainStatus status = chain_precedes(

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/precedence_kernels.hpp"
 #include "model/event.hpp"
 #include "model/ids.hpp"
 #include "util/check.hpp"
@@ -14,12 +15,12 @@ namespace ct {
 /// FM(e)[p_e] equals e's own index within its process.
 using FmClock = std::vector<EventIndex>;
 
-/// Element-wise maximum: into = max(into, other).
+/// Element-wise maximum: into = max(into, other). Word-parallel (two lanes
+/// per 64-bit word, branch-free blend) — this is the inner loop of every
+/// FM-engine receive and of on-demand reconstruction.
 inline void clock_max(FmClock& into, const FmClock& other) {
   CT_DCHECK(into.size() == other.size());
-  for (std::size_t i = 0; i < into.size(); ++i) {
-    if (other[i] > into[i]) into[i] = other[i];
-  }
+  kernels::max_into(into.data(), other.data(), into.size());
 }
 
 /// The Fidge/Mattern precedence test (paper Eq. 3, standard self-inclusive

@@ -5,34 +5,69 @@
 
 namespace ct {
 
-FmStore::FmStore(const Trace& trace) : trace_(trace) {
-  clocks_.resize(trace.process_count());
-  for (ProcessId p = 0; p < trace.process_count(); ++p) {
-    clocks_[p].resize(trace.process_size(p));
+FmStore::FmStore(const Trace& trace) : FmStore(trace, true) {}
+
+FmStore::FmStore(const Trace& trace, bool use_arena) : trace_(trace) {
+  const std::size_t events = trace.delivery_order().size();
+  if (use_arena) {
+    arena_ = std::make_unique<TsArena>(trace.process_count(),
+                                       TsArena::Options{.intern = true});
+    // The totals are known from the trace metadata: size the pool once.
+    arena_->reserve(events, events * trace.process_count());
+  } else {
+    clocks_.resize(trace.process_count());
+    for (ProcessId p = 0; p < trace.process_count(); ++p) {
+      clocks_[p].resize(trace.process_size(p));
+    }
   }
   FmEngine engine(trace.process_count());
   for (const EventId id : trace.delivery_order()) {
-    clocks_[id.process][id.index - 1] = engine.observe(trace.event(id));
+    const FmClock& fm = engine.observe(trace.event(id));
+    if (arena_) {
+      arena_->append(id.process, fm.data(), fm.size());
+    } else {
+      clocks_[id.process][id.index - 1] = fm;
+    }
   }
 }
 
-const FmClock& FmStore::clock(EventId e) const {
-  CT_CHECK_MSG(e.process < clocks_.size() && e.index >= 1 &&
-                   e.index <= clocks_[e.process].size(),
+FmClock FmStore::clock(EventId e) const {
+  CT_CHECK_MSG(e.process < trace_.process_count() && e.index >= 1 &&
+                   e.index <= trace_.process_size(e.process),
                "unknown event " << e);
+  if (arena_) {
+    const auto row = arena_->values(arena_->handle_of(e.process, e.index - 1));
+    return FmClock(row.begin(), row.end());
+  }
   return clocks_[e.process][e.index - 1];
 }
 
 bool FmStore::precedes(EventId e, EventId f) const {
-  return fm_precedes(trace_.event(e), clock(e), trace_.event(f), clock(f));
+  const Event& ev_e = trace_.event(e);
+  const Event& ev_f = trace_.event(f);
+  if (!arena_) {
+    return fm_precedes(ev_e, clocks_[e.process][e.index - 1], ev_f,
+                       clocks_[f.process][f.index - 1]);
+  }
+  // Same test as fm_precedes, reading the single decisive component from
+  // the pool (FM(e)[p_e] is e's own index — no e-side row load needed).
+  if (e == f) return false;
+  if (ev_e.kind == EventKind::kSync && ev_e.partner == f) return false;
+  return e.index <=
+         arena_->component(arena_->handle_of(f.process, f.index - 1),
+                           e.process);
 }
 
 std::size_t FmStore::stored_elements() const {
   std::size_t n = 0;
-  for (const auto& per_process : clocks_) {
-    n += per_process.size() * trace_.process_count();
+  for (ProcessId p = 0; p < trace_.process_count(); ++p) {
+    n += trace_.process_size(p) * trace_.process_count();
   }
   return n;
+}
+
+std::size_t FmStore::resident_elements() const {
+  return arena_ ? arena_->pool_words() : stored_elements();
 }
 
 }  // namespace ct

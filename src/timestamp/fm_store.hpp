@@ -4,24 +4,39 @@
 // materialized. This is the reference both for correctness (cluster
 // timestamps must agree with it on every precedence query) and for the
 // space/time comparisons of the motivation section.
+//
+// Storage layout is selected at construction (A/B flag, docs/PERF.md):
+//  * arena (default) — all vectors live in one flat TsArena pool with
+//    content interning: the two halves of a synchronous pair carry
+//    identical vectors and dedup to one pooled row, and precedence reads a
+//    single pooled component instead of chasing a per-event heap vector;
+//  * legacy — one heap-allocated FmClock per event (the seed layout).
+// Answers are identical either way; tests/perf_layer_test.cpp asserts it.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "model/trace.hpp"
 #include "timestamp/fm_clock.hpp"
+#include "timestamp/ts_arena.hpp"
 
 namespace ct {
 
 class FmStore {
  public:
-  /// Computes and stores FM(e) for every event of the trace.
+  /// Computes and stores FM(e) for every event of the trace (arena layout).
   explicit FmStore(const Trace& trace);
+  /// A/B constructor: `use_arena = false` keeps the per-event-vector seed
+  /// layout.
+  FmStore(const Trace& trace, bool use_arena);
 
   const Trace& trace() const { return trace_; }
 
-  const FmClock& clock(EventId e) const;
+  /// By value: the arena layout materializes on demand. Callers on the hot
+  /// path use precedes(), which reads one pooled component instead.
+  FmClock clock(EventId e) const;
 
   /// Precedence via the stored vectors (constant time).
   bool precedes(EventId e, EventId f) const;
@@ -34,9 +49,14 @@ class FmStore {
   /// footprint the paper's 4 GB thousand-process example is computed from.
   std::size_t stored_elements() const;
 
+  /// Elements physically resident after interning (sync halves share pool
+  /// rows); equals stored_elements() in the legacy layout.
+  std::size_t resident_elements() const;
+
  private:
   const Trace& trace_;
-  std::vector<std::vector<FmClock>> clocks_;  // [process][index-1]
+  std::vector<std::vector<FmClock>> clocks_;  // [process][index-1] (legacy)
+  std::unique_ptr<TsArena> arena_;
 };
 
 }  // namespace ct

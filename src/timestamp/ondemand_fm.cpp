@@ -1,5 +1,6 @@
 #include "timestamp/ondemand_fm.hpp"
 
+#include "core/precedence_kernels.hpp"
 #include "util/check.hpp"
 
 namespace ct {
@@ -34,7 +35,7 @@ FmClock OnDemandFmEngine::combine(
     const auto it = local.find(dep);
     const FmClock* c = it != local.end() ? &it->second : cache_.get(dep);
     CT_CHECK_MSG(c != nullptr, "dependency " << dep << " not computed");
-    clock_max(clock, *c);
+    kernels::max_into(clock.data(), c->data(), n);  // word-parallel fold
   };
   for (const EventId dep : dependencies(id)) absorb(dep);
   const Event& e = trace_.event(id);

@@ -1,0 +1,186 @@
+#include "timestamp/ts_arena.hpp"
+
+#include <limits>
+
+#include "util/varint.hpp"
+
+namespace ct {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t row_hash(const EventIndex* values, std::size_t width) {
+  std::uint64_t h = kFnvOffset;
+  h = (h ^ width) * kFnvPrime;
+  for (std::size_t i = 0; i < width; ++i) {
+    h = (h ^ values[i]) * kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+TsArena::TsArena(std::size_t process_count)
+    : TsArena(process_count, Options{}) {}
+
+TsArena::TsArena(std::size_t process_count, Options options)
+    : options_(options), rows_of_(process_count) {
+  CT_CHECK(process_count > 0);
+  CT_CHECK_MSG(options_.checkpoint_every >= 1,
+               "cold checkpoint stride must be >= 1");
+}
+
+void TsArena::reserve(std::size_t total_rows, std::size_t total_components) {
+  rows_.reserve(total_rows);
+  pool_.reserve(total_components);
+}
+
+TsArena::RowHandle TsArena::intern_lookup(const EventIndex* values,
+                                          std::size_t width) const {
+  const auto it = interned_.find(row_hash(values, width));
+  if (it == interned_.end()) return kNoRow;
+  for (const RowHandle h : it->second) {
+    const Row& row = rows_[h];
+    if (row.width != width) continue;
+    bool equal = true;
+    for (std::size_t i = 0; i < width && equal; ++i) {
+      equal = pool_[row.offset + i] == values[i];
+    }
+    if (equal) return h;
+  }
+  return kNoRow;
+}
+
+TsArena::RowHandle TsArena::append(ProcessId p, const EventIndex* values,
+                                   std::size_t width) {
+  CT_CHECK_MSG(p < rows_of_.size(), "process " << p << " out of range");
+  CT_CHECK_MSG(rows_.size() < kNoRow, "arena row table overflow");
+  const auto handle = static_cast<RowHandle>(rows_.size());
+
+  if (options_.intern) {
+    if (const RowHandle twin = intern_lookup(values, width); twin != kNoRow) {
+      ++interned_hits_;
+      rows_.push_back(Row{rows_[twin].offset,
+                          static_cast<std::uint32_t>(width)});
+      rows_of_[p].push_back(handle);
+      return handle;
+    }
+  }
+  CT_CHECK_MSG(pool_.size() + width <=
+                   std::numeric_limits<std::uint32_t>::max(),
+               "arena pool overflow");
+  const auto offset = static_cast<std::uint32_t>(pool_.size());
+  pool_.insert(pool_.end(), values, values + width);
+  rows_.push_back(Row{offset, static_cast<std::uint32_t>(width)});
+  rows_of_[p].push_back(handle);
+  if (options_.intern) {
+    interned_[row_hash(values, width)].push_back(handle);
+  }
+  return handle;
+}
+
+void TsArena::overwrite_component(RowHandle h, std::size_t slot,
+                                  EventIndex value) {
+  CT_CHECK_MSG(!options_.intern,
+               "in-place mutation requires a non-interning arena");
+  CT_CHECK_MSG(h < rows_.size(), "bad row handle " << h);
+  const Row& row = rows_[h];
+  CT_CHECK_MSG(slot < row.width, "slot " << slot << " out of row width");
+  pool_[row.offset + slot] = value;
+}
+
+void TsArena::overwrite_row(RowHandle h, const EventIndex* values,
+                            std::size_t width) {
+  CT_CHECK_MSG(!options_.intern,
+               "in-place mutation requires a non-interning arena");
+  CT_CHECK_MSG(h < rows_.size(), "bad row handle " << h);
+  const Row& row = rows_[h];
+  CT_CHECK_MSG(width == row.width, "row width mismatch on overwrite");
+  for (std::size_t i = 0; i < width; ++i) pool_[row.offset + i] = values[i];
+}
+
+TsArena::ColdRows TsArena::encode_cold(ProcessId p) const {
+  CT_CHECK_MSG(p < rows_of_.size(), "process " << p << " out of range");
+  ColdRows cold;
+  const auto& handles = rows_of_[p];
+  cold.count = static_cast<std::uint32_t>(handles.size());
+
+  const EventIndex* prev = nullptr;
+  std::size_t prev_width = 0;
+  std::size_t since_full = 0;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const Row& row = rows_[handles[i]];
+    const EventIndex* values = pool_.data() + row.offset;
+
+    bool full = prev == nullptr || row.width != prev_width ||
+                since_full + 1 >= options_.checkpoint_every;
+    if (!full) {
+      // Timestamp rows are componentwise monotone along a process; a
+      // negative delta (possible only for foreign row sequences) falls back
+      // to a full record, keeping the codec total.
+      for (std::size_t j = 0; j < row.width && !full; ++j) {
+        full = values[j] < prev[j];
+      }
+    }
+
+    if (full) {
+      cold.checkpoints.emplace_back(static_cast<std::uint32_t>(i),
+                                    static_cast<std::uint32_t>(
+                                        cold.bytes.size()));
+      put_varint(cold.bytes, static_cast<std::uint64_t>(row.width) + 1);
+      for (std::size_t j = 0; j < row.width; ++j) {
+        put_varint(cold.bytes, values[j]);
+      }
+      since_full = 0;
+    } else {
+      put_varint(cold.bytes, 0);
+      for (std::size_t j = 0; j < row.width; ++j) {
+        put_varint(cold.bytes, values[j] - prev[j]);
+      }
+      ++since_full;
+    }
+    prev = values;
+    prev_width = row.width;
+  }
+  CT_CHECK_MSG(cold.bytes.size() <= std::numeric_limits<std::uint32_t>::max(),
+               "cold stream overflow");
+  return cold;
+}
+
+void TsArena::decode_cold(const ColdRows& cold, std::size_t i,
+                          std::vector<EventIndex>& out) {
+  CT_CHECK_MSG(i < cold.count, "cold row " << i << " out of range");
+  // Latest checkpoint at or before row i.
+  std::size_t lo = 0, hi = cold.checkpoints.size();
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cold.checkpoints[mid].first <= i) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  CT_CHECK_MSG(!cold.checkpoints.empty() && cold.checkpoints[lo].first <= i,
+               "cold stream has no checkpoint before row " << i);
+
+  std::size_t pos = cold.checkpoints[lo].second;
+  out.clear();
+  for (std::size_t row = cold.checkpoints[lo].first; row <= i; ++row) {
+    const std::uint64_t head = get_varint(cold.bytes, pos);
+    if (head == 0) {
+      CT_CHECK_MSG(!out.empty(), "delta record with no predecessor");
+      for (auto& v : out) {
+        v += static_cast<EventIndex>(get_varint(cold.bytes, pos));
+      }
+    } else {
+      const auto width = static_cast<std::size_t>(head - 1);
+      out.resize(width);
+      for (std::size_t j = 0; j < width; ++j) {
+        out[j] = static_cast<EventIndex>(get_varint(cold.bytes, pos));
+      }
+    }
+  }
+}
+
+}  // namespace ct

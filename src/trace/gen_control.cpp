@@ -23,6 +23,8 @@ std::string seeded_name(const char* base, std::size_t n, std::uint64_t seed) {
 Trace generate_uniform_random(const UniformRandomOptions& options) {
   CT_CHECK(options.processes >= 2);
   TraceBuilder b;
+  b.reserve(options.processes,
+            options.messages * (2 + options.compute_events));
   b.add_processes(options.processes);
   Prng rng(options.seed);
   // Keep a small in-flight window so sends and receives interleave rather
@@ -53,6 +55,8 @@ Trace generate_phased_locality(const PhasedLocalityOptions& options) {
            options.group_size <= options.processes);
   CT_CHECK(options.phases >= 1);
   TraceBuilder b;
+  b.reserve(options.processes, options.phases * options.messages_per_phase *
+                                   (2 + options.compute_events));
   b.add_processes(options.processes);
   Prng rng(options.seed);
   const std::size_t groups =
@@ -115,6 +119,8 @@ Trace generate_locality_random(const LocalityRandomOptions& options) {
   CT_CHECK(options.group_size >= 1 &&
            options.group_size <= options.processes);
   TraceBuilder b;
+  b.reserve(options.processes,
+            options.messages * (2 + options.compute_events));
   b.add_processes(options.processes);
   Prng rng(options.seed);
 

@@ -41,15 +41,20 @@ class LruCache {
 
   /// Inserts or replaces; evicts the least-recently-used entry on overflow.
   /// Returns the number of evictions performed (0 or 1).
+  ///
+  /// One hash lookup total: try_emplace probes and claims the slot in a
+  /// single pass (the value — a list iterator — is filled in after the
+  /// node exists, so the miss path never hashes twice).
+  /// SynchronizedLruCache::put delegates here and inherits the same cost.
   std::size_t put(const Key& key, Value value) {
-    const auto it = map_.find(key);
-    if (it != map_.end()) {
+    const auto [it, inserted] = map_.try_emplace(key);
+    if (!inserted) {
       it->second->second = std::move(value);
       order_.splice(order_.begin(), order_, it->second);
       return 0;
     }
     order_.emplace_front(key, std::move(value));
-    map_[key] = order_.begin();
+    it->second = order_.begin();
     if (map_.size() <= capacity_) return 0;
     map_.erase(order_.back().first);
     order_.pop_back();

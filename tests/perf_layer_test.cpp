@@ -1,0 +1,480 @@
+// Tests for the performance layer (docs/PERF.md).
+//
+// The layer's contract is "faster, never different": every acceleration —
+// the arena fast path, store-time probe resolution, the precedence cursor,
+// the heap-accelerated greedy clustering, the word-parallel kernels, the
+// delta codecs — must be observationally identical to the code it replaces.
+// These tests pin that down: fast vs slow implementations are run side by
+// side on the same inputs and compared answer-for-answer (and, where cost
+// metering is part of the observable surface, tick-for-tick).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "cluster/comm_matrix.hpp"
+#include "cluster/static_greedy.hpp"
+#include "core/compact_store.hpp"
+#include "core/engine.hpp"
+#include "core/precedence_kernels.hpp"
+#include "model/trace_builder.hpp"
+#include "timestamp/query_cost.hpp"
+#include "timestamp/ts_arena.hpp"
+#include "trace/generators.hpp"
+#include "util/check.hpp"
+#include "util/varint.hpp"
+
+namespace ct {
+namespace {
+
+// Same family spread as core_test's oracle property: ring, scatter-gather,
+// web server, RPC business, uniform random, locality random, pub/sub, RPC
+// chain — every structural shape the generators produce.
+Trace family_trace(int which) {
+  switch (which) {
+    case 0:
+      return generate_ring({.processes = 10, .iterations = 9, .seed = 742});
+    case 1:
+      return generate_scatter_gather(
+          {.processes = 9, .rounds = 7, .seed = 743});
+    case 2:
+      return generate_web_server({.clients = 12,
+                                  .servers = 3,
+                                  .backends = 2,
+                                  .requests = 55,
+                                  .seed = 744});
+    case 3:
+      return generate_rpc_business({.groups = 3,
+                                    .clients_per_group = 3,
+                                    .servers_per_group = 2,
+                                    .calls = 60,
+                                    .seed = 745});
+    case 4:
+      return generate_uniform_random(
+          {.processes = 12, .messages = 110, .seed = 746});
+    case 5:
+      return generate_locality_random({.processes = 18,
+                                       .group_size = 6,
+                                       .messages = 130,
+                                       .seed = 747});
+    case 6:
+      return generate_pubsub({.publishers = 4,
+                              .brokers = 2,
+                              .subscribers = 8,
+                              .topics = 4,
+                              .subscribers_per_topic = 3,
+                              .messages = 35,
+                              .seed = 748});
+    case 7:
+      return generate_rpc_chain(
+          {.services = 9, .chain_length = 4, .requests = 22, .seed = 749});
+    default:
+      CT_CHECK(false);
+      return {};
+  }
+}
+
+ClusterEngineConfig engine_config(std::size_t max_cs, bool use_arena) {
+  ClusterEngineConfig config;
+  config.max_cluster_size = max_cs;
+  config.fm_vector_width = 300;
+  config.use_arena = use_arena;
+  return config;
+}
+
+/// All-pairs: plain answers equal, metered answers equal, metered TICKS
+/// equal. The tick identity is the strongest form of "same algorithm": the
+/// arena path must charge exactly what the legacy path would have.
+void expect_engines_identical(const Trace& trace,
+                              const ClusterTimestampEngine& arena,
+                              const ClusterTimestampEngine& legacy,
+                              const std::string& label) {
+  for (const EventId e : trace.delivery_order()) {
+    for (const EventId f : trace.delivery_order()) {
+      const Event& ev_e = trace.event(e);
+      const Event& ev_f = trace.event(f);
+      const bool got = arena.precedes(ev_e, ev_f);
+      const bool want = legacy.precedes(ev_e, ev_f);
+      ASSERT_EQ(got, want)
+          << label << ": precedes mismatch e=" << e << " f=" << f;
+
+      QueryCost ca, cl;
+      const auto ma = arena.precedes_metered(ev_e, ev_f, ca);
+      const auto ml = legacy.precedes_metered(ev_e, ev_f, cl);
+      ASSERT_EQ(ma.has_value(), ml.has_value()) << label << " e=" << e;
+      ASSERT_EQ(*ma, *ml) << label << ": metered mismatch e=" << e
+                          << " f=" << f;
+      ASSERT_EQ(ca.ticks, cl.ticks)
+          << label << ": tick mismatch e=" << e << " f=" << f;
+    }
+  }
+}
+
+class ArenaEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArenaEquivalence, AnswersAndTicksMatchLegacyAllPairs) {
+  const Trace trace = family_trace(GetParam());
+  const std::size_t n = trace.process_count();
+
+  for (const std::size_t max_cs :
+       {std::size_t{2}, std::size_t{5}, std::size_t{13}}) {
+    ClusterTimestampEngine arena(n, engine_config(max_cs, true),
+                                 make_merge_on_nth(2.0));
+    ClusterTimestampEngine legacy(n, engine_config(max_cs, false),
+                                  make_merge_on_nth(2.0));
+    arena.observe_trace(trace);
+    legacy.observe_trace(trace);
+    ASSERT_EQ(arena.state_digest(), legacy.state_digest());
+    EXPECT_GT(arena.arena_words(), 0u);
+    EXPECT_EQ(legacy.arena_words(), 0u);
+    expect_engines_identical(trace, arena, legacy,
+                             trace.name() + " maxCS=" +
+                                 std::to_string(max_cs));
+  }
+}
+
+TEST_P(ArenaEquivalence, CursorMatchesLegacyBothDirections) {
+  const Trace trace = family_trace(GetParam());
+  const std::size_t n = trace.process_count();
+
+  ClusterTimestampEngine arena(n, engine_config(5, true),
+                               make_merge_on_nth(2.0));
+  ClusterTimestampEngine legacy(n, engine_config(5, false),
+                                make_merge_on_nth(2.0));
+  arena.observe_trace(trace);
+  legacy.observe_trace(trace);
+
+  // Every event as anchor would be quadratic twice over; a stride keeps it
+  // fast while still hitting full rows, projections, and sync halves.
+  const auto& order = trace.delivery_order();
+  for (std::size_t i = 0; i < order.size(); i += 7) {
+    const Event& anchor = trace.event(order[i]);
+    const auto cur = arena.cursor(anchor);
+    for (const EventId x : order) {
+      const Event& ev_x = trace.event(x);
+      ASSERT_EQ(cur.anchor_precedes(ev_x), legacy.precedes(anchor, ev_x))
+          << trace.name() << ": anchor=" << order[i] << " x=" << x;
+      ASSERT_EQ(cur.precedes_anchor(ev_x), legacy.precedes(ev_x, anchor))
+          << trace.name() << ": x=" << x << " anchor=" << order[i];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, ArenaEquivalence, ::testing::Range(0, 8));
+
+// The precomputed probes must track in-place mutations: corruption changes
+// the projection bounds the legacy path re-searches per query, and a rebuild
+// restores them. After each hook the two engines must still agree on every
+// pair — this is the refresh_probes() contract.
+TEST(ArenaEquivalence, CorruptionAndRebuildKeepEnginesIdentical) {
+  const Trace trace = generate_locality_random(
+      {.processes = 12, .group_size = 4, .messages = 150, .seed = 750});
+  const std::size_t n = trace.process_count();
+
+  ClusterTimestampEngine arena(n, engine_config(4, true),
+                               make_merge_on_nth(1.0));
+  ClusterTimestampEngine legacy(n, engine_config(4, false),
+                                make_merge_on_nth(1.0));
+  arena.observe_trace(trace);
+  legacy.observe_trace(trace);
+
+  // Corrupt a spread of stored rows in BOTH engines (the corruption model:
+  // both stores took the same bit flips; queries must read them the same).
+  const auto& order = trace.delivery_order();
+  std::mt19937 rng(751);
+  for (std::size_t i = 0; i < order.size(); i += 11) {
+    const std::size_t slot = rng() % 8;
+    const EventIndex value = rng() % 64;
+    arena.inject_corruption(order[i], slot, value);
+    legacy.inject_corruption(order[i], slot, value);
+  }
+  expect_engines_identical(trace, arena, legacy, "post-corruption");
+
+  // Repair every cluster in both engines; they must converge back together
+  // (and to the digest of an untouched replay).
+  const auto event_of = [&trace](EventId id) -> const Event& {
+    return trace.event(id);
+  };
+  for (const ClusterId c : arena.clusters().clusters()) {
+    arena.rebuild_cluster(c, order, event_of);
+    legacy.rebuild_cluster(c, order, event_of);
+  }
+  expect_engines_identical(trace, arena, legacy, "post-rebuild");
+}
+
+// ---------------------------------------------------------- greedy clustering
+
+class GreedyHeapEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyHeapEquivalence, PartitionByteIdenticalToReference) {
+  const Trace trace = family_trace(GetParam());
+  const CommMatrix comm(trace);
+
+  for (const std::size_t max_cs :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{5},
+        std::size_t{13}, std::size_t{64}}) {
+    for (const bool normalize : {true, false}) {
+      const StaticGreedyOptions options{.max_cluster_size = max_cs,
+                                        .normalize = normalize};
+      const auto heap = static_greedy_clusters(comm, options);
+      const auto ref = static_greedy_clusters_reference(comm, options);
+      // operator== on nested vectors is the byte-identical check: same
+      // clusters, same member order, same tie-break choices.
+      ASSERT_EQ(heap, ref) << trace.name() << " maxCS=" << max_cs
+                           << " normalize=" << normalize;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, GreedyHeapEquivalence,
+                         ::testing::Range(0, 8));
+
+// ------------------------------------------------------------------- kernels
+
+constexpr EventIndex kEdgeValues[] = {
+    0u, 1u, 0x7fff'ffffu, 0x8000'0000u, 0xffff'fffeu,
+    std::numeric_limits<EventIndex>::max()};
+
+TEST(Kernels, AllLeqMatchesReferenceOnEdgeValues) {
+  // Exhaustive over edge-value pairs at length 1 and 2 (both lanes of one
+  // word) — the SWAR lane comparison must be exact over the FULL unsigned
+  // range, including the sign-bit boundary 2^31.
+  for (const EventIndex a0 : kEdgeValues) {
+    for (const EventIndex b0 : kEdgeValues) {
+      const bool want1 = a0 <= b0;
+      EXPECT_EQ(kernels::all_leq(&a0, &b0, 1), want1) << a0 << " " << b0;
+      for (const EventIndex a1 : kEdgeValues) {
+        for (const EventIndex b1 : kEdgeValues) {
+          const EventIndex a[2] = {a0, a1};
+          const EventIndex b[2] = {b0, b1};
+          const bool want = kernels::reference::all_leq(a, b, 2);
+          EXPECT_EQ(kernels::all_leq(a, b, 2), want)
+              << a0 << "," << a1 << " vs " << b0 << "," << b1;
+          EXPECT_EQ(kernels::any_gt(a, b, 2), !want);
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, AllLeqAndMaxIntoMatchReferenceAtWordBoundaries) {
+  std::mt19937 rng(752);
+  // Mix small values (the common case) with edge values at random slots.
+  const auto fill = [&rng](std::vector<EventIndex>& v) {
+    for (auto& x : v) {
+      x = (rng() % 4 == 0) ? kEdgeValues[rng() % std::size(kEdgeValues)]
+                           : static_cast<EventIndex>(rng() % 1000);
+    }
+  };
+  // Lengths around every word boundary: 0, 1 (tail only), 2 (one word),
+  // 3 (word + tail), ... up to several words.
+  for (std::size_t n = 0; n <= 17; ++n) {
+    for (int rep = 0; rep < 200; ++rep) {
+      std::vector<EventIndex> a(n), b(n);
+      fill(a);
+      fill(b);
+      // Bias towards near-equal vectors so all_leq exercises both outcomes.
+      if (rep % 2 == 0) b = a;
+      if (rep % 4 == 0 && n > 0) {
+        b[rng() % n] += static_cast<EventIndex>(rng() % 3);
+      }
+
+      ASSERT_EQ(kernels::all_leq(a.data(), b.data(), n),
+                kernels::reference::all_leq(a.data(), b.data(), n))
+          << "n=" << n << " rep=" << rep;
+
+      std::vector<EventIndex> got = a, want = a;
+      kernels::max_into(got.data(), b.data(), n);
+      kernels::reference::max_into(want.data(), b.data(), n);
+      ASSERT_EQ(got, want) << "n=" << n << " rep=" << rep;
+    }
+  }
+}
+
+TEST(Kernels, CountLeqMatchesUpperBound) {
+  std::mt19937 rng(753);
+  for (std::size_t n = 0; n <= 33; ++n) {
+    for (int rep = 0; rep < 50; ++rep) {
+      std::vector<EventIndex> v(n);
+      for (auto& x : v) x = static_cast<EventIndex>(rng() % 40);
+      std::sort(v.begin(), v.end());
+      for (const EventIndex bound :
+           {EventIndex{0}, EventIndex{1}, EventIndex{20}, EventIndex{39},
+            EventIndex{40}, std::numeric_limits<EventIndex>::max()}) {
+        const auto want = static_cast<std::size_t>(
+            std::upper_bound(v.begin(), v.end(), bound) - v.begin());
+        ASSERT_EQ(kernels::count_leq(v.data(), n, bound), want)
+            << "n=" << n << " bound=" << bound;
+      }
+    }
+  }
+}
+
+TEST(Kernels, ComponentLeqBoundsChecks) {
+  const EventIndex row[3] = {5, 0, std::numeric_limits<EventIndex>::max()};
+  EXPECT_TRUE(kernels::component_leq(5, row, 3, 0));
+  EXPECT_FALSE(kernels::component_leq(6, row, 3, 0));
+  EXPECT_TRUE(kernels::component_leq(0, row, 3, 1));
+  EXPECT_FALSE(kernels::component_leq(1, row, 3, 1));
+  EXPECT_TRUE(kernels::component_leq(std::numeric_limits<EventIndex>::max(),
+                                     row, 3, 2));
+  // Out-of-range slot is "not covered", never a read.
+  EXPECT_FALSE(kernels::component_leq(0, row, 3, 3));
+  EXPECT_FALSE(kernels::component_leq(0, row, 0, 0));
+}
+
+TEST(Kernels, BatchedVariantsMatchScalarLoops) {
+  std::mt19937 rng(754);
+  const std::size_t width = 11;
+  std::vector<std::vector<EventIndex>> storage;
+  for (int i = 0; i < 37; ++i) {
+    std::vector<EventIndex> row(width);
+    for (auto& x : row) {
+      x = (rng() % 5 == 0) ? kEdgeValues[rng() % std::size(kEdgeValues)]
+                           : static_cast<EventIndex>(rng() % 100);
+    }
+    storage.push_back(std::move(row));
+  }
+  std::vector<const EventIndex*> rows;
+  for (const auto& r : storage) rows.push_back(r.data());
+
+  std::vector<EventIndex> query(width);
+  for (auto& x : query) x = static_cast<EventIndex>(rng() % 100);
+
+  for (const EventIndex bound :
+       {EventIndex{0}, EventIndex{50}, EventIndex{0x8000'0000u},
+        std::numeric_limits<EventIndex>::max()}) {
+    for (const std::size_t slot : {std::size_t{0}, std::size_t{7}}) {
+      std::vector<std::uint8_t> got(rows.size(), 0xcc);
+      kernels::batch_component_leq(bound, slot, rows.data(), rows.size(),
+                                   got.data());
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const std::uint8_t want =
+            kernels::component_leq(bound, rows[i], width, slot) ? 1 : 0;
+        ASSERT_EQ(got[i], want) << "bound=" << bound << " i=" << i;
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> got(rows.size(), 0xcc);
+  kernels::batch_all_leq(query.data(), width, rows.data(), rows.size(),
+                         got.data());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::uint8_t want =
+        kernels::reference::all_leq(query.data(), rows[i], width) ? 1 : 0;
+    ASSERT_EQ(got[i], want) << i;
+  }
+}
+
+// -------------------------------------------------------------------- codecs
+
+TEST(Varint, RoundTripsEdgeValues) {
+  const std::uint64_t values[] = {
+      0u,
+      1u,
+      0x7fu,           // 1-byte max
+      0x80u,           // first 2-byte value
+      0x3fffu,         // 2-byte max
+      0x4000u,
+      0x7fff'ffffu,    // 2^31 - 1
+      0x8000'0000u,    // 2^31
+      0xffff'ffffu,    // 2^32 - 1 (EventIndex max — the codec's hot range)
+      0x1'0000'0000u,  // 2^32
+      0x7fff'ffff'ffff'ffffu,
+      0x8000'0000'0000'0000u,
+      std::numeric_limits<std::uint64_t>::max()};
+  std::string buf;
+  for (const std::uint64_t v : values) put_varint(buf, v);
+  std::size_t pos = 0;
+  for (const std::uint64_t v : values) {
+    ASSERT_EQ(get_varint(buf, pos), v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(TsArena, InterningDedupsIdenticalRows) {
+  TsArena arena(2, {.intern = true});
+  const EventIndex row[3] = {1, 2, 3};
+  const EventIndex other[3] = {1, 2, 4};
+  const auto h0 = arena.append(ProcessId{0}, row, 3);
+  const auto h1 = arena.append(ProcessId{1}, row, 3);  // dedup hit
+  const auto h2 = arena.append(ProcessId{0}, other, 3);
+  EXPECT_NE(h0, h1);  // handles stay distinct
+  EXPECT_EQ(arena.offset_of(h0), arena.offset_of(h1));  // storage shared
+  EXPECT_NE(arena.offset_of(h0), arena.offset_of(h2));
+  EXPECT_EQ(arena.interned_hits(), 1u);
+  EXPECT_EQ(arena.pool_words(), 6u);  // 2 unique rows, not 3
+  EXPECT_EQ(arena.values(h1).size(), 3u);
+  EXPECT_EQ(arena.component(h1, 2), 3u);
+}
+
+TEST(TsArena, ColdCodecRoundTripsWithCheckpointsAndEdgeValues) {
+  // Rows of one process: componentwise monotone runs (the delta fast path),
+  // a width change (forces a full record), a non-monotone step (forces a
+  // full record), and edge values up to 2^32-1.
+  TsArena arena(1, {.intern = false, .checkpoint_every = 4});
+  std::vector<std::vector<EventIndex>> rows;
+  std::vector<EventIndex> cur = {0, 0, 0};
+  for (int i = 0; i < 11; ++i) {
+    cur[static_cast<std::size_t>(i) % 3] += static_cast<EventIndex>(i);
+    rows.push_back(cur);
+  }
+  rows.push_back({7, 8});                        // width change
+  rows.push_back({9, 10});                       // delta again
+  rows.push_back({3, 10});                       // negative step → full
+  rows.push_back({3, std::numeric_limits<EventIndex>::max()});
+  rows.push_back({3, std::numeric_limits<EventIndex>::max()});  // zero delta
+  for (const auto& r : rows) arena.append(ProcessId{0}, r);
+
+  const TsArena::ColdRows cold = arena.encode_cold(ProcessId{0});
+  EXPECT_EQ(cold.count, rows.size());
+  EXPECT_GE(cold.checkpoints.size(), rows.size() / 4);  // every 4th at least
+
+  // Decode in a scattered order — random access must not depend on decode
+  // history.
+  std::vector<std::size_t> order(rows.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), std::mt19937(755));
+  std::vector<EventIndex> out;
+  for (const std::size_t i : order) {
+    TsArena::decode_cold(cold, i, out);
+    ASSERT_EQ(out, rows[i]) << "row " << i;
+  }
+}
+
+TEST(CompactStore, DeltaModeDecodesIdenticalToAbsolute) {
+  const Trace trace = generate_web_server({.clients = 10,
+                                           .servers = 3,
+                                           .backends = 2,
+                                           .requests = 80,
+                                           .seed = 756});
+  ClusterTimestampEngine engine(trace.process_count(),
+                                engine_config(5, true),
+                                make_merge_on_nth(1.0));
+  engine.observe_trace(trace);
+
+  CompactTimestampStore absolute(trace.process_count());
+  CompactTimestampStore delta(trace.process_count(),
+                              {.delta = true, .checkpoint_every = 8});
+  for (const EventId id : trace.delivery_order()) {
+    absolute.append(id, engine.timestamp(id));
+    delta.append(id, engine.timestamp(id));
+  }
+  for (const EventId id : trace.delivery_order()) {
+    const ClusterTimestamp a = absolute.decode(id);
+    const ClusterTimestamp d = delta.decode(id);
+    ASSERT_EQ(a.values, d.values) << id;
+    ASSERT_EQ(a.is_full(), d.is_full()) << id;
+    if (!a.is_full()) {
+      ASSERT_EQ(*a.covered, *d.covered) << id;
+    }
+    ASSERT_EQ(a.values, engine.timestamp(id).values) << id;
+  }
+}
+
+}  // namespace
+}  // namespace ct
