@@ -195,7 +195,14 @@ inline void plot_rows(const std::string& title,
 
 inline std::string range_to_string(const SizeRange& r) {
   if (r.empty()) return "(none)";
-  return "[" + std::to_string(r.lo) + "," + std::to_string(r.hi) + "]";
+  // Built up with += to sidestep GCC 12's -Wrestrict false positive on
+  // string operator+ chains under -O2 (PR105651).
+  std::string out = "[";
+  out += std::to_string(r.lo);
+  out += ',';
+  out += std::to_string(r.hi);
+  out += ']';
+  return out;
 }
 
 }  // namespace ct::bench

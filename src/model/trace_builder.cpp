@@ -65,13 +65,14 @@ EventId TraceBuilder::send(ProcessId p) {
 }
 
 EventId TraceBuilder::receive(ProcessId p, EventId send_id) {
-  Event& snd = event_ref(send_id);
-  CT_CHECK_MSG(snd.kind == EventKind::kSend,
+  CT_CHECK_MSG(event_ref(send_id).kind == EventKind::kSend,
                "receive names non-send event " << send_id);
   CT_CHECK_MSG(in_flight_.erase(send_id) == 1,
                "send " << send_id << " already received");
   const EventId id = append(p, EventKind::kReceive, send_id);
-  snd.partner = id;
+  // Re-resolve after append: a same-process receive (self-message) can
+  // reallocate the send's event list, invalidating earlier references.
+  event_ref(send_id).partner = id;
   return id;
 }
 

@@ -1,0 +1,56 @@
+// Seeded random-schedule generator.
+//
+// Each schedule is one randomized end-to-end scenario for the monitoring
+// stack: a composed computation (1–3 motifs drawn from the trace generators,
+// placed on disjoint process ranges and interleaved, with extra cross-segment
+// chatter stitching them together) whose delivery stream is pushed through a
+// seeded FaultInjector (drops, duplicates, bounded reordering, record
+// corruption). The surviving channel output is materialized verbatim as
+// kEmit ops, then seasoned with checkpoint/restore points, healthy cluster
+// rebuilds, corruption-plus-repair episodes, and differential probe points
+// (always one final probe over the complete delivered state).
+//
+// Determinism contract: generate_schedule(seed) is a pure function of its
+// arguments — same seed, same schedule, byte for byte (asserted by
+// tests/simcheck_test.cpp via SimSchedule::digest()).
+#pragma once
+
+#include <cstdint>
+
+#include "simcheck/schedule.hpp"
+
+namespace ct {
+
+struct ScheduleParams {
+  std::uint32_t min_processes = 8;
+  std::uint32_t max_processes = 20;
+  /// Motif segments composed into one computation (1..max, process-budget
+  /// permitting; each segment needs at least 3 processes).
+  std::size_t max_segments = 3;
+  /// Approximate composed-trace size in events, before faults.
+  std::size_t target_events = 420;
+  /// Probability of a cross-segment message after each interleave run.
+  double cross_chatter_rate = 0.1;
+
+  // Fault-plan rates are drawn uniformly from [0, max].
+  double max_drop_rate = 0.05;
+  double max_dup_rate = 0.05;
+  double max_reorder_rate = 0.12;
+  double max_corrupt_rate = 0.03;
+  std::size_t reorder_window = 10;
+
+  /// Precedence pairs sampled per probe point.
+  std::size_t pairs_per_probe = 48;
+  /// Probability a probe's broker pass runs under a finite deadline.
+  double deadline_chance = 0.35;
+  /// Upper bounds on the auxiliary ops sprinkled into the stream.
+  std::size_t max_checkpoints = 2;
+  std::size_t max_rebuilds = 2;
+  std::size_t max_corruptions = 2;
+};
+
+/// Deterministically expands `seed` into a full schedule.
+SimSchedule generate_schedule(std::uint64_t seed,
+                              const ScheduleParams& params = {});
+
+}  // namespace ct

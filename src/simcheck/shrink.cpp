@@ -1,0 +1,104 @@
+#include "simcheck/shrink.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ct {
+
+namespace {
+
+bool in_category(SimOp::Kind kind, int category) {
+  switch (category) {
+    case 0:
+      return kind == SimOp::Kind::kEmit;
+    case 1:
+      return kind == SimOp::Kind::kCheckpointRestore ||
+             kind == SimOp::Kind::kRebuild ||
+             kind == SimOp::Kind::kCorruptRepair;
+    default:
+      return kind == SimOp::Kind::kProbe;
+  }
+}
+
+/// Schedule without the ops at `victims` (ascending positions).
+SimSchedule without(const SimSchedule& s, const std::vector<std::size_t>& victims) {
+  SimSchedule out = s;
+  out.ops.clear();
+  out.ops.reserve(s.ops.size() - victims.size());
+  std::size_t v = 0;
+  for (std::size_t i = 0; i < s.ops.size(); ++i) {
+    if (v < victims.size() && victims[v] == i) {
+      ++v;
+      continue;
+    }
+    out.ops.push_back(s.ops[i]);
+  }
+  return out;
+}
+
+/// One ddmin pass over the ops of `category`: chunked deletion with the
+/// chunk size halving from n/2 to 1. Returns true if anything was deleted.
+bool ddmin_category(SimSchedule& current, int category,
+                    const std::function<bool(const SimSchedule&)>& fails,
+                    std::size_t& attempts) {
+  bool deleted_any = false;
+  std::vector<std::size_t> members;
+  for (std::size_t i = 0; i < current.ops.size(); ++i) {
+    if (in_category(current.ops[i].kind, category)) members.push_back(i);
+  }
+  std::size_t chunk = std::max<std::size_t>(1, members.size() / 2);
+  while (!members.empty()) {
+    bool progress = false;
+    for (std::size_t start = 0; start < members.size();) {
+      const std::size_t len = std::min(chunk, members.size() - start);
+      const std::vector<std::size_t> victims(
+          members.begin() + static_cast<std::ptrdiff_t>(start),
+          members.begin() + static_cast<std::ptrdiff_t>(start + len));
+      SimSchedule candidate = without(current, victims);
+      ++attempts;
+      if (fails(candidate)) {
+        current = std::move(candidate);
+        deleted_any = true;
+        progress = true;
+        // Re-index the surviving members of this category.
+        members.clear();
+        for (std::size_t i = 0; i < current.ops.size(); ++i) {
+          if (in_category(current.ops[i].kind, category)) members.push_back(i);
+        }
+        if (start >= members.size()) start = 0;
+      } else {
+        start += len;
+      }
+    }
+    if (chunk == 1 && !progress) break;
+    if (!progress) chunk = std::max<std::size_t>(1, chunk / 2);
+  }
+  return deleted_any;
+}
+
+}  // namespace
+
+ShrinkResult shrink_schedule(
+    const SimSchedule& schedule,
+    const std::function<bool(const SimSchedule&)>& fails) {
+  ShrinkResult result;
+  result.schedule = schedule;
+  CT_CHECK_MSG(fails(result.schedule), "shrink input does not fail");
+  ++result.attempts;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.rounds;
+    for (int category = 0; category < 3; ++category) {
+      changed |= ddmin_category(result.schedule, category, fails,
+                                result.attempts);
+    }
+  }
+  result.schedule.name = schedule.name + "-min";
+  return result;
+}
+
+}  // namespace ct

@@ -1,0 +1,39 @@
+// Delta-minimization of diverging schedules.
+//
+// When the differential oracle finds a divergence, the raw schedule is
+// hundreds of ops — useless as a regression artifact. The shrinker reduces
+// it with ddmin-style chunked deletion, in category order chosen so the
+// failure's *cause* survives minimization:
+//
+//   1. kEmit ops (the big win: fewer events = smaller delivered state);
+//   2. auxiliary ops (checkpoint/restore, rebuilds, corrupt-repair);
+//   3. kProbe ops (last — deleting the observing probe masks the failure,
+//      so most probe deletions are rejected by the predicate anyway).
+//
+// Deleting an emit is always a valid schedule (the ingest path is fault
+// tolerant; see schedule.hpp), so candidate generation is plain list
+// surgery and the predicate re-runs the oracle on each candidate. The loop
+// repeats over all categories until a full pass deletes nothing (fixpoint),
+// yielding a 1-minimal-per-chunk replay suitable for tests/simcheck_corpus/.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "simcheck/schedule.hpp"
+
+namespace ct {
+
+struct ShrinkResult {
+  SimSchedule schedule;      ///< minimized schedule (still failing)
+  std::size_t attempts = 0;  ///< predicate evaluations spent
+  std::size_t rounds = 0;    ///< category passes until fixpoint
+};
+
+/// Minimizes `schedule` against `fails` (true = the schedule still exhibits
+/// the divergence). `schedule` itself must fail; the result is the smallest
+/// failing schedule the chunked search reaches.
+ShrinkResult shrink_schedule(const SimSchedule& schedule,
+                             const std::function<bool(const SimSchedule&)>& fails);
+
+}  // namespace ct

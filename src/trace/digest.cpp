@@ -1,0 +1,39 @@
+#include "trace/digest.hpp"
+
+namespace ct {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline void mix(std::uint64_t& h, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    h = (h ^ ((value >> shift) & 0xffu)) * kFnvPrime;
+  }
+}
+
+inline std::uint64_t pack(EventId id) {
+  return (static_cast<std::uint64_t>(id.process) << 32) | id.index;
+}
+
+}  // namespace
+
+std::uint64_t trace_digest(const Trace& trace) {
+  std::uint64_t h = kFnvOffset;
+  mix(h, static_cast<std::uint64_t>(trace.family()));
+  mix(h, trace.process_count());
+  mix(h, trace.event_count());
+  for (ProcessId p = 0; p < trace.process_count(); ++p) {
+    const auto events = trace.process_events(p);
+    mix(h, events.size());
+    for (const Event& e : events) {
+      mix(h, static_cast<std::uint64_t>(e.kind));
+      mix(h, pack(e.partner));
+    }
+  }
+  for (const EventId id : trace.delivery_order()) mix(h, pack(id));
+  return h;
+}
+
+}  // namespace ct

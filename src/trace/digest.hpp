@@ -1,0 +1,24 @@
+// Structural digest of a trace — the seed-stability anchor.
+//
+// Benches, the standard suite, and the simcheck corpus all assume that a
+// generator invoked with a fixed seed produces the same computation
+// forever. tests/seed_stability_test.cpp locks `trace_digest` of every
+// generator's output against golden values, so a refactor that silently
+// changes a workload (and with it every figure, baseline, and regression
+// replay derived from it) fails loudly instead.
+//
+// The digest is FNV-1a over the full observable structure: process count,
+// family, every event record (kind, partner) in process order, and the
+// canonical delivery order. Trace *names* are excluded — renaming a trace
+// is not a workload change.
+#pragma once
+
+#include <cstdint>
+
+#include "model/trace.hpp"
+
+namespace ct {
+
+std::uint64_t trace_digest(const Trace& trace);
+
+}  // namespace ct

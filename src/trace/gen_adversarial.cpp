@@ -1,0 +1,97 @@
+// Adversarial motif for the deterministic simulation checker.
+//
+// The regular suites exhibit the locality the clustering strategies are
+// designed to exploit; this generator deliberately composes the patterns
+// that defeat them — cross-cluster chatter, self-messages, sync pairs in
+// async traffic, and receives deferred far behind the live stream — so the
+// differential oracle probes the precedence test where it is weakest.
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "model/trace_builder.hpp"
+#include "trace/generators.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace ct {
+
+Trace generate_adversarial(const AdversarialOptions& options) {
+  CT_CHECK(options.processes >= 2);
+  CT_CHECK(options.groups >= 1 && options.groups <= options.processes);
+  TraceBuilder b;
+  b.reserve(options.processes,
+            options.messages * (2 + options.compute_events));
+  b.add_processes(options.processes);
+  Prng rng(options.seed);
+
+  const std::size_t group_size =
+      (options.processes + options.groups - 1) / options.groups;
+  const auto group_of = [&](ProcessId p) { return p / group_size; };
+  const auto pick_in_group = [&](std::size_t g) {
+    const std::size_t lo = g * group_size;
+    const std::size_t hi = std::min(options.processes, lo + group_size);
+    return static_cast<ProcessId>(lo + rng.index(hi - lo));
+  };
+
+  struct Straggler {
+    ProcessId dst;
+    EventId send;
+    std::size_t due;  ///< message count at which the receive is released
+  };
+  std::deque<Straggler> held;
+  const auto release_due = [&](std::size_t now) {
+    while (!held.empty() && held.front().due <= now) {
+      b.receive(held.front().dst, held.front().send);
+      held.pop_front();
+    }
+  };
+
+  for (std::size_t m = 0; m < options.messages; ++m) {
+    release_due(m);
+    const ProcessId src =
+        static_cast<ProcessId>(rng.index(options.processes));
+    for (std::size_t k = 0; k < options.compute_events; ++k) b.unary(src);
+
+    if (rng.chance(options.self_rate)) {
+      b.message(src, src);
+      continue;
+    }
+
+    ProcessId dst;
+    if (rng.chance(options.cross_rate) && options.groups > 1) {
+      std::size_t g = rng.index(options.groups - 1);
+      if (g >= group_of(src)) ++g;  // a different group, uniformly
+      dst = pick_in_group(g);
+    } else {
+      dst = pick_in_group(group_of(src));
+      if (dst == src) {
+        dst = static_cast<ProcessId>((dst + 1) % options.processes);
+      }
+    }
+
+    if (dst != src && rng.chance(options.sync_rate)) {
+      b.sync(src, dst);
+    } else if (rng.chance(options.straggler_rate)) {
+      const std::size_t defer =
+          1 + rng.index(std::max<std::size_t>(1, options.straggler_window));
+      held.push_back(Straggler{dst, b.send(src), m + defer});
+    } else {
+      b.message(src, dst);
+    }
+  }
+
+  // Late stragglers drain at the very end — except a configured few that
+  // stay permanently in flight (messages still in transit when observation
+  // stopped; they carry causality like unary events).
+  while (held.size() > options.unreceived) {
+    b.receive(held.front().dst, held.front().send);
+    held.pop_front();
+  }
+
+  return b.build("adversarial-p" + std::to_string(options.processes) + "-s" +
+                     std::to_string(options.seed),
+                 TraceFamily::kControl);
+}
+
+}  // namespace ct

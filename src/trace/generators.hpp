@@ -255,4 +255,26 @@ struct LocalityRandomOptions {
 };
 Trace generate_locality_random(const LocalityRandomOptions& options);
 
+/// Adversarial motif for the simulation checker (src/simcheck): planted
+/// groups with heavy cross-cluster chatter, self-messages (a process
+/// mailing itself — legal, and a corner every backend must agree on),
+/// synchronous pairs mixed into the async traffic, and *late stragglers* —
+/// sends whose receives are deferred far past their neighbours (a few are
+/// never received at all and stay in flight). Exercises exactly the edges
+/// that defeat clustering heuristics and stress cluster-receive handling.
+struct AdversarialOptions {
+  std::size_t processes = 24;
+  std::size_t groups = 4;
+  std::size_t messages = 400;
+  double cross_rate = 0.3;       ///< message leaves its planted group
+  double self_rate = 0.05;       ///< send received by the sender itself
+  double sync_rate = 0.15;       ///< synchronous pair instead of async
+  double straggler_rate = 0.08;  ///< receive deferred by ~straggler_window
+  std::size_t straggler_window = 64;
+  std::size_t unreceived = 3;  ///< stragglers left permanently in flight
+  std::size_t compute_events = 1;
+  std::uint64_t seed = 1;
+};
+Trace generate_adversarial(const AdversarialOptions& options);
+
 }  // namespace ct

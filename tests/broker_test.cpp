@@ -3,6 +3,7 @@
 // with self-repair (docs/FAULT_MODEL.md §6).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <future>
 #include <utility>
@@ -558,6 +559,158 @@ TEST(QueryBroker, ServesFmBackedMonitorWithoutAudit) {
   EXPECT_EQ(*r.answer, oracle.happened_before(EventId{0, 1}, EventId{1, 2}));
   // No cluster state to audit: steps are trivially clean.
   EXPECT_TRUE(broker.audit_step());
+  EXPECT_TRUE(broker.health().accounted());
+}
+
+// ------------------------------------------------ shedding edge cases
+
+TEST(QueryBroker, QueueExactlyFullIsAdmittedAcrossPoliciesAndCapacities) {
+  const Trace t = small_trace();
+  MonitoringEntity monitor(t.process_count(), broker_monitor_options(t));
+  feed(monitor, t);
+
+  struct Row {
+    ShedPolicy policy;
+    std::size_t capacity;
+  };
+  const Row rows[] = {
+      {ShedPolicy::kRejectNewest, 1}, {ShedPolicy::kRejectNewest, 2},
+      {ShedPolicy::kRejectNewest, 4}, {ShedPolicy::kRejectOldest, 1},
+      {ShedPolicy::kRejectOldest, 2}, {ShedPolicy::kRejectOldest, 4},
+  };
+  for (const Row& row : rows) {
+    SCOPED_TRACE(std::string("policy ") +
+                 (row.policy == ShedPolicy::kRejectNewest ? "newest"
+                                                          : "oldest") +
+                 " capacity " + std::to_string(row.capacity));
+    ThreadPool pool(1);
+    BrokerOptions options;
+    options.max_queue = row.capacity;
+    options.shed_policy = row.policy;
+    QueryBroker broker(monitor, pool, options);
+
+    // Fill the queue to EXACTLY its capacity: no query may shed at the
+    // boundary itself.
+    PoolGate gate(pool);
+    std::vector<std::future<QueryResult>> fill;
+    for (std::size_t i = 0; i < row.capacity; ++i) {
+      fill.push_back(broker.submit_precedence(
+          EventId{0, 1}, EventId{1, static_cast<EventIndex>(i + 1)}));
+    }
+    EXPECT_EQ(broker.health().shed, 0u);
+    EXPECT_EQ(broker.health().max_queue_depth, row.capacity);
+
+    // One past capacity sheds exactly one query — which one depends on the
+    // policy; every admitted query still resolves exactly.
+    auto extra = broker.submit_precedence(EventId{0, 1}, EventId{2, 1});
+    EXPECT_EQ(broker.health().shed, 1u);
+    gate.open();
+    broker.drain();
+
+    std::vector<QueryOutcome> outcomes;
+    for (auto& f : fill) outcomes.push_back(f.get().outcome);
+    const QueryOutcome extra_outcome = extra.get().outcome;
+    outcomes.push_back(extra_outcome);
+    const auto count = [&](QueryOutcome o) {
+      return static_cast<std::size_t>(
+          std::count(outcomes.begin(), outcomes.end(), o));
+    };
+    EXPECT_EQ(count(QueryOutcome::kShed), 1u);
+    EXPECT_EQ(count(QueryOutcome::kAnswered), row.capacity);
+    if (row.policy == ShedPolicy::kRejectNewest) {
+      EXPECT_EQ(extra_outcome, QueryOutcome::kShed);
+    } else {
+      EXPECT_EQ(outcomes.front(), QueryOutcome::kShed);
+      EXPECT_EQ(extra_outcome, QueryOutcome::kAnswered);
+    }
+    const BrokerHealth h = broker.health();
+    EXPECT_TRUE(h.accounted());
+    EXPECT_EQ(h.submitted, row.capacity + 1);
+    EXPECT_EQ(h.in_flight, 0u);
+  }
+}
+
+TEST(QueryBroker, DeadlineCanExpireMidFallbackDescent) {
+  const Trace t = small_trace();
+  MonitoringEntity monitor(t.process_count(), broker_monitor_options(t));
+  feed(monitor, t);
+
+  ThreadPool pool(1);
+  BrokerOptions options;
+  options.answer_cache_capacity = 0;  // no cache short-circuit
+  QueryBroker broker(monitor, pool, options);
+  // Force the chain past its primary: every query starts its descent at the
+  // differential store.
+  broker.trip_backend(ServingBackend::kCluster);
+
+  // A one-tick budget cannot finish even a single component comparison in
+  // the differential backend: the query dies mid-descent, after the breaker
+  // bypass but before any fallback can answer.
+  const QueryResult starved =
+      broker.submit_precedence(EventId{0, 1}, EventId{1, 3}, 1).get();
+  EXPECT_EQ(starved.outcome, QueryOutcome::kDeadlineExpired);
+  EXPECT_FALSE(starved.answer.has_value());
+
+  // The same query unbudgeted descends to an exact fallback answer.
+  const CausalityOracle oracle(t);
+  const QueryResult served =
+      broker.submit_precedence(EventId{0, 1}, EventId{1, 3}).get();
+  EXPECT_EQ(served.outcome, QueryOutcome::kAnswered);
+  EXPECT_EQ(served.backend_used, ServingBackend::kDifferential);
+  EXPECT_EQ(*served.answer,
+            oracle.happened_before(EventId{0, 1}, EventId{1, 3}));
+
+  const BrokerHealth h = broker.health();
+  EXPECT_TRUE(h.accounted());
+  EXPECT_EQ(h.deadline_expired, 1u);
+  EXPECT_GE(h.fallback_answers, 1u);
+}
+
+TEST(QueryBroker, FallbackBreakerReclosesViaProbeStride) {
+  const Trace t = small_trace();
+  MonitoringEntity monitor(t.process_count(), broker_monitor_options(t));
+  feed(monitor, t);
+
+  ThreadPool pool(1);
+  BrokerOptions options;
+  options.answer_cache_capacity = 0;
+  options.breaker_probe_stride = 4;
+  QueryBroker broker(monitor, pool, options);
+  // Cluster AND differential tripped: queries bypass both and answer at the
+  // on-demand FM tail until the differential breaker's probe fires.
+  broker.trip_backend(ServingBackend::kCluster);
+  broker.trip_backend(ServingBackend::kDifferential);
+
+  // Bypasses 1..3: no probe yet, the tail serves.
+  for (int i = 1; i <= 3; ++i) {
+    const QueryResult r =
+        broker.submit_precedence(EventId{0, 1},
+                                 EventId{1, static_cast<EventIndex>(i)})
+            .get();
+    ASSERT_EQ(r.outcome, QueryOutcome::kAnswered);
+    EXPECT_EQ(r.backend_used, ServingBackend::kOnDemandFm) << "query " << i;
+    EXPECT_TRUE(broker.backend_open(ServingBackend::kDifferential));
+  }
+  // Bypass 4 probes the healthy differential store: the probe answers the
+  // query AND re-closes the breaker.
+  const QueryResult probe =
+      broker.submit_precedence(EventId{0, 1}, EventId{2, 1}).get();
+  ASSERT_EQ(probe.outcome, QueryOutcome::kAnswered);
+  EXPECT_EQ(probe.backend_used, ServingBackend::kDifferential);
+  EXPECT_FALSE(broker.backend_open(ServingBackend::kDifferential));
+  EXPECT_EQ(broker.health().readmissions, 1u);
+
+  // The audited cluster backend never re-closes by probe — only clean audit
+  // steps (or an explicit readmit) bring the primary back.
+  EXPECT_TRUE(broker.backend_open(ServingBackend::kCluster));
+  const QueryResult after =
+      broker.submit_precedence(EventId{0, 1}, EventId{2, 2}).get();
+  EXPECT_EQ(after.backend_used, ServingBackend::kDifferential);
+  broker.readmit_backend(ServingBackend::kCluster);
+  EXPECT_FALSE(broker.backend_open(ServingBackend::kCluster));
+  const QueryResult healed =
+      broker.submit_precedence(EventId{0, 1}, EventId{2, 3}).get();
+  EXPECT_EQ(healed.backend_used, ServingBackend::kCluster);
   EXPECT_TRUE(broker.health().accounted());
 }
 

@@ -13,9 +13,11 @@
 #include "cluster/kmedoid.hpp"
 #include "cluster/merge_policy.hpp"
 #include "cluster/static_greedy.hpp"
+#include "core/engine.hpp"
 #include "model/trace_builder.hpp"
 #include "trace/generators.hpp"
 #include "util/check.hpp"
+#include "util/prng.hpp"
 
 namespace ct {
 namespace {
@@ -367,6 +369,95 @@ TEST(MergeOnNth, RejectsNegativeThreshold) {
 TEST(NeverMerge, NeverMerges) {
   NeverMerge policy;
   EXPECT_FALSE(policy.should_merge(0, 1, 1, 1, 100));
+}
+
+// ------------------------------------------------- partition property tests
+
+/// Asserts the full partition invariant: clusters() is an ascending list of
+/// live roots whose member lists are sorted, pairwise disjoint, total over
+/// the process set, and consistent with cluster_of / size / cluster_count /
+/// max_cluster_size.
+void expect_valid_partition(const ClusterSet& cs) {
+  const std::vector<ClusterId> ids = cs.clusters();
+  ASSERT_EQ(ids.size(), cs.cluster_count());
+  ASSERT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+
+  std::set<ProcessId> covered;
+  std::size_t total = 0;
+  std::size_t largest = 0;
+  for (const ClusterId c : ids) {
+    const auto members = cs.members(c);
+    ASSERT_FALSE(members->empty());
+    ASSERT_TRUE(std::is_sorted(members->begin(), members->end()));
+    ASSERT_EQ(members->size(), cs.size(c));
+    total += members->size();
+    largest = std::max(largest, members->size());
+    for (const ProcessId p : *members) {
+      ASSERT_TRUE(covered.insert(p).second)
+          << "process " << p << " appears in two clusters";
+      ASSERT_EQ(cs.cluster_of(p), c);
+    }
+  }
+  ASSERT_EQ(total, cs.process_count());  // disjoint + total = partition
+  ASSERT_EQ(largest, cs.max_cluster_size());
+}
+
+TEST(ClusterSetProperty, RandomMergeSequencesPreserveThePartition) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Prng rng(seed);
+    const std::size_t processes = 2 + rng.index(32);
+    ClusterSet cs(processes);
+    expect_valid_partition(cs);
+    // Merge random live pairs down to a random stopping point; the partition
+    // invariant must hold after every single merge.
+    const std::size_t stop = 1 + rng.index(processes);
+    while (cs.cluster_count() > stop) {
+      const std::vector<ClusterId> ids = cs.clusters();
+      const std::size_t a = rng.index(ids.size());
+      std::size_t b = rng.index(ids.size() - 1);
+      if (b >= a) ++b;
+      const ClusterId survivor = cs.merge(ids[a], ids[b]);
+      // The survivor is one of the two inputs, never a third id.
+      ASSERT_TRUE(survivor == ids[a] || survivor == ids[b]);
+      expect_valid_partition(cs);
+    }
+  }
+}
+
+TEST(ClusterSetProperty, AllFourStrategiesYieldValidPartitions) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Trace t = generate_uniform_random(
+        {.processes = 6 + static_cast<std::size_t>(seed), .messages = 120,
+         .seed = seed});
+    const std::size_t processes = t.process_count();
+    const CommMatrix comm(t);
+    for (const std::size_t max_cs : {1ul, 4ul, 7ul}) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " maxCS " +
+                   std::to_string(max_cs));
+      // Static strategies produce explicit partitions.
+      StaticGreedyOptions opts;
+      opts.max_cluster_size = max_cs;
+      const ClusterSet greedy(processes, static_greedy_clusters(comm, opts));
+      expect_valid_partition(greedy);
+      EXPECT_LE(greedy.max_cluster_size(), max_cs);
+      const ClusterSet fixed(processes,
+                             fixed_contiguous_clusters(processes, max_cs));
+      expect_valid_partition(fixed);
+      EXPECT_LE(fixed.max_cluster_size(), max_cs);
+      // Dynamic strategies coarsen the engine's cluster set in place.
+      for (const bool nth : {false, true}) {
+        ClusterEngineConfig ec;
+        ec.max_cluster_size = max_cs;
+        ec.fm_vector_width = processes;
+        ClusterTimestampEngine engine(
+            processes, ec, nth ? make_merge_on_nth(2.0)
+                               : make_merge_on_first());
+        engine.observe_trace(t);
+        expect_valid_partition(engine.clusters());
+        EXPECT_LE(engine.clusters().max_cluster_size(), max_cs);
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,67 @@
+// Replays the checked-in regression corpus (tests/simcheck_corpus/): every
+// minimized schedule a past divergence hunt produced — or a hand-planted
+// stress scenario — must replay divergence-free against the FULL
+// verification matrix, forever. New shrunk replays from CI sweeps get
+// dropped into the corpus directory and are picked up automatically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "simcheck/oracle.hpp"
+#include "simcheck/replay_io.hpp"
+#include "simcheck/schedule.hpp"
+
+#ifndef CT_SIMCHECK_CORPUS_DIR
+#error "CT_SIMCHECK_CORPUS_DIR must point at tests/simcheck_corpus"
+#endif
+
+namespace ct {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(CT_SIMCHECK_CORPUS_DIR)) {
+    if (entry.path().extension() == ".ctsim") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(SimcheckCorpus, IsNotEmpty) {
+  // An empty corpus means the regression suite silently tests nothing.
+  EXPECT_GE(corpus_files().size(), 3u);
+}
+
+TEST(SimcheckCorpus, EveryReplayIsCleanUnderTheFullMatrix) {
+  const std::vector<OracleConfig> matrix = full_matrix();
+  for (const std::string& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    const SimSchedule schedule = load_replay(path);
+    EXPECT_GT(schedule.ops.size(), 0u);
+    const SimReport report = run_schedule(schedule, matrix);
+    EXPECT_TRUE(report.ok())
+        << "corpus replay diverged at op " << report.divergence->op_index
+        << " [" << report.divergence->config
+        << "]: " << report.divergence->detail;
+    EXPECT_EQ(report.ops_run, schedule.ops.size());
+  }
+}
+
+TEST(SimcheckCorpus, ReplaysAreMinimized) {
+  // Corpus hygiene: replays are supposed to be shrunk before check-in.
+  for (const std::string& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    const SimSchedule schedule = load_replay(path);
+    EXPECT_LE(schedule.emit_count(), 120u)
+        << "replay looks unshrunk; run it through shrink_schedule first";
+  }
+}
+
+}  // namespace
+}  // namespace ct
