@@ -1,0 +1,96 @@
+#include "durability/recovery.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "durability/wal.hpp"
+#include "trace/snapshot.hpp"
+#include "util/check.hpp"
+
+namespace ct {
+
+RecoveredMonitor recover_monitor(const StorageBackend& storage,
+                                 std::size_t process_count,
+                                 const MonitorOptions& options) {
+  RecoveredMonitor out;
+  RecoveryReport& report = out.report;
+
+  // ---- 1. newest usable snapshot ----
+  std::vector<std::pair<std::uint64_t, std::string>> snapshots;
+  for (const std::string& name : storage.list()) {
+    if (const auto seq = wal::parse_snapshot_name(name)) {
+      snapshots.emplace_back(*seq, name);
+    }
+  }
+  std::sort(snapshots.rbegin(), snapshots.rend());  // newest first
+  for (const auto& [seq, name] : snapshots) {
+    try {
+      std::istringstream in(storage.read(name));
+      SnapshotMeta meta;
+      auto monitor = load_snapshot(in, &meta);
+      if (meta.wal_record_seq != seq) {
+        // The object name promises a WAL position the file does not carry
+        // (v1 snapshot or a renamed object): structurally suspect, skip.
+        ++report.snapshots_rejected;
+        continue;
+      }
+      out.monitor = std::move(monitor);
+      report.snapshot_object = name;
+      report.snapshot_seq = seq;
+      break;
+    } catch (const CheckFailure&) {
+      ++report.snapshots_rejected;
+    }
+  }
+  if (!out.monitor) {
+    out.monitor = std::make_unique<MonitoringEntity>(process_count, options);
+  }
+
+  // ---- 2 + 3. scan the WAL, replay the tail ----
+  const wal::WalScan scan = wal::scan_wal(storage, report.snapshot_seq);
+  report.segments_scanned = scan.segments_scanned;
+  report.truncated = scan.truncated;
+  report.truncate_detail = scan.detail;
+
+  // A crash can cut between the two halves of a sync pair (they append
+  // back-to-back, but a torn tail keeps only the first). The log otherwise
+  // keeps pair halves adjacent — and a checkpoint never cuts between them —
+  // so only the LAST record can be an unpaired half: hold it back.
+  std::size_t replayable = scan.records.size();
+  if (replayable > 0) {
+    const Event& last = scan.records[replayable - 1].event;
+    const bool paired =
+        replayable >= 2 &&
+        scan.records[replayable - 2].event.id == last.partner &&
+        scan.records[replayable - 2].event.kind == EventKind::kSync &&
+        scan.records[replayable - 2].event.partner == last.id;
+    if (last.kind == EventKind::kSync && !paired) {
+      --replayable;
+      report.held = 1;
+    }
+  }
+
+  // Replay through the delivered-order restore path (not ingest — see the
+  // header comment): the WAL tail is the recorded delivery order, verbatim.
+  for (std::size_t i = 0; i < replayable; ++i) {
+    out.monitor->replay_delivered(scan.records[i].event);
+    ++report.replayed;
+  }
+  MonitorHealth health = out.monitor->health();
+  health.ingested += report.replayed;
+  health.delivered += report.replayed;
+  out.monitor->finish_restore(health);
+
+  report.recovered_seq = out.monitor->delivery_log().size();
+  CT_CHECK_MSG(report.recovered_seq == report.snapshot_seq + report.replayed,
+               "recovery accounting: snapshot " << report.snapshot_seq
+                                                << " + replayed "
+                                                << report.replayed
+                                                << " != delivered "
+                                                << report.recovered_seq);
+  return out;
+}
+
+}  // namespace ct

@@ -1,0 +1,72 @@
+// Verified crash recovery: snapshot load + WAL-tail replay.
+//
+// Recovery turns whatever a crash left in storage back into a monitoring
+// entity, guaranteeing PREFIX CONSISTENCY: the recovered monitor's delivered
+// log is exactly a prefix of the pre-crash delivered log — never a record
+// invented, reordered, or half-applied. The procedure:
+//
+//   1. Try snapshots newest-first. Each must pass the CTS1 v2 whole-file
+//      CRC, replay cleanly, and match its embedded state digest
+//      (trace/snapshot.hpp) — a torn or bit-rotted snapshot is rejected
+//      structurally and the next-older one is tried; with none left,
+//      recovery starts from scratch.
+//   2. Scan the WAL segments in order (wal.hpp grammar), checking segment
+//      chaining, per-frame CRCs, and commit-frame sequence/digest
+//      agreement; stop at the first inconsistency (truncate-at-first-
+//      invalid-frame).
+//   3. Replay the tail records past the snapshot's WAL position through the
+//      same delivered-order restore path snapshots use — the WAL *is* the
+//      delivery order, so recovery reproduces it byte for byte. (Feeding
+//      the tail through ingest() instead would be subtly wrong: the
+//      delivery manager may re-pair a sync's two halves in the opposite
+//      order from the recording when the original trigger was the other
+//      half.) A trailing sync half whose partner frame did not survive is
+//      HELD — not replayed, reported in `held` — because a lone half is
+//      not a deliverable prefix; it pairs up when the upstream stream is
+//      re-fed (overlap drops as kDuplicate).
+//
+// What recovery CANNOT know is how many records existed past the last
+// durable byte; the caller that does know (the crash sweep, or an operator
+// comparing against an upstream source) declares the difference with
+// MonitoringEntity::note_wal_loss, which surfaces as health().wal_lost.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "durability/storage.hpp"
+#include "monitor/monitor.hpp"
+
+namespace ct {
+
+struct RecoveryReport {
+  /// Snapshot object the monitor was restored from; empty = from scratch.
+  std::string snapshot_object;
+  std::size_t snapshots_rejected = 0;  ///< corrupt snapshots skipped
+  std::uint64_t snapshot_seq = 0;      ///< WAL position the snapshot covered
+  std::uint64_t replayed = 0;          ///< WAL tail records re-applied
+  std::uint64_t recovered_seq = 0;     ///< records recovered in total
+  /// 0 or 1: a durable trailing sync half whose partner frame was lost —
+  /// not delivered (see above), but not lost either.
+  std::uint64_t held = 0;
+  std::size_t segments_scanned = 0;
+  bool truncated = false;              ///< WAL scan stopped early
+  std::string truncate_detail;
+};
+
+struct RecoveredMonitor {
+  std::unique_ptr<MonitoringEntity> monitor;
+  RecoveryReport report;
+};
+
+/// Recovers from `storage`. `process_count` and `options` configure the
+/// monitor only when no usable snapshot exists (a snapshot carries its own
+/// configuration). Throws CheckFailure only on invariant violations that
+/// indicate a bug (a verified WAL record failing to re-deliver) — all
+/// storage damage is absorbed into the report.
+RecoveredMonitor recover_monitor(const StorageBackend& storage,
+                                 std::size_t process_count,
+                                 const MonitorOptions& options);
+
+}  // namespace ct

@@ -1,0 +1,167 @@
+// Segmented write-ahead delivery log (docs/FAULT_MODEL.md §7).
+//
+// Every event the monitoring entity delivers is appended as one framed
+// record, so a crashed monitor restarts from its latest checkpoint snapshot
+// plus the log tail instead of re-requesting the whole stream. The format is
+// built for truncate-at-first-invalid-frame recovery:
+//
+//   segment object "wal-<seq>.log":
+//     "CTW1" | varint segment_seq | varint first_record_seq
+//     frame*
+//   frame:
+//     u8 type | varint payload_len | payload | u32le CRC32C(type..payload)
+//   record payload (type 1):
+//     varint process | varint index | u8 kind
+//     | varint partner.process | varint partner.index
+//   commit payload (type 2, written at every sync point):
+//     varint next_record_seq | u64le FNV-1a of this segment's record
+//     payloads so far
+//
+// Record sequence numbers are implicit (first_record_seq + position), so a
+// segment is self-describing and segments chain by construction: recovery
+// (recovery.hpp) checks that each segment starts exactly where the previous
+// one ended and stops — prefix-consistent — at the first gap, bad CRC,
+// malformed varint, or commit frame whose sequence/digest disagrees with
+// what was actually read.
+//
+// Sync points are explicit (SyncPolicy): a commit frame is appended and the
+// segment fsync'd. Everything after the last sync is the un-synced tail a
+// crash may lose — never more (the storage model in storage.hpp enforces
+// exactly this, and the crash sweep verifies it).
+//
+// checkpoint() writes a CTS1 snapshot object (trace/snapshot.hpp, v2: the
+// snapshot embeds its WAL position and a whole-file CRC), prunes segments
+// wholly covered by the oldest retained snapshot, and keeps the newest
+// `retain_checkpoints` snapshots — incremental checkpointing: the WAL only
+// ever grows by the tail since the last snapshot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "durability/storage.hpp"
+#include "model/event.hpp"
+
+namespace ct {
+
+class MonitoringEntity;
+
+/// When the log makes appended records durable.
+enum class SyncPolicy : std::uint8_t {
+  kNone,          ///< never explicitly (rotation/checkpoint still sync)
+  kEveryRecord,   ///< after every append — loses at most the in-flight record
+  kEveryN,        ///< after every `sync_every` appends
+  kOnCheckpoint,  ///< only when a checkpoint is cut
+};
+
+const char* to_string(SyncPolicy p);
+
+struct WalOptions {
+  SyncPolicy policy = SyncPolicy::kEveryRecord;
+  std::size_t sync_every = 64;            ///< kEveryN batch size
+  std::size_t segment_bytes = 256 * 1024; ///< rotation threshold
+  std::size_t retain_checkpoints = 2;     ///< snapshots kept after pruning
+};
+
+struct WalStats {
+  std::uint64_t appends = 0;
+  std::uint64_t syncs = 0;          ///< storage syncs issued
+  std::uint64_t commits = 0;        ///< commit frames written
+  std::uint64_t rotations = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t segments_pruned = 0;
+  std::uint64_t snapshots_pruned = 0;
+  std::uint64_t bytes_appended = 0;
+};
+
+/// The write-ahead log. Install on the ingest path with
+/// `monitor.set_delivery_tap([&](const Event& e) { log.append(e); })`.
+class DurableLog {
+ public:
+  /// Opens the log over `storage`, starting a fresh segment. `resume_seq`
+  /// is the next record sequence (0 for an empty log; after a crash, pass
+  /// RecoveryReport::recovered_seq — the new segment chains onto the
+  /// recovered prefix and the possibly-torn old tail is never appended to).
+  DurableLog(StorageBackend& storage, WalOptions options,
+             std::uint64_t resume_seq = 0);
+
+  /// Appends one delivered event; applies the sync policy; rotates when the
+  /// segment is full.
+  void append(const Event& e);
+
+  /// Writes a commit frame and makes the segment durable. No-op if nothing
+  /// was appended since the last sync.
+  void sync();
+
+  /// Snapshots `monitor` (which must be the monitor this log records for),
+  /// makes it durable, prunes covered segments and stale snapshots.
+  void checkpoint(const MonitoringEntity& monitor);
+
+  std::uint64_t next_record_seq() const { return next_seq_; }
+  /// Records guaranteed durable (everything below the last sync point).
+  std::uint64_t synced_record_seq() const { return synced_seq_; }
+  const WalStats& stats() const { return stats_; }
+  const std::string& segment_name() const { return segment_name_; }
+
+ private:
+  void open_segment(std::uint64_t first_record_seq);
+
+  StorageBackend& storage_;
+  WalOptions options_;
+  WalStats stats_;
+  std::string segment_name_;
+  std::uint64_t segment_seq_ = 0;
+  std::uint64_t segment_first_seq_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t synced_seq_ = 0;
+  std::uint64_t segment_digest_;     // FNV over this segment's payloads
+  std::size_t segment_size_ = 0;     // bytes appended to the current segment
+  std::size_t unsynced_records_ = 0;
+};
+
+// --- shared WAL grammar (recovery and tests use these) ---------------------
+
+namespace wal {
+
+inline constexpr char kSegmentMagic[] = "CTW1";
+inline constexpr std::uint8_t kRecordFrame = 1;
+inline constexpr std::uint8_t kCommitFrame = 2;
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::string segment_object_name(std::uint64_t segment_seq);
+std::string snapshot_object_name(std::uint64_t record_seq);
+/// Parses the sequence out of a segment/snapshot object name; nullopt if
+/// the name is not of that shape.
+std::optional<std::uint64_t> parse_segment_name(const std::string& name);
+std::optional<std::uint64_t> parse_snapshot_name(const std::string& name);
+
+/// Serializes one record payload (no frame).
+std::string encode_record(const Event& e);
+/// Appends one framed record/commit to `out`.
+void put_frame(std::string& out, std::uint8_t type, const std::string& payload);
+
+struct WalRecord {
+  std::uint64_t seq = 0;
+  Event event;
+};
+
+struct WalScan {
+  /// Valid records with seq >= from_seq, in order.
+  std::vector<WalRecord> records;
+  std::uint64_t next_seq = 0;  ///< one past the last valid record
+  std::size_t segments_scanned = 0;
+  bool truncated = false;      ///< stopped before the physical end
+  std::string detail;          ///< what stopped the scan
+};
+
+/// Scans every WAL segment in `storage`, enforcing the chaining and framing
+/// rules, stopping — never throwing — at the first inconsistency.
+WalScan scan_wal(const StorageBackend& storage, std::uint64_t from_seq);
+
+}  // namespace wal
+
+}  // namespace ct

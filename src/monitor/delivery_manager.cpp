@@ -358,7 +358,11 @@ void DeliveryManager::restore(const std::vector<EventIndex>& delivered_counts,
                "restore shape mismatch: " << delivered_counts.size()
                                           << " processes vs "
                                           << queues_.size());
-  CT_CHECK_MSG(health_.ingested == 0, "restore into a non-fresh manager");
+  // A snapshot restores into a fresh manager; WAL recovery restores a
+  // second time after replaying the log tail. Both are sound because
+  // nothing is buffered — restoring over in-flight records would drop them.
+  CT_CHECK_MSG(health_.pending == 0 && health_.quarantined == 0,
+               "restore into a manager holding in-flight records");
   arrived_ = delivered_counts;
   delivered_ = delivered_counts;
   kinds_ = std::move(kinds);

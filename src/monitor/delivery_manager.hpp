@@ -73,6 +73,10 @@ class DeliveryManager {
                std::unordered_set<EventId> consumed_sends,
                const MonitorHealth& saved);
 
+  /// Durability accounting: records whose WAL frames were lost to a crash
+  /// (recovery replayed a shorter prefix than was delivered pre-crash).
+  void note_wal_loss(std::uint64_t records) { health_.wal_lost += records; }
+
  private:
   struct Buffered {
     Event event;

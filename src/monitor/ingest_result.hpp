@@ -67,6 +67,11 @@ struct MonitorHealth {
   std::uint64_t rejected = 0;    ///< structurally unusable records
   std::uint64_t evicted = 0;     ///< dropped by cap or orphan timeout
   std::uint64_t readmitted = 0;  ///< quarantine -> queue transitions (transient)
+  /// Delivered records whose WAL frames did not survive a crash (the
+  /// un-synced tail lost at recovery — src/durability/recovery.hpp).
+  /// Informational, like `readmitted`: those records were delivered and
+  /// counted before the crash, so they are not part of the accounting sum.
+  std::uint64_t wal_lost = 0;
   std::uint64_t pending = 0;     ///< currently buffered, awaiting prerequisites
   std::uint64_t quarantined = 0; ///< currently held in quarantine
   std::uint64_t max_queue_depth = 0;  ///< peak pending + quarantined

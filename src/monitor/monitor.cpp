@@ -66,6 +66,7 @@ void MonitoringEntity::deliver(const Event& e) {
   } else {
     cluster_->observe(e);
   }
+  if (tap_) tap_(e);
 }
 
 void MonitoringEntity::replay_delivered(const Event& e) { deliver(e); }

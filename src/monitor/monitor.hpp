@@ -38,6 +38,9 @@
 namespace ct {
 
 class MonitoringEntity;
+struct SnapshotMeta;      // trace/snapshot.hpp
+class StorageBackend;     // durability/storage.hpp
+struct RecoveredMonitor;  // durability/recovery.hpp
 void save_snapshot(std::ostream& out, const MonitoringEntity& monitor);
 std::unique_ptr<MonitoringEntity> load_snapshot(std::istream& in);
 
@@ -75,6 +78,20 @@ class MonitoringEntity {
   /// Ingest-path accounting: every ingested record lands in exactly one of
   /// delivered / duplicates / rejected / evicted / pending / quarantined.
   const MonitorHealth& health() const { return delivery_.health(); }
+
+  /// Durability hook: called with every delivered event, in delivery order,
+  /// after it is stored and timestamped. The write-ahead log
+  /// (src/durability/wal.hpp) installs itself here; anything else observing
+  /// the delivered stream may too. Install AFTER restore/recovery — replayed
+  /// deliveries would otherwise be re-logged.
+  using DeliveryTap = std::function<void(const Event&)>;
+  void set_delivery_tap(DeliveryTap tap) { tap_ = std::move(tap); }
+
+  /// Durability accounting: declares `records` delivered-then-lost (their
+  /// WAL frames did not survive the crash). Shows up as health().wal_lost.
+  void note_wal_loss(std::uint64_t records) {
+    delivery_.note_wal_loss(records);
+  }
 
   /// Delivered events of one process.
   EventIndex delivered_count(ProcessId p) const {
@@ -159,6 +176,14 @@ class MonitoringEntity {
  private:
   friend void save_snapshot(std::ostream& out, const MonitoringEntity& m);
   friend std::unique_ptr<MonitoringEntity> load_snapshot(std::istream& in);
+  friend std::unique_ptr<MonitoringEntity> load_snapshot(std::istream& in,
+                                                         SnapshotMeta* meta);
+  // WAL recovery replays the log tail through the same delivered-order
+  // restore path as snapshots — an ingest()-based replay could re-pair a
+  // sync's halves in the opposite order from the recording.
+  friend RecoveredMonitor recover_monitor(const StorageBackend& storage,
+                                          std::size_t process_count,
+                                          const MonitorOptions& options);
 
   void deliver(const Event& e);
   const Event& stored_event(EventId id) const;
@@ -183,6 +208,7 @@ class MonitoringEntity {
   std::unique_ptr<ClusterTimestampEngine> cluster_;
 
   DeliveryManager delivery_;  // must outlive nothing that deliver() touches
+  DeliveryTap tap_;           // durability hook; empty unless installed
 };
 
 }  // namespace ct

@@ -6,13 +6,15 @@
 #include <string>
 
 #include "util/check.hpp"
+#include "util/crc32c.hpp"
 #include "util/varint.hpp"
 
 namespace ct {
 namespace {
 
 constexpr char kSnapshotMagic[] = "CTS1";
-constexpr std::uint8_t kSnapshotVersion = 1;
+constexpr std::uint8_t kSnapshotVersion = 2;
+constexpr std::size_t kTrailerBytes = 4;  // u32le CRC32C of everything before
 
 void put_u64_le(std::string& out, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
@@ -25,6 +27,21 @@ std::uint64_t get_u64_le(const std::string& data, std::size_t& pos) {
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
     v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[pos++]))
+         << (i * 8);
+  }
+  return v;
+}
+
+void put_u32_le(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (i * 8)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32_le(const std::string& data, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[pos + i]))
          << (i * 8);
   }
   return v;
@@ -76,76 +93,108 @@ void save_snapshot(std::ostream& out, const MonitoringEntity& monitor) {
 
   put_u64_le(buffer, monitor.state_digest());
 
+  // v2 fields: WAL position (every delivered record has exactly one WAL
+  // record, so the delivery-log length IS the log sequence this snapshot
+  // covers) and the whole-file CRC32C trailer.
+  put_varint(buffer, log.size());
+  put_u32_le(buffer, crc32c(buffer));
+
   out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
   CT_CHECK_MSG(out.good(), "error writing monitor snapshot");
 }
 
 std::unique_ptr<MonitoringEntity> load_snapshot(std::istream& in) {
+  return load_snapshot(in, nullptr);
+}
+
+std::unique_ptr<MonitoringEntity> load_snapshot(std::istream& in,
+                                                SnapshotMeta* meta) {
   std::string data((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   CT_CHECK_MSG(data.size() >= 5 && data.compare(0, 4, kSnapshotMagic) == 0,
                "not a CTS1 monitor snapshot");
   std::size_t pos = 4;
   const auto version = static_cast<std::uint8_t>(data[pos++]);
-  CT_CHECK_MSG(version == kSnapshotVersion,
+  CT_CHECK_MSG(version == 1 || version == kSnapshotVersion,
                "unsupported snapshot version " << int{version});
 
+  // The v2 trailer is verified before anything is replayed: a corrupted
+  // snapshot is rejected structurally, never half-restored.
+  std::size_t end = data.size();
+  if (version >= 2) {
+    CT_CHECK_MSG(data.size() >= 5 + kTrailerBytes,
+                 "snapshot truncated before its CRC trailer");
+    end = data.size() - kTrailerBytes;
+    const std::uint32_t stored = get_u32_le(data, end);
+    const std::uint32_t computed = crc32c(std::string_view(data).substr(0, end));
+    CT_CHECK_MSG(stored == computed,
+                 "snapshot CRC mismatch: trailer " << stored << " vs computed "
+                                                   << computed);
+  }
+  const std::string body = data.substr(0, end);
+
   MonitorOptions options;
-  CT_CHECK_MSG(pos < data.size(), "snapshot truncated");
-  const auto backend_raw = static_cast<std::uint8_t>(data[pos++]);
+  CT_CHECK_MSG(pos < body.size(), "snapshot truncated");
+  const auto backend_raw = static_cast<std::uint8_t>(body[pos++]);
   CT_CHECK_MSG(
       backend_raw <=
           static_cast<std::uint8_t>(TimestampBackend::kClusterDynamic),
       "unknown backend code " << int{backend_raw});
   options.backend = static_cast<TimestampBackend>(backend_raw);
-  options.nth_threshold = std::bit_cast<double>(get_u64_le(data, pos));
+  options.nth_threshold = std::bit_cast<double>(get_u64_le(body, pos));
   options.cluster.max_cluster_size =
-      static_cast<std::size_t>(get_varint(data, pos));
+      static_cast<std::size_t>(get_varint(body, pos));
   options.cluster.fm_vector_width =
-      static_cast<std::size_t>(get_varint(data, pos));
+      static_cast<std::size_t>(get_varint(body, pos));
   options.cluster.encoded_cluster_width =
-      static_cast<std::size_t>(get_varint(data, pos));
+      static_cast<std::size_t>(get_varint(body, pos));
   options.delivery.max_buffered =
-      static_cast<std::size_t>(get_varint(data, pos));
-  options.delivery.orphan_timeout = get_varint(data, pos);
+      static_cast<std::size_t>(get_varint(body, pos));
+  options.delivery.orphan_timeout = get_varint(body, pos);
 
-  const std::uint64_t process_count = get_varint(data, pos);
+  const std::uint64_t process_count = get_varint(body, pos);
   CT_CHECK_MSG(process_count > 0 && process_count <= (1u << 20),
                "implausible snapshot process count " << process_count);
-  const std::uint64_t event_count = get_varint(data, pos);
+  const std::uint64_t event_count = get_varint(body, pos);
 
   auto monitor = std::make_unique<MonitoringEntity>(
       static_cast<std::size_t>(process_count), options);
   for (std::uint64_t i = 0; i < event_count; ++i) {
+    const std::size_t record_at = pos;  // for offset-tagged errors
     Event e;
-    const std::uint64_t p = get_varint(data, pos);
-    const std::uint64_t index = get_varint(data, pos);
+    const std::uint64_t p = get_varint(body, pos);
+    const std::uint64_t index = get_varint(body, pos);
     CT_CHECK_MSG(p < process_count && index > 0 && index <= 0xffffffffull,
-                 "snapshot event " << i << " out of range");
+                 "snapshot event " << i << " out of range at byte offset "
+                                   << record_at);
     e.id = EventId{static_cast<ProcessId>(p),
                    static_cast<EventIndex>(index)};
-    CT_CHECK_MSG(pos < data.size(), "snapshot truncated in event " << i);
-    const auto kind_raw = static_cast<std::uint8_t>(data[pos++]);
+    CT_CHECK_MSG(pos < body.size(), "snapshot truncated in event "
+                                        << i << " at byte offset "
+                                        << record_at);
+    const auto kind_raw = static_cast<std::uint8_t>(body[pos++]);
     CT_CHECK_MSG(kind_raw <= static_cast<std::uint8_t>(EventKind::kSync),
-                 "snapshot event " << i << " has bad kind " << int{kind_raw});
+                 "snapshot event " << i << " has bad kind " << int{kind_raw}
+                                   << " at byte offset " << record_at);
     e.kind = static_cast<EventKind>(kind_raw);
-    const std::uint64_t pp = get_varint(data, pos);
-    const std::uint64_t pi = get_varint(data, pos);
+    const std::uint64_t pp = get_varint(body, pos);
+    const std::uint64_t pi = get_varint(body, pos);
     CT_CHECK_MSG(pp <= 0xffffffffull && pi <= 0xffffffffull,
-                 "snapshot event " << i << " has bad partner");
+                 "snapshot event " << i << " has bad partner at byte offset "
+                                   << record_at);
     e.partner = EventId{static_cast<ProcessId>(pp),
                         static_cast<EventIndex>(pi)};
     monitor->replay_delivered(e);
   }
 
   MonitorHealth health;
-  health.ingested = get_varint(data, pos);
-  health.delivered = get_varint(data, pos);
-  health.duplicates = get_varint(data, pos);
-  health.rejected = get_varint(data, pos);
-  health.evicted = get_varint(data, pos);
-  health.readmitted = get_varint(data, pos);
-  health.max_queue_depth = get_varint(data, pos);
+  health.ingested = get_varint(body, pos);
+  health.delivered = get_varint(body, pos);
+  health.duplicates = get_varint(body, pos);
+  health.rejected = get_varint(body, pos);
+  health.evicted = get_varint(body, pos);
+  health.readmitted = get_varint(body, pos);
+  health.max_queue_depth = get_varint(body, pos);
   CT_CHECK_MSG(health.delivered == event_count,
                "snapshot counters disagree with the log: delivered "
                    << health.delivered << " vs " << event_count << " events");
@@ -153,11 +202,23 @@ std::unique_ptr<MonitoringEntity> load_snapshot(std::istream& in) {
                "snapshot counters do not account for every record");
   monitor->finish_restore(health);
 
-  const std::uint64_t digest = get_u64_le(data, pos);
+  const std::uint64_t digest = get_u64_le(body, pos);
   CT_CHECK_MSG(monitor->state_digest() == digest,
                "snapshot replay diverged from the saved state digest");
-  CT_CHECK_MSG(pos == data.size(),
-               "trailing bytes after snapshot (" << data.size() - pos << ")");
+
+  std::uint64_t wal_seq = 0;
+  if (version >= 2) {
+    wal_seq = get_varint(body, pos);
+    CT_CHECK_MSG(wal_seq == event_count,
+                 "snapshot WAL position " << wal_seq << " disagrees with its "
+                                          << event_count << " records");
+  }
+  if (meta != nullptr) {
+    meta->version = version;
+    meta->wal_record_seq = wal_seq;
+  }
+  CT_CHECK_MSG(pos == body.size(),
+               "trailing bytes after snapshot (" << body.size() - pos << ")");
   return monitor;
 }
 

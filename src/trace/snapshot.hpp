@@ -11,8 +11,17 @@
 // it. Records still buffered or quarantined at checkpoint time are NOT
 // captured; re-feeding the stream tail (overlap included — duplicates drop
 // idempotently) resumes exactly where the checkpoint left off.
+//
+// Format version 2 (current) appends two fields for the durability layer
+// (src/durability/): the snapshot's write-ahead-log position (the number of
+// delivered records it covers — recovery replays only the WAL tail past it)
+// and a whole-file CRC32C trailer, verified BEFORE any replay so a
+// bit-rotted or torn snapshot file is rejected structurally instead of
+// failing halfway through a restore. Version-1 files (no trailer, no WAL
+// position) still load.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -21,13 +30,24 @@
 
 namespace ct {
 
+/// Sidecar facts a snapshot carries for the durability layer.
+struct SnapshotMeta {
+  std::uint8_t version = 0;
+  /// Delivered records the snapshot covers == its WAL position: recovery
+  /// replays WAL records with sequence >= this. 0 for version-1 files.
+  std::uint64_t wal_record_seq = 0;
+};
+
 /// Writes the monitor's delivered state. Throws CheckFailure on I/O error.
 void save_snapshot(std::ostream& out, const MonitoringEntity& monitor);
 
 /// Reads a snapshot and rebuilds a monitor by replaying the delivered log.
-/// Throws CheckFailure on malformed input, version mismatch, or a replay
-/// that diverges from the embedded state digest.
+/// Throws CheckFailure on malformed input, version mismatch, a failed CRC
+/// trailer, or a replay that diverges from the embedded state digest.
+/// Malformed-record errors name the byte offset of the offending record.
 std::unique_ptr<MonitoringEntity> load_snapshot(std::istream& in);
+std::unique_ptr<MonitoringEntity> load_snapshot(std::istream& in,
+                                                SnapshotMeta* meta);
 
 /// File-path conveniences; errors include the path.
 void save_snapshot(const std::string& path, const MonitoringEntity& monitor);

@@ -1,0 +1,51 @@
+// CRC32C (Castagnoli) — the frame checksum of the durability layer.
+//
+// The WAL (src/durability/wal.hpp) frames every record with a CRC32C so a
+// torn, short, or bit-rotted write is detected at recovery instead of
+// replayed into the monitor; the CTS1 snapshot appends a whole-file CRC32C
+// trailer for the same reason. Software byte-table implementation: the
+// durability hot path is bounded by fsync, not by checksumming, so there is
+// no need for SSE4.2 dispatch — and the table is computed at compile time,
+// so the header stays dependency-free.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace ct {
+
+namespace detail {
+
+/// Reflected Castagnoli polynomial.
+inline constexpr std::uint32_t kCrc32cPoly = 0x82f63b78u;
+
+inline constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kCrc32cPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable =
+    make_crc32c_table();
+
+}  // namespace detail
+
+/// CRC32C of `data`, continuing from `seed` (0 for a fresh checksum).
+/// crc32c(b) == crc32c(b2, crc32c(b1)) for any split b = b1 + b2.
+inline std::uint32_t crc32c(std::string_view data, std::uint32_t seed = 0) {
+  std::uint32_t crc = ~seed;
+  for (const char c : data) {
+    crc = detail::kCrc32cTable[(crc ^ static_cast<unsigned char>(c)) & 0xff] ^
+          (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace ct

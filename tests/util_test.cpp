@@ -12,6 +12,7 @@
 #include "util/bitset.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
+#include "util/crc32c.hpp"
 #include "util/csv.hpp"
 #include "util/flat_matrix.hpp"
 #include "util/lru_cache.hpp"
@@ -19,6 +20,7 @@
 #include "util/stats.hpp"
 #include "util/synchronized_lru.hpp"
 #include "util/thread_pool.hpp"
+#include "util/varint.hpp"
 
 namespace ct {
 namespace {
@@ -333,6 +335,154 @@ TEST(Ascii, PlotRendersSeriesGlyphs) {
 TEST(Ascii, PlotRejectsMismatchedSeries) {
   AsciiPlot plot("t", "x", "y", {0, 1, 2});
   EXPECT_THROW(plot.add_series({"bad", {1.0}}), CheckFailure);
+}
+
+// ----------------------------------------------------------------- crc32c
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 §B.4 test vectors.
+  EXPECT_EQ(crc32c(""), 0x00000000u);
+  EXPECT_EQ(crc32c("123456789"), 0xe3069283u);
+  EXPECT_EQ(crc32c(std::string(32, '\0')), 0x8a9136aau);
+  EXPECT_EQ(crc32c(std::string(32, '\xff')), 0x62a8ab43u);
+}
+
+TEST(Crc32c, SeedComposesAcrossSplits) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = crc32c(data);
+  for (std::size_t cut = 0; cut <= data.size(); ++cut) {
+    EXPECT_EQ(crc32c(data.substr(cut), crc32c(data.substr(0, cut))), whole);
+  }
+}
+
+TEST(Crc32c, DetectsEverySingleBitFlip) {
+  const std::string data = "wal frame payload under test";
+  const std::uint32_t good = crc32c(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = data;
+      bad[byte] = static_cast<char>(bad[byte] ^ (1 << bit));
+      EXPECT_NE(crc32c(bad), good) << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+// --------------------------------------------------- varint (hardened decode)
+
+// Exhaustive boundary sweep: every 7-bit length boundary round-trips and
+// decodes to the exact encoded length; the value one past each boundary
+// takes one more byte.
+TEST(Varint, EveryLengthBoundaryRoundTrips) {
+  for (int bytes = 1; bytes <= 10; ++bytes) {
+    // Smallest and largest value of each encoded length.
+    const std::uint64_t lo =
+        bytes == 1 ? 0 : (std::uint64_t{1} << (7 * (bytes - 1)));
+    const std::uint64_t hi = bytes == 10
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << (7 * bytes)) - 1;
+    for (const std::uint64_t v : {lo, lo + 1, hi - 1, hi}) {
+      std::string buf;
+      put_varint(buf, v);
+      ASSERT_EQ(buf.size(), static_cast<std::size_t>(bytes)) << v;
+      const VarintDecode d = try_get_varint(buf, 0);
+      ASSERT_TRUE(d.ok()) << v << ": " << to_string(d.error);
+      EXPECT_EQ(d.value, v);
+      EXPECT_EQ(d.length, bytes);
+    }
+  }
+}
+
+// Every truncation point of every encoded length is reported kTruncated —
+// never a read past the buffer, never a silently short value.
+TEST(Varint, EveryTruncationPointIsStructurallyRejected) {
+  for (int bytes = 1; bytes <= 10; ++bytes) {
+    const std::uint64_t v =
+        bytes == 10 ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << (7 * bytes)) - 1;
+    std::string buf;
+    put_varint(buf, v);
+    ASSERT_EQ(buf.size(), static_cast<std::size_t>(bytes));
+    for (std::size_t len = 0; len < buf.size(); ++len) {
+      const VarintDecode d = try_get_varint(buf.substr(0, len), 0);
+      EXPECT_EQ(d.error, VarintError::kTruncated)
+          << bytes << "-byte encoding cut to " << len;
+    }
+    std::size_t pos = 0;
+    std::string cut = buf.substr(0, buf.size() - 1);
+    EXPECT_THROW((void)get_varint(cut, pos), CheckFailure);
+  }
+}
+
+// Overlong (zero-padded) encodings of every value length are rejected as
+// non-canonical rather than decoded to an aliased value.
+TEST(Varint, OverlongPaddedEncodingsAreRejected) {
+  for (const std::uint64_t v : {0ull, 1ull, 127ull, 128ull, 16384ull}) {
+    std::string canonical;
+    put_varint(canonical, v);
+    for (std::size_t pad = 1; canonical.size() + pad <= 11; ++pad) {
+      std::string buf = canonical;
+      buf.back() = static_cast<char>(buf.back() | 0x80);
+      for (std::size_t i = 1; i < pad; ++i) buf.push_back('\x80');
+      buf.push_back('\x00');
+      const VarintDecode d = try_get_varint(buf, 0);
+      EXPECT_FALSE(d.ok()) << "value " << v << " padded by " << pad;
+      EXPECT_TRUE(d.error == VarintError::kOverlong ||
+                  d.error == VarintError::kTooLong)
+          << to_string(d.error);
+    }
+  }
+}
+
+TEST(Varint, TenthByteOverflowBitsAreRejected) {
+  // 2^63 encodes as nine 0x80 continuations plus a final 0x01; any larger
+  // final byte would claim bits past 2^64.
+  std::string max_ok(9, '\x80');
+  max_ok += '\x01';
+  const VarintDecode good = try_get_varint(max_ok, 0);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value, std::uint64_t{1} << 63);
+
+  for (int final_byte : {0x02, 0x03, 0x40, 0x7f}) {
+    std::string bad(9, '\x80');
+    bad += static_cast<char>(final_byte);
+    EXPECT_EQ(try_get_varint(bad, 0).error, VarintError::kOverlong)
+        << "final byte " << final_byte;
+  }
+}
+
+TEST(Varint, ElevenByteEncodingsAreTooLong) {
+  std::string bad(10, '\x80');
+  bad += '\x01';
+  EXPECT_EQ(try_get_varint(bad, 0).error, VarintError::kTooLong);
+  // All-continuation garbage of any longer length: same structured error.
+  std::string garbage(64, '\xff');
+  EXPECT_EQ(try_get_varint(garbage, 0).error, VarintError::kTooLong);
+}
+
+TEST(Varint, ThrowingReaderNamesErrorAndOffset) {
+  std::string buf = "ab";  // valid 1-byte varints
+  buf += '\xff';           // truncated encoding at offset 2
+  std::size_t pos = 0;
+  EXPECT_EQ(get_varint(buf, pos), static_cast<std::uint64_t>('a'));
+  EXPECT_EQ(get_varint(buf, pos), static_cast<std::uint64_t>('b'));
+  try {
+    (void)get_varint(buf, pos);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+    EXPECT_NE(what.find("offset 2"), std::string::npos) << what;
+  }
+  EXPECT_EQ(pos, 2u) << "failed decode must not advance the cursor";
+}
+
+TEST(Varint, DecodeNeverReadsPastAdvertisedSize) {
+  // A buffer whose tail would complete the encoding if over-read: the
+  // string_view length must be authoritative.
+  const std::string backing = std::string("\xff\xff", 2) + '\x01';
+  const VarintDecode d =
+      try_get_varint(std::string_view(backing.data(), 2), 0);
+  EXPECT_EQ(d.error, VarintError::kTruncated);
 }
 
 }  // namespace
