@@ -13,14 +13,15 @@ namespace ct {
 
 RecoveredMonitor recover_monitor(const StorageBackend& storage,
                                  std::size_t process_count,
-                                 const MonitorOptions& options) {
+                                 const MonitorOptions& options,
+                                 const std::string& ns) {
   RecoveredMonitor out;
   RecoveryReport& report = out.report;
 
-  // ---- 1. newest usable snapshot ----
+  // ---- 1. newest usable snapshot (of this namespace only) ----
   std::vector<std::pair<std::uint64_t, std::string>> snapshots;
   for (const std::string& name : storage.list()) {
-    if (const auto seq = wal::parse_snapshot_name(name)) {
+    if (const auto seq = wal::parse_snapshot_name(name, ns)) {
       snapshots.emplace_back(*seq, name);
     }
   }
@@ -49,7 +50,7 @@ RecoveredMonitor recover_monitor(const StorageBackend& storage,
   }
 
   // ---- 2 + 3. scan the WAL, replay the tail ----
-  const wal::WalScan scan = wal::scan_wal(storage, report.snapshot_seq);
+  const wal::WalScan scan = wal::scan_wal(storage, report.snapshot_seq, ns);
   report.segments_scanned = scan.segments_scanned;
   report.truncated = scan.truncated;
   report.truncate_detail = scan.detail;

@@ -65,8 +65,15 @@ struct RecoveredMonitor {
 /// configuration). Throws CheckFailure only on invariant violations that
 /// indicate a bug (a verified WAL record failing to re-deliver) — all
 /// storage damage is absorbed into the report.
+///
+/// `ns` is the WAL namespace to recover (WalOptions::ns): only snapshots
+/// and segments carrying that prefix are read, so recovering one tenant of
+/// a shared StorageBackend never scans — and is never derailed by — a
+/// sibling tenant's objects, however corrupt those are (the per-tenant
+/// durability bulkhead, verified by tests/wal_namespace_test.cpp).
 RecoveredMonitor recover_monitor(const StorageBackend& storage,
                                  std::size_t process_count,
-                                 const MonitorOptions& options);
+                                 const MonitorOptions& options,
+                                 const std::string& ns = "");
 
 }  // namespace ct

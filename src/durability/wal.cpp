@@ -53,19 +53,34 @@ std::uint64_t fnv_extend(std::uint64_t digest, std::string_view data) {
 
 }  // namespace
 
-std::string segment_object_name(std::uint64_t segment_seq) {
-  return "wal-" + pad(segment_seq, 8) + ".log";
+std::string segment_object_name(std::uint64_t segment_seq,
+                                const std::string& ns) {
+  return ns + "wal-" + pad(segment_seq, 8) + ".log";
 }
 
-std::string snapshot_object_name(std::uint64_t record_seq) {
-  return "snap-" + pad(record_seq, 12) + ".cts";
+std::string snapshot_object_name(std::uint64_t record_seq,
+                                 const std::string& ns) {
+  return ns + "snap-" + pad(record_seq, 12) + ".cts";
+}
+
+std::string tenant_namespace(std::uint32_t tenant) {
+  return "tenant-" + pad(tenant, 6) + ".";
+}
+
+bool valid_namespace(const std::string& ns) {
+  for (const char c : ns) {
+    if (c == '/' || c == '\0') return false;
+  }
+  return true;
 }
 
 namespace {
 
 std::optional<std::uint64_t> parse_decimal(const std::string& name,
-                                           std::string_view prefix,
+                                           const std::string& ns,
+                                           std::string_view kind_prefix,
                                            std::string_view suffix) {
+  const std::string prefix = ns + std::string(kind_prefix);
   if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
   if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
   if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
@@ -81,12 +96,14 @@ std::optional<std::uint64_t> parse_decimal(const std::string& name,
 
 }  // namespace
 
-std::optional<std::uint64_t> parse_segment_name(const std::string& name) {
-  return parse_decimal(name, "wal-", ".log");
+std::optional<std::uint64_t> parse_segment_name(const std::string& name,
+                                                const std::string& ns) {
+  return parse_decimal(name, ns, "wal-", ".log");
 }
 
-std::optional<std::uint64_t> parse_snapshot_name(const std::string& name) {
-  return parse_decimal(name, "snap-", ".cts");
+std::optional<std::uint64_t> parse_snapshot_name(const std::string& name,
+                                                 const std::string& ns) {
+  return parse_decimal(name, ns, "snap-", ".cts");
 }
 
 std::string encode_record(const Event& e) {
@@ -108,13 +125,14 @@ void put_frame(std::string& out, std::uint8_t type,
   put_u32_le(out, crc32c(std::string_view(out).substr(start)));
 }
 
-WalScan scan_wal(const StorageBackend& storage, std::uint64_t from_seq) {
+WalScan scan_wal(const StorageBackend& storage, std::uint64_t from_seq,
+                 const std::string& ns) {
   WalScan scan;
   scan.next_seq = from_seq;
 
   std::vector<std::pair<std::uint64_t, std::string>> segments;
   for (const std::string& name : storage.list()) {
-    if (const auto seq = parse_segment_name(name)) {
+    if (const auto seq = parse_segment_name(name, ns)) {
       segments.emplace_back(*seq, name);
     }
   }
@@ -278,10 +296,12 @@ DurableLog::DurableLog(StorageBackend& storage, WalOptions options,
       segment_digest_(wal::kFnvOffset) {
   CT_CHECK_MSG(options_.sync_every > 0, "sync_every must be positive");
   CT_CHECK_MSG(options_.segment_bytes >= 64, "segment_bytes too small");
+  CT_CHECK_MSG(wal::valid_namespace(options_.ns),
+               "invalid WAL namespace: " << options_.ns);
   std::uint64_t max_segment = 0;
   bool any = false;
   for (const std::string& name : storage_.list()) {
-    if (const auto seq = wal::parse_segment_name(name)) {
+    if (const auto seq = wal::parse_segment_name(name, options_.ns)) {
       max_segment = std::max(max_segment, *seq);
       any = true;
     }
@@ -291,7 +311,7 @@ DurableLog::DurableLog(StorageBackend& storage, WalOptions options,
 }
 
 void DurableLog::open_segment(std::uint64_t first_record_seq) {
-  segment_name_ = wal::segment_object_name(segment_seq_);
+  segment_name_ = wal::segment_object_name(segment_seq_, options_.ns);
   segment_first_seq_ = first_record_seq;
   segment_digest_ = wal::kFnvOffset;
   std::string header;
@@ -375,7 +395,7 @@ void DurableLog::checkpoint(const MonitoringEntity& monitor) {
 
   std::ostringstream snap;
   save_snapshot(snap, monitor);
-  const std::string name = wal::snapshot_object_name(next_seq_);
+  const std::string name = wal::snapshot_object_name(next_seq_, options_.ns);
   if (storage_.exists(name)) storage_.remove(name);
   storage_.create(name);
   storage_.append(name, snap.str());
@@ -390,9 +410,9 @@ void DurableLog::checkpoint(const MonitoringEntity& monitor) {
   std::vector<std::uint64_t> snap_seqs;
   std::vector<std::pair<std::uint64_t, std::string>> segments;
   for (const std::string& obj : storage_.list()) {
-    if (const auto seq = wal::parse_snapshot_name(obj)) {
+    if (const auto seq = wal::parse_snapshot_name(obj, options_.ns)) {
       snap_seqs.push_back(*seq);
-    } else if (const auto seg = wal::parse_segment_name(obj)) {
+    } else if (const auto seg = wal::parse_segment_name(obj, options_.ns)) {
       segments.emplace_back(*seg, obj);
     }
   }
@@ -401,7 +421,7 @@ void DurableLog::checkpoint(const MonitoringEntity& monitor) {
   bool removed = false;
   const std::size_t retain = std::max<std::size_t>(1, options_.retain_checkpoints);
   while (snap_seqs.size() > retain) {
-    storage_.remove(wal::snapshot_object_name(snap_seqs.front()));
+    storage_.remove(wal::snapshot_object_name(snap_seqs.front(), options_.ns));
     snap_seqs.erase(snap_seqs.begin());
     ++stats_.snapshots_pruned;
     removed = true;

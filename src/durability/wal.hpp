@@ -64,6 +64,14 @@ struct WalOptions {
   std::size_t sync_every = 64;            ///< kEveryN batch size
   std::size_t segment_bytes = 256 * 1024; ///< rotation threshold
   std::size_t retain_checkpoints = 2;     ///< snapshots kept after pruning
+  /// Namespace prefix prepended to every object this log creates (segments
+  /// and snapshots). Many tenants can then share one StorageBackend with
+  /// disjoint object sets: appends, pruning, and recovery of one namespace
+  /// never read or remove another namespace's objects (the bulkhead the
+  /// shard router relies on — docs/FAULT_MODEL.md §8). Must not contain
+  /// '/' (FileStorage maps names to flat paths); "" is the legacy
+  /// single-tenant namespace.
+  std::string ns;
 };
 
 struct WalStats {
@@ -132,12 +140,28 @@ inline constexpr std::uint8_t kCommitFrame = 2;
 inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
 inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
 
-std::string segment_object_name(std::uint64_t segment_seq);
-std::string snapshot_object_name(std::uint64_t record_seq);
-/// Parses the sequence out of a segment/snapshot object name; nullopt if
-/// the name is not of that shape.
-std::optional<std::uint64_t> parse_segment_name(const std::string& name);
-std::optional<std::uint64_t> parse_snapshot_name(const std::string& name);
+/// Object names are `<ns>wal-<seq>.log` / `<ns>snap-<seq>.cts`; the
+/// namespace prefix `ns` (default "": the single-tenant layout, unchanged
+/// from before namespaces existed) partitions one StorageBackend between
+/// tenants. The parse functions return nullopt for names outside `ns` —
+/// including another tenant's objects — which is what keeps every scan,
+/// prune, and recovery namespace-local.
+std::string segment_object_name(std::uint64_t segment_seq,
+                                const std::string& ns = "");
+std::string snapshot_object_name(std::uint64_t record_seq,
+                                 const std::string& ns = "");
+std::optional<std::uint64_t> parse_segment_name(const std::string& name,
+                                                const std::string& ns = "");
+std::optional<std::uint64_t> parse_snapshot_name(const std::string& name,
+                                                 const std::string& ns = "");
+
+/// Canonical namespace of one tenant: "tenant-<id>.". Fixed-width and
+/// '/'-free so it is valid for both storage backends and lexicographically
+/// groups each tenant's objects.
+std::string tenant_namespace(std::uint32_t tenant);
+
+/// True when `ns` is usable as an object-name prefix (no '/', no NUL).
+bool valid_namespace(const std::string& ns);
 
 /// Serializes one record payload (no frame).
 std::string encode_record(const Event& e);
@@ -158,9 +182,12 @@ struct WalScan {
   std::string detail;          ///< what stopped the scan
 };
 
-/// Scans every WAL segment in `storage`, enforcing the chaining and framing
-/// rules, stopping — never throwing — at the first inconsistency.
-WalScan scan_wal(const StorageBackend& storage, std::uint64_t from_seq);
+/// Scans every WAL segment of namespace `ns` in `storage`, enforcing the
+/// chaining and framing rules, stopping — never throwing — at the first
+/// inconsistency. Objects outside `ns` (other tenants' segments, however
+/// damaged) are never read.
+WalScan scan_wal(const StorageBackend& storage, std::uint64_t from_seq,
+                 const std::string& ns = "");
 
 }  // namespace wal
 

@@ -21,6 +21,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -183,7 +184,8 @@ class MonitoringEntity {
   // sync's halves in the opposite order from the recording.
   friend RecoveredMonitor recover_monitor(const StorageBackend& storage,
                                           std::size_t process_count,
-                                          const MonitorOptions& options);
+                                          const MonitorOptions& options,
+                                          const std::string& ns);
 
   void deliver(const Event& e);
   const Event& stored_event(EventId id) const;

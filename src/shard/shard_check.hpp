@@ -1,0 +1,82 @@
+// Answer-identity checking for sharded deployments.
+//
+// The oracle in simcheck/ establishes that ONE monitor answers exactly as
+// Fidge/Mattern would. This layer lifts the claim one level: a SHARDED
+// multi-tenant deployment must answer exactly as a single-shard one —
+// sharding, fan-out, retries, hedging, and bulkheads are routing, and
+// routing must never change an answer. Every generated schedule is
+// replayed through both deployments side by side:
+//
+//  * fault-free: every probe answer must be bit-identical between the
+//    sharded and single-shard deployments (and, for unlimited-budget
+//    probes, the outcomes must match exactly);
+//  * with injected shard faults: the sharded deployment may degrade — but
+//    every answer it does produce must still equal the single-shard
+//    reference, every non-exact answer must be FLAGGED kDegraded, and
+//    anything else must be an explicit kUnknown. Silently wrong is the
+//    only forbidden state;
+//  * isolation mode (faults confined to tenant 0): sibling tenants must
+//    behave exactly as in a fault-free run — the bulkhead claim;
+//  * after every run, each tenant's accounting invariant must hold.
+//
+// The report mirrors SimReport so tests/shard_driver.cpp can shrink and
+// save divergent schedules as .ctsim replay artifacts with the same
+// machinery the simcheck driver uses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "model/ids.hpp"
+#include "shard/shard_fault.hpp"
+#include "shard/shard_router.hpp"
+#include "simcheck/schedule.hpp"
+
+namespace ct {
+
+struct ShardCheckOptions {
+  /// Replicas per tenant in the sharded deployment under test.
+  std::size_t shards = 3;
+  /// Tenants fed the same schedule (multi-tenant pressure + isolation).
+  std::size_t tenants = 2;
+  /// Shard faults of the deployment under test (all-zero = identity mode).
+  ShardFaultPlan faults;
+  /// Isolation mode: apply `faults` only to tenant 0's shards; sibling
+  /// tenants then must answer exactly as a fault-free run.
+  bool fault_first_tenant_only = false;
+  /// Router fan-out tuning of the deployment under test.
+  std::size_t retry_limit = 1;
+  std::size_t hedge_limit = 2;
+  std::size_t pool_threads = 2;
+};
+
+struct ShardDivergence {
+  std::size_t op_index = 0;  ///< index into SimSchedule::ops
+  TenantId tenant = 0;
+  std::string detail;
+  EventId e, f;
+};
+
+struct ShardCheckReport {
+  std::size_t ops_run = 0;
+  std::size_t probes = 0;          ///< epochs opened on each deployment
+  std::uint64_t pairs_checked = 0;
+  std::uint64_t frontiers_checked = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t degraded_answers = 0;  ///< flagged-degraded, verified exact
+  std::uint64_t unknown_answers = 0;
+  std::optional<ShardDivergence> divergence;  ///< first divergence, if any
+
+  bool ok() const { return !divergence.has_value(); }
+};
+
+/// Replays `schedule` through a sharded and a single-shard deployment and
+/// differentially checks every probe. Never throws CheckFailure — faults
+/// escaping the router surface as a divergence, so the shrinker can
+/// minimize crashes and wrong answers alike.
+ShardCheckReport run_shard_check(const SimSchedule& schedule,
+                                 const ShardCheckOptions& options);
+
+}  // namespace ct

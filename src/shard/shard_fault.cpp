@@ -1,0 +1,37 @@
+#include "shard/shard_fault.hpp"
+
+#include "util/prng.hpp"
+
+namespace ct {
+
+const char* to_string(ShardFault f) {
+  switch (f) {
+    case ShardFault::kNone: return "none";
+    case ShardFault::kSlow: return "slow";
+    case ShardFault::kStalled: return "stalled";
+    case ShardFault::kDead: return "dead";
+    case ShardFault::kCorruptCluster: return "corrupt-cluster";
+  }
+  return "?";
+}
+
+ShardFault draw_shard_fault(const ShardFaultPlan& plan, std::uint32_t tenant,
+                            std::uint32_t shard, std::uint64_t epoch) {
+  if (!plan.any()) return ShardFault::kNone;
+  // Mix the cell coordinates into one seed; splitmix64 inside Prng's
+  // reseed() decorrelates adjacent cells.
+  std::uint64_t cell = plan.seed;
+  cell = cell * 0x9e3779b97f4a7c15ULL + tenant;
+  cell = cell * 0x9e3779b97f4a7c15ULL + shard;
+  cell = cell * 0x9e3779b97f4a7c15ULL + epoch;
+  Prng prng(cell);
+  // Independent trials in enum order; first hit wins (at most one fault
+  // per shard per epoch keeps the taxonomy table readable).
+  if (prng.chance(plan.slow_rate)) return ShardFault::kSlow;
+  if (prng.chance(plan.stall_rate)) return ShardFault::kStalled;
+  if (prng.chance(plan.dead_rate)) return ShardFault::kDead;
+  if (prng.chance(plan.corrupt_rate)) return ShardFault::kCorruptCluster;
+  return ShardFault::kNone;
+}
+
+}  // namespace ct

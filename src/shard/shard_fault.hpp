@@ -1,0 +1,81 @@
+// Shard-level fault taxonomy of the multi-tenant router
+// (docs/FAULT_MODEL.md §8).
+//
+// The broker's fault model (§6) covers what goes wrong INSIDE one serving
+// instance: corrupted timestamp state, slow backends, exhausted budgets. A
+// sharded deployment adds a coarser failure grain — a whole shard replica
+// can die, stall, slow down, or carry corrupted cluster state — and the
+// router must absorb those without poisoning answers or letting one
+// tenant's sick shard starve another tenant.
+//
+// Faults are drawn deterministically per (tenant, shard, epoch) cell from a
+// seeded plan, mirroring the ingest-path FaultInjector and the storage
+// CrashSpec: the same plan + seed always yields the same fault pattern, so
+// every sharded run is replayable from its seed alone.
+#pragma once
+
+#include <cstdint>
+
+namespace ct {
+
+/// What is wrong with one shard replica for the duration of an epoch.
+enum class ShardFault : std::uint8_t {
+  kNone = 0,
+  /// Answers correctly but burns `slow_factor`× the ticks: the router sees
+  /// its per-shard budget effectively divided (a degraded replica — GC
+  /// pause, cold cache, overloaded host).
+  kSlow,
+  /// Accepts the query, consumes the entire per-shard budget, produces
+  /// nothing (a wedged replica that never errors out).
+  kStalled,
+  /// Refuses every query instantly at zero cost (process gone; the
+  /// connection-refused analogue).
+  kDead,
+  /// The replica's cluster-timestamp store is corrupted. The router applies
+  /// the §6 kill-switch protocol to that shard's broker — trip the cluster
+  /// backend — so the shard still serves EXACT answers through its fallback
+  /// chain; the router marks them degraded. Corruption never crosses the
+  /// shard boundary: sibling replicas own their own stores.
+  kCorruptCluster,
+};
+
+const char* to_string(ShardFault f);
+
+/// Seeded per-epoch fault plan. Rates are independent probabilities that a
+/// given shard draws that fault this epoch; at most one fault per shard
+/// (first match in enum order wins). All-zero = fault-free (the default).
+struct ShardFaultPlan {
+  std::uint64_t seed = 1;
+  double slow_rate = 0.0;
+  double stall_rate = 0.0;
+  double dead_rate = 0.0;
+  double corrupt_rate = 0.0;
+  /// Tick multiplier of a kSlow shard (its effective budget is the
+  /// per-shard budget divided by this).
+  std::uint64_t slow_factor = 8;
+
+  bool any() const {
+    return slow_rate > 0 || stall_rate > 0 || dead_rate > 0 ||
+           corrupt_rate > 0;
+  }
+};
+
+/// What the plan actually injected / what the router absorbed. Purely
+/// informational (TenantHealth carries the accounting invariant).
+struct ShardFaultStats {
+  std::uint64_t faults_drawn = 0;      ///< shards that drew any fault
+  std::uint64_t slow = 0;
+  std::uint64_t stalled = 0;
+  std::uint64_t dead = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t dead_attempts = 0;     ///< attempts refused by a dead shard
+  std::uint64_t stalled_attempts = 0;  ///< attempts that burned a full budget
+  std::uint64_t slowed_attempts = 0;   ///< attempts served under a slow shard
+};
+
+/// Deterministic draw for one (tenant, shard, epoch) cell. Pure function of
+/// its arguments — replaying the same epoch re-injects the same faults.
+ShardFault draw_shard_fault(const ShardFaultPlan& plan, std::uint32_t tenant,
+                            std::uint32_t shard, std::uint64_t epoch);
+
+}  // namespace ct

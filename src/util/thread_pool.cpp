@@ -23,11 +23,22 @@ void ThreadPool::shutdown() {
   {
     std::unique_lock lock(mu_);
     stop_ = true;
-    if (joined_) return;
-    joined_ = true;
+    if (join_started_) {
+      // Another thread won the race to join; waiting here keeps the
+      // post-condition ("no task is running when shutdown() returns")
+      // true for EVERY caller, not just the winner.
+      cv_joined_.wait(lock, [this] { return join_done_; });
+      return;
+    }
+    join_started_ = true;
   }
   cv_task_.notify_all();
   for (auto& w : workers_) w.join();
+  {
+    std::unique_lock lock(mu_);
+    join_done_ = true;
+  }
+  cv_joined_.notify_all();
 }
 
 bool ThreadPool::stopped() const {
@@ -43,6 +54,20 @@ void ThreadPool::submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   cv_task_.notify_one();
+}
+
+bool ThreadPool::try_submit(std::function<void()> task) {
+  CT_CHECK(task != nullptr);
+  {
+    std::unique_lock lock(mu_);
+    // stop_ flips under mu_, and the workers drain the queue before
+    // joining, so a task accepted here — even racing shutdown() — is
+    // guaranteed to run.
+    if (stop_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+  return true;
 }
 
 void ThreadPool::wait_idle() {

@@ -35,13 +35,24 @@ class ThreadPool {
   /// Submitting after shutdown() is a checked error.
   void submit(std::function<void()> task);
 
+  /// Like submit(), but races cleanly with shutdown(): returns true when the
+  /// task was accepted (it WILL run before shutdown() returns) and false
+  /// once shutdown has begun (the task will never run). Producers that live
+  /// on other threads than the pool's owner (the shard router's fan-out)
+  /// use this instead of checking stopped() first — that check would be
+  /// stale by the time submit() ran.
+  bool try_submit(std::function<void()> task);
+
   /// Blocks until every submitted task has finished executing.
   void wait_idle();
 
   /// Drains outstanding tasks, then joins the workers. Idempotent, safe to
   /// call from any non-worker thread; after it returns no task is running
-  /// and further submit() calls fail their check. Lets owners (the query
-  /// broker) sequence "stop serving, then tear down state the tasks read".
+  /// and further submit() calls fail their check (try_submit() returns
+  /// false). Concurrent callers block until the drain completes, so the
+  /// post-condition holds for every caller, not just the first. Lets owners
+  /// (the query broker) sequence "stop serving, then tear down state the
+  /// tasks read".
   void shutdown();
 
   /// True once shutdown() has begun; submissions are no longer accepted.
@@ -53,10 +64,12 @@ class ThreadPool {
   mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
+  std::condition_variable cv_joined_;
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
-  bool joined_ = false;
+  bool join_started_ = false;
+  bool join_done_ = false;
   std::vector<std::thread> workers_;
 };
 

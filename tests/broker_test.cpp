@@ -280,6 +280,61 @@ TEST(QueryBroker, AdmissionShedsOldestWhenConfigured) {
   EXPECT_EQ(h.in_flight, 0u);
 }
 
+TEST(QueryBroker, RejectOldestBoundaryIsExactAtCapacity) {
+  const Trace t = small_trace();
+  MonitoringEntity monitor(t.process_count(), broker_monitor_options(t));
+  feed(monitor, t);
+  ThreadPool pool(1);
+  BrokerOptions options;
+  options.max_queue = 2;
+  options.shed_policy = ShedPolicy::kRejectOldest;
+  QueryBroker broker(monitor, pool, options);
+
+  PoolGate gate(pool);
+  // Exactly AT capacity: both admitted, nothing shed, nothing resolved.
+  auto f1 = broker.submit_precedence(EventId{0, 1}, EventId{1, 1});
+  auto f2 = broker.submit_precedence(EventId{0, 1}, EventId{1, 2});
+  EXPECT_EQ(f1.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout);
+  EXPECT_EQ(f2.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout);
+  {
+    const BrokerHealth h = broker.health();
+    EXPECT_EQ(h.submitted, 2u);
+    EXPECT_EQ(h.shed, 0u);
+    EXPECT_EQ(h.in_flight, 2u);
+    EXPECT_EQ(h.max_queue_depth, 2u);
+  }
+
+  // Capacity + 1: exactly the head is bounced, synchronously; the queue
+  // depth never exceeds capacity.
+  auto f3 = broker.submit_precedence(EventId{0, 1}, EventId{1, 3});
+  ASSERT_EQ(f1.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(f1.get().outcome, QueryOutcome::kShed);
+  EXPECT_EQ(f2.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout);
+
+  // Capacity + 2: the bounce is FIFO — the next-oldest survivor goes.
+  auto f4 = broker.submit_precedence(EventId{0, 1}, EventId{1, 4});
+  ASSERT_EQ(f2.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(f2.get().outcome, QueryOutcome::kShed);
+
+  gate.open();
+  broker.drain();
+  EXPECT_EQ(f3.get().outcome, QueryOutcome::kAnswered);
+  EXPECT_EQ(f4.get().outcome, QueryOutcome::kAnswered);
+
+  const BrokerHealth h = broker.health();
+  EXPECT_TRUE(h.accounted());
+  EXPECT_EQ(h.submitted, 4u);
+  EXPECT_EQ(h.shed, 2u);
+  EXPECT_EQ(h.answered, 2u);
+  EXPECT_EQ(h.in_flight, 0u);
+  EXPECT_EQ(h.max_queue_depth, 2u);
+}
+
 TEST(QueryBroker, AnswerCacheServesRepeats) {
   const Trace t = small_trace();
   MonitoringEntity monitor(t.process_count(), broker_monitor_options(t));

@@ -1,0 +1,203 @@
+// Sharded-deployment answer-identity driver.
+//
+// Sweep mode (default): expands --schedules seeds into randomized schedules
+// (simcheck/generator.hpp) and replays each through three sharded-vs-
+// single-shard comparisons (shard/shard_check.hpp):
+//
+//   identity  — fault-free: answers must be bit-identical;
+//   faults    — seeded shard faults: every answer still exact, every
+//               non-exact path flagged degraded, the rest explicit unknown;
+//   isolation — the same faults confined to tenant 0: sibling tenants must
+//               answer exactly as a fault-free run (the bulkhead claim).
+//
+// On a divergence the schedule is delta-minimized (simcheck/shrink.hpp)
+// against the failing mode, saved as a standalone .ctsim replay under
+// --out-dir, and the repro command line is printed; exit code 1.
+//
+// Replay mode (--replay=file.ctsim): loads one replay and runs all three
+// comparisons against it.
+//
+//   shard_driver --seed=1 --schedules=300
+//   shard_driver --budget=30              # stop after ~30 wall seconds
+//   shard_driver --replay=shard-replays/foo.ctsim
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "shard/shard_check.hpp"
+#include "simcheck/generator.hpp"
+#include "simcheck/replay_io.hpp"
+#include "simcheck/schedule.hpp"
+#include "simcheck/shrink.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace ct;
+
+struct Mode {
+  const char* name;
+  ShardCheckOptions options;
+};
+
+std::vector<Mode> modes(std::uint64_t fault_seed, std::size_t shards,
+                        std::size_t tenants) {
+  ShardFaultPlan plan;
+  plan.seed = fault_seed;
+  plan.slow_rate = 0.15;
+  plan.stall_rate = 0.12;
+  plan.dead_rate = 0.12;
+  plan.corrupt_rate = 0.10;
+
+  Mode identity{"identity", {}};
+  identity.options.shards = shards;
+  identity.options.tenants = tenants;
+
+  Mode faults{"faults", {}};
+  faults.options.shards = shards;
+  faults.options.tenants = 1;
+  faults.options.faults = plan;
+
+  Mode isolation{"isolation", {}};
+  isolation.options.shards = shards;
+  isolation.options.tenants = tenants < 2 ? 2 : tenants;
+  isolation.options.faults = plan;
+  isolation.options.fault_first_tenant_only = true;
+
+  return {identity, faults, isolation};
+}
+
+void print_divergence(const SimSchedule& schedule, const char* mode,
+                      const ShardDivergence& d) {
+  std::printf(
+      "DIVERGENCE in %s (seed %llu, digest %016llx) mode %s at op %zu "
+      "tenant %u:\n  %s\n  pair e=P%u.%u f=P%u.%u\n",
+      schedule.name.c_str(), static_cast<unsigned long long>(schedule.seed),
+      static_cast<unsigned long long>(schedule.digest()), mode, d.op_index,
+      d.tenant, d.detail.c_str(), d.e.process, d.e.index, d.f.process,
+      d.f.index);
+}
+
+int replay_one(const std::string& path, std::size_t shards,
+               std::size_t tenants, bool verbose) {
+  const SimSchedule schedule = load_replay(path);
+  int rc = 0;
+  for (const Mode& mode : modes(schedule.seed, shards, tenants)) {
+    const ShardCheckReport report = run_shard_check(schedule, mode.options);
+    if (verbose || !report.ok()) {
+      std::printf("replay %s [%s]: %zu ops, %zu probes, %llu pairs, "
+                  "%llu degraded, %llu unknown\n",
+                  path.c_str(), mode.name, report.ops_run, report.probes,
+                  static_cast<unsigned long long>(report.pairs_checked),
+                  static_cast<unsigned long long>(report.degraded_answers),
+                  static_cast<unsigned long long>(report.unknown_answers));
+    }
+    if (!report.ok()) {
+      print_divergence(schedule, mode.name, *report.divergence);
+      rc = 1;
+    }
+  }
+  if (rc == 0) std::printf("replay %s: OK\n", path.c_str());
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    CliArgs args(argc, argv);
+    const bool verbose = args.get_bool_or("verbose", false);
+    const std::size_t shards =
+        static_cast<std::size_t>(args.get_int_or("shards", 3));
+    const std::size_t tenants =
+        static_cast<std::size_t>(args.get_int_or("tenants", 2));
+    if (const auto replay = args.get("replay")) {
+      return replay_one(*replay, shards, tenants, verbose);
+    }
+
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+    const std::size_t schedules =
+        static_cast<std::size_t>(args.get_int_or("schedules", 300));
+    const double budget = args.get_double_or("budget", 0.0);
+    const std::string out_dir = args.get_or("out-dir", "shard-replays");
+
+    const auto start = std::chrono::steady_clock::now();
+    auto elapsed = [&start] {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+          .count();
+    };
+
+    std::size_t ran = 0;
+    std::uint64_t total_pairs = 0, total_frontiers = 0, total_degraded = 0,
+                  total_unknown = 0, total_faults = 0;
+    for (std::size_t i = 0; i < schedules; ++i) {
+      if (budget > 0.0 && elapsed() > budget) break;
+      const std::uint64_t schedule_seed = seed + i;
+      const SimSchedule schedule = generate_schedule(schedule_seed);
+
+      for (const Mode& mode : modes(schedule_seed, shards, tenants)) {
+        const ShardCheckReport report =
+            run_shard_check(schedule, mode.options);
+        total_pairs += report.pairs_checked;
+        total_frontiers += report.frontiers_checked;
+        total_degraded += report.degraded_answers;
+        total_unknown += report.unknown_answers;
+        total_faults += report.faults_injected;
+        if (verbose) {
+          std::printf(
+              "schedule %llu (%s) [%s]: %zu probes, %llu pairs, "
+              "%llu degraded\n",
+              static_cast<unsigned long long>(schedule_seed),
+              schedule.name.c_str(), mode.name, report.probes,
+              static_cast<unsigned long long>(report.pairs_checked),
+              static_cast<unsigned long long>(report.degraded_answers));
+        }
+        if (report.ok()) continue;
+
+        print_divergence(schedule, mode.name, *report.divergence);
+        std::printf("shrinking...\n");
+        const ShardCheckOptions failing = mode.options;
+        const ShrinkResult shrunk = shrink_schedule(
+            schedule, [&failing](const SimSchedule& candidate) {
+              return !run_shard_check(candidate, failing).ok();
+            });
+        const ShardCheckReport confirm =
+            run_shard_check(shrunk.schedule, failing);
+        CT_CHECK_MSG(!confirm.ok(), "shrunk schedule no longer fails");
+        print_divergence(shrunk.schedule, mode.name, *confirm.divergence);
+        std::printf("shrunk to %zu ops (%zu emits) in %zu attempts\n",
+                    shrunk.schedule.ops.size(), shrunk.schedule.emit_count(),
+                    shrunk.attempts);
+
+        std::filesystem::create_directories(out_dir);
+        const std::string path =
+            out_dir + "/" + shrunk.schedule.name + ".ctsim";
+        save_replay(path, shrunk.schedule);
+        std::printf("replay saved: %s\nreproduce with: %s --replay=%s\n",
+                    path.c_str(), args.program().c_str(), path.c_str());
+        return 1;
+      }
+      ++ran;
+    }
+
+    std::printf(
+        "shard check OK: %zu schedules x 3 modes, %llu pairs, %llu "
+        "frontiers, %llu degraded, %llu unknown, %llu faults injected, "
+        "%.1fs\n",
+        ran, static_cast<unsigned long long>(total_pairs),
+        static_cast<unsigned long long>(total_frontiers),
+        static_cast<unsigned long long>(total_degraded),
+        static_cast<unsigned long long>(total_unknown),
+        static_cast<unsigned long long>(total_faults), elapsed());
+    return 0;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "shard_driver: %s\n", ex.what());
+    return 2;
+  }
+}

@@ -225,6 +225,60 @@ TEST(ThreadPool, ShutdownDrainsThenRejects) {
   EXPECT_THROW(pool.submit([] {}), CheckFailure);
 }
 
+TEST(ThreadPool, TrySubmitRacingShutdownRunsExactlyTheAccepted) {
+  // The try_submit contract under a live race: accepted => the task runs
+  // before shutdown() returns; rejected => it never runs. Producers hammer
+  // from foreign threads while the owner shuts the pool down mid-stream —
+  // the accepted and executed counts must agree exactly. Run under TSan in
+  // CI, this also validates the queue/worker synchronization.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(2);
+    std::atomic<int> accepted{0};
+    std::atomic<int> ran{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> producers;
+    for (int w = 0; w < 4; ++w) {
+      producers.emplace_back([&pool, &accepted, &ran, &go] {
+        while (!go.load()) {
+        }
+        for (int i = 0; i < 500; ++i) {
+          if (pool.try_submit([&ran] { ran.fetch_add(1); })) {
+            accepted.fetch_add(1);
+          }
+        }
+      });
+    }
+    go.store(true);
+    pool.shutdown();
+    // Post-shutdown: every accepted task has already executed...
+    EXPECT_EQ(ran.load(), accepted.load()) << "round " << round;
+    for (std::thread& p : producers) p.join();
+    // ...and late producers were all refused, never dropped silently.
+    EXPECT_EQ(ran.load(), accepted.load()) << "round " << round;
+    EXPECT_FALSE(pool.try_submit([&ran] { ran.fetch_add(1); }));
+  }
+}
+
+TEST(ThreadPool, ConcurrentShutdownCallersAllObserveTheDrain) {
+  // shutdown() from several threads at once: every caller must block until
+  // the drain completes, so each observes "no task running, none pending".
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  std::vector<std::thread> closers;
+  for (int w = 0; w < 4; ++w) {
+    closers.emplace_back([&pool, &ran] {
+      pool.shutdown();
+      EXPECT_EQ(ran.load(), 64);
+      EXPECT_TRUE(pool.stopped());
+    });
+  }
+  for (std::thread& c : closers) c.join();
+  EXPECT_EQ(ran.load(), 64);
+}
+
 TEST(SynchronizedLru, BasicPutGetEvict) {
   SynchronizedLruCache<int, std::string> cache(2);
   EXPECT_EQ(cache.capacity(), 2u);
