@@ -53,4 +53,59 @@ std::uint64_t CommMatrix::total(ProcessId p) const {
   return n;
 }
 
+DecayingCommMatrix::DecayingCommMatrix(std::size_t process_count, double decay,
+                                       std::size_t window)
+    : weights_(process_count, process_count, 0.0),
+      decay_(decay),
+      window_(window) {
+  CT_CHECK_MSG(decay > 0.0 && decay < 1.0,
+               "decay must lie in (0, 1), got " << decay);
+  CT_CHECK_MSG(window > 0, "window must be positive");
+}
+
+void DecayingCommMatrix::record(const Event& e) {
+  if (!e.is_receive_like()) return;
+  const ProcessId p = e.id.process;
+  const ProcessId q = e.partner.process;
+  CT_CHECK_MSG(p < process_count() && q < process_count(),
+               "event " << e.id << " outside the process universe");
+  if (q == p) return;
+  record_pair(p, q);
+}
+
+void DecayingCommMatrix::record_pair(ProcessId p, ProcessId q) {
+  CT_DCHECK(p != q);
+  weights_(p, q) += 1.0;
+  weights_(q, p) += 1.0;
+  ++recorded_;
+  if (++in_window_ >= window_) roll_window();
+}
+
+void DecayingCommMatrix::roll_window() {
+  in_window_ = 0;
+  ++windows_rolled_;
+  for (std::size_t r = 0; r < weights_.rows(); ++r) {
+    for (std::size_t c = 0; c < weights_.cols(); ++c) {
+      double w = weights_(r, c) * decay_;
+      weights_(r, c) = (w < kZeroFloor) ? 0.0 : w;
+    }
+  }
+}
+
+double DecayingCommMatrix::total(ProcessId p) const {
+  double n = 0.0;
+  for (ProcessId q = 0; q < weights_.cols(); ++q) n += weights_(p, q);
+  return n;
+}
+
+double DecayingCommMatrix::toward(ProcessId p,
+                                  const std::vector<ProcessId>& members) const {
+  double n = 0.0;
+  for (const ProcessId q : members) {
+    if (q == p) continue;
+    n += weights_(p, q);
+  }
+  return n;
+}
+
 }  // namespace ct

@@ -44,4 +44,54 @@ class CommMatrix {
   FlatMatrix<std::uint64_t> counts_;
 };
 
+/// Windowed exponentially-decayed communication matrix for phase-change
+/// detection. Weights are accumulated like CommMatrix (receive-like events,
+/// sync pairs count from both halves, self-messages excluded) but every
+/// `window` recorded occurrences the whole matrix is scaled by `decay`, so
+/// a pair that stops communicating fades geometrically instead of dominating
+/// forever. Weights below kZeroFloor snap to exactly zero so a dead pair
+/// reaches affinity 0.0, not an ever-smaller denormal.
+class DecayingCommMatrix {
+ public:
+  static constexpr double kZeroFloor = 1e-9;
+
+  DecayingCommMatrix(std::size_t process_count, double decay,
+                     std::size_t window);
+
+  /// Folds one event in; non-receive-like and self-message events are
+  /// ignored (they never create cluster receives).
+  void record(const Event& e);
+
+  /// Records one occurrence between two distinct processes directly.
+  void record_pair(ProcessId p, ProcessId q);
+
+  std::size_t process_count() const { return weights_.rows(); }
+
+  /// Decayed occurrence weight between p and q (symmetric).
+  double affinity(ProcessId p, ProcessId q) const { return weights_(p, q); }
+
+  /// Row sum: total decayed weight process p participates in.
+  double total(ProcessId p) const;
+
+  /// Total decayed weight between `p` and every process in `members`
+  /// (entries equal to p are skipped).
+  double toward(ProcessId p, const std::vector<ProcessId>& members) const;
+
+  /// Occurrences recorded since construction (pre-decay, monotone).
+  std::uint64_t recorded() const { return recorded_; }
+
+  /// Number of decay steps applied so far.
+  std::uint64_t windows_rolled() const { return windows_rolled_; }
+
+ private:
+  void roll_window();
+
+  FlatMatrix<double> weights_;
+  double decay_;
+  std::size_t window_;
+  std::size_t in_window_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t windows_rolled_ = 0;
+};
+
 }  // namespace ct

@@ -91,6 +91,33 @@ RecoveredMonitor recover_monitor(const StorageBackend& storage,
                                                 << report.replayed
                                                 << " != delivered "
                                                 << report.recovered_seq);
+
+  // ---- 4. re-apply the newest committed migration; discard the rest ----
+  // The snapshot already bakes every migration committed at or before its
+  // position (options.preset_partition); only a commit in the replayed tail
+  // can be newer. Intents without commits are the crash's rollbacks.
+  const WalMigration* newest = nullptr;
+  for (const WalMigration& m : scan.migrations) {
+    if (!m.committed) {
+      ++report.migrations_discarded;
+      continue;
+    }
+    if (m.epoch <= out.monitor->migration_epoch()) continue;
+    if (newest == nullptr || m.epoch > newest->epoch) newest = &m;
+  }
+  if (newest != nullptr) {
+    CT_CHECK_MSG(!newest->partition.empty(),
+                 "committed migration epoch "
+                     << newest->epoch
+                     << " survived without its intent partition");
+    CT_CHECK_MSG(newest->position <= report.recovered_seq,
+                 "committed migration at position "
+                     << newest->position << " beyond recovered prefix "
+                     << report.recovered_seq);
+    out.monitor->apply_migration(newest->partition, newest->epoch);
+    report.migrations_applied = 1;
+  }
+  report.migration_epoch = out.monitor->migration_epoch();
   return out;
 }
 

@@ -53,6 +53,16 @@ struct RecoveryReport {
   std::size_t segments_scanned = 0;
   bool truncated = false;              ///< WAL scan stopped early
   std::string truncate_detail;
+  /// Two-phase re-clustering (src/recluster/): 1 when a committed
+  /// migration newer than the snapshot's baked epoch was re-applied (only
+  /// the newest matters — engine state is a function of the last committed
+  /// partition plus the delivered prefix).
+  std::uint64_t migrations_applied = 0;
+  /// Intent frames without a surviving commit frame: migrations rolled
+  /// back by the crash, discarded exactly as the protocol promises.
+  std::uint64_t migrations_discarded = 0;
+  /// Epoch of the recovered clustering (0 = never migrated).
+  std::uint64_t migration_epoch = 0;
 };
 
 struct RecoveredMonitor {

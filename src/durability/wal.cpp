@@ -106,6 +106,25 @@ std::optional<std::uint64_t> parse_snapshot_name(const std::string& name,
   return parse_decimal(name, ns, "snap-", ".cts");
 }
 
+std::string encode_migration_intent(const WalMigration& m) {
+  std::string payload;
+  put_varint(payload, m.position);
+  put_varint(payload, m.epoch);
+  put_u64_le(payload, m.plan_digest);
+  put_varint(payload, m.moves.size());
+  for (const MigrationMove& mv : m.moves) {
+    put_varint(payload, mv.process);
+    put_varint(payload, mv.from);
+    put_varint(payload, mv.to);
+  }
+  put_varint(payload, m.partition.size());
+  for (const auto& members : m.partition) {
+    put_varint(payload, members.size());
+    for (const ProcessId p : members) put_varint(payload, p);
+  }
+  return payload;
+}
+
 std::string encode_record(const Event& e) {
   std::string payload;
   put_varint(payload, e.id.process);
@@ -272,6 +291,88 @@ WalScan scan_wal(const StorageBackend& storage, std::uint64_t from_seq,
                std::to_string(seq) + ")");
           return scan;
         }
+      } else if (type == kMigrationIntentFrame ||
+                 type == kMigrationCommitFrame) {
+        std::size_t p = 0;
+        auto take = [&payload, &p](std::uint64_t* out) {
+          const VarintDecode d = try_get_varint(payload, p);
+          if (!d.ok()) return false;
+          p += d.length;
+          *out = d.value;
+          return true;
+        };
+        auto take_u64 = [&payload, &p](std::uint64_t* out) {
+          if (p + 8 > payload.size()) return false;
+          std::uint64_t v = 0;
+          for (std::size_t i = 0; i < 8; ++i) {
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(payload[p + i]))
+                 << (i * 8);
+          }
+          p += 8;
+          *out = v;
+          return true;
+        };
+        WalMigration m;
+        bool ok = take(&m.position) && take(&m.epoch) && m.epoch > 0 &&
+                  take_u64(&m.plan_digest);
+        if (ok && type == kMigrationIntentFrame) {
+          std::uint64_t moves = 0;
+          ok = take(&moves) && moves <= (1u << 20);
+          for (std::uint64_t i = 0; ok && i < moves; ++i) {
+            std::uint64_t proc = 0, from = 0, to = 0;
+            ok = take(&proc) && take(&from) && take(&to) &&
+                 proc <= 0xffffffffull && from <= 0xffffffffull &&
+                 to <= 0xffffffffull;
+            if (ok) {
+              m.moves.push_back(
+                  MigrationMove{static_cast<ProcessId>(proc),
+                                static_cast<ClusterId>(from),
+                                static_cast<ClusterId>(to)});
+            }
+          }
+          std::uint64_t clusters = 0;
+          ok = ok && take(&clusters) && clusters >= 1 &&
+               clusters <= (1u << 20);
+          for (std::uint64_t c = 0; ok && c < clusters; ++c) {
+            std::uint64_t size = 0;
+            ok = take(&size) && size >= 1 && size <= (1u << 20);
+            std::vector<ProcessId> members;
+            for (std::uint64_t i = 0; ok && i < size; ++i) {
+              std::uint64_t proc = 0;
+              ok = take(&proc) && proc <= 0xffffffffull;
+              if (ok) members.push_back(static_cast<ProcessId>(proc));
+            }
+            if (ok) m.partition.push_back(std::move(members));
+          }
+        }
+        ok = ok && p == payload.size();
+        if (!ok) {
+          stop(name + ": bad migration payload at offset " +
+               std::to_string(frame_at));
+          return scan;
+        }
+        if (type == kMigrationIntentFrame) {
+          scan.migrations.push_back(std::move(m));
+        } else {
+          // Commit: mark the matching intent; an orphan commit (intent in a
+          // pruned segment) is recorded partition-less — recovery's epoch
+          // filter proves it already baked into every usable snapshot.
+          bool matched = false;
+          for (auto it = scan.migrations.rbegin();
+               it != scan.migrations.rend(); ++it) {
+            if (it->position == m.position && it->epoch == m.epoch &&
+                it->plan_digest == m.plan_digest) {
+              it->committed = true;
+              matched = true;
+              break;
+            }
+          }
+          if (!matched) {
+            m.committed = true;
+            scan.migrations.push_back(std::move(m));
+          }
+        }
       } else {
         stop(name + ": unknown frame type " + std::to_string(int{type}) +
              " at offset " + std::to_string(frame_at));
@@ -382,6 +483,51 @@ void DurableLog::sync() {
   ++stats_.syncs;
   synced_seq_ = next_seq_;
   unsynced_records_ = 0;
+}
+
+std::uint64_t DurableLog::append_migration_intent(WalMigration& m) {
+  if (segment_size_ >= options_.segment_bytes) {
+    sync();
+    ++segment_seq_;
+    open_segment(next_seq_);
+    ++stats_.rotations;
+  }
+  m.position = next_seq_;
+  std::string frame;
+  wal::put_frame(frame, wal::kMigrationIntentFrame,
+                 wal::encode_migration_intent(m));
+  storage_.append(segment_name_, frame);
+  segment_size_ += frame.size();
+  stats_.bytes_appended += frame.size();
+  // The intent (and every record the plan covers) must survive a crash
+  // during verify. sync() seals the record prefix with a commit frame and
+  // reaches disk; when nothing is unsynced it would no-op, so sync the
+  // appended intent frame directly.
+  if (synced_seq_ == next_seq_ && unsynced_records_ == 0) {
+    storage_.sync(segment_name_);
+    ++stats_.syncs;
+  } else {
+    sync();
+  }
+  return m.position;
+}
+
+void DurableLog::append_migration_commit(std::uint64_t position,
+                                         std::uint64_t epoch,
+                                         std::uint64_t plan_digest) {
+  CT_CHECK_MSG(position <= next_seq_,
+               "migration commit at future position " << position);
+  std::string payload;
+  put_varint(payload, position);
+  put_varint(payload, epoch);
+  wal::put_u64_le(payload, plan_digest);
+  std::string frame;
+  wal::put_frame(frame, wal::kMigrationCommitFrame, payload);
+  storage_.append(segment_name_, frame);
+  segment_size_ += frame.size();
+  stats_.bytes_appended += frame.size();
+  storage_.sync(segment_name_);
+  ++stats_.syncs;
 }
 
 void DurableLog::checkpoint(const MonitoringEntity& monitor) {

@@ -16,6 +16,19 @@
 //   commit payload (type 2, written at every sync point):
 //     varint next_record_seq | u64le FNV-1a of this segment's record
 //     payloads so far
+//   migration-intent payload (type 3, prepare phase of src/recluster/):
+//     varint position | varint epoch | u64le plan digest
+//     | varint move_count | (varint process | varint from | varint to)*
+//     | varint cluster_count | (varint size | varint member*)*
+//   migration-commit payload (type 4, the migration's atomic commit point):
+//     varint position | varint epoch | u64le plan digest
+//
+// The two-phase migration protocol writes an intent frame (synced) before
+// dual-read verification and a commit frame (synced) at the moment of the
+// in-memory swap. Recovery applies the newest migration whose COMMIT frame
+// survived and discards intents without commits — so a crash anywhere in
+// plan/prepare/commit yields exactly the pre- or post-migration clustering,
+// never a hybrid.
 //
 // Record sequence numbers are implicit (first_record_seq + position), so a
 // segment is self-describing and segments chain by construction: recovery
@@ -42,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster_set.hpp"
 #include "durability/storage.hpp"
 #include "model/event.hpp"
 
@@ -85,6 +99,26 @@ struct WalStats {
   std::uint64_t bytes_appended = 0;
 };
 
+/// One process move of a migration plan (for the WAL frame and health
+/// accounting; the full plan lives in src/recluster/).
+struct MigrationMove {
+  ProcessId process = 0;
+  ClusterId from = 0;
+  ClusterId to = 0;
+};
+
+/// A migration as the WAL records it: the intent frame's full payload plus
+/// whether a matching commit frame survived. `partition` is the complete
+/// target clustering — recovery needs no other state to re-apply it.
+struct WalMigration {
+  std::uint64_t position = 0;  ///< record seq the plan covers
+  std::uint64_t epoch = 0;     ///< monotone migration epoch
+  std::uint64_t plan_digest = 0;
+  std::vector<MigrationMove> moves;
+  std::vector<std::vector<ProcessId>> partition;
+  bool committed = false;
+};
+
 /// The write-ahead log. Install on the ingest path with
 /// `monitor.set_delivery_tap([&](const Event& e) { log.append(e); })`.
 class DurableLog {
@@ -107,6 +141,18 @@ class DurableLog {
   /// Snapshots `monitor` (which must be the monitor this log records for),
   /// makes it durable, prunes covered segments and stale snapshots.
   void checkpoint(const MonitoringEntity& monitor);
+
+  /// Appends a migration-intent frame for the prepare phase and makes it
+  /// durable immediately (the intent must survive any crash during verify).
+  /// `m.position` is overwritten with the current record sequence — the
+  /// delivered prefix the plan was computed over. Returns that position.
+  std::uint64_t append_migration_intent(WalMigration& m);
+
+  /// Appends a migration-commit frame and makes it durable: the atomic
+  /// commit point of the two-phase protocol. Call at the instant of (just
+  /// before) the in-memory engine swap.
+  void append_migration_commit(std::uint64_t position, std::uint64_t epoch,
+                               std::uint64_t plan_digest);
 
   std::uint64_t next_record_seq() const { return next_seq_; }
   /// Records guaranteed durable (everything below the last sync point).
@@ -137,6 +183,8 @@ namespace wal {
 inline constexpr char kSegmentMagic[] = "CTW1";
 inline constexpr std::uint8_t kRecordFrame = 1;
 inline constexpr std::uint8_t kCommitFrame = 2;
+inline constexpr std::uint8_t kMigrationIntentFrame = 3;
+inline constexpr std::uint8_t kMigrationCommitFrame = 4;
 inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
 inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
 
@@ -165,6 +213,8 @@ bool valid_namespace(const std::string& ns);
 
 /// Serializes one record payload (no frame).
 std::string encode_record(const Event& e);
+/// Serializes one migration-intent payload (no frame).
+std::string encode_migration_intent(const WalMigration& m);
 /// Appends one framed record/commit to `out`.
 void put_frame(std::string& out, std::uint8_t type, const std::string& payload);
 
@@ -176,6 +226,11 @@ struct WalRecord {
 struct WalScan {
   /// Valid records with seq >= from_seq, in order.
   std::vector<WalRecord> records;
+  /// Every migration intent whose frame survived, in append order, with
+  /// `committed` set when its commit frame survived too. An orphan commit
+  /// (its intent pruned with a covered segment) is appended with an empty
+  /// partition — always superseded by a snapshot's baked epoch.
+  std::vector<WalMigration> migrations;
   std::uint64_t next_seq = 0;  ///< one past the last valid record
   std::size_t segments_scanned = 0;
   bool truncated = false;      ///< stopped before the physical end

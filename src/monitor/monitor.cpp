@@ -33,15 +33,56 @@ MonitoringEntity::MonitoringEntity(std::size_t process_count,
       fm_ = std::make_unique<FmEngine>(process_count);
       fm_clocks_.resize(process_count);
       break;
-    case TimestampBackend::kClusterDynamic: {
-      auto policy = options_.nth_threshold < 0.0
-                        ? make_merge_on_first()
-                        : make_merge_on_nth(options_.nth_threshold);
-      cluster_ = std::make_unique<ClusterTimestampEngine>(
-          process_count, options_.cluster, std::move(policy));
+    case TimestampBackend::kClusterDynamic:
+      cluster_ = make_cluster_engine(options_.preset_partition);
       break;
-    }
   }
+  CT_CHECK_MSG(options_.preset_partition.empty() ||
+                   options_.backend == TimestampBackend::kClusterDynamic,
+               "preset_partition requires the cluster backend");
+}
+
+std::unique_ptr<ClusterTimestampEngine> MonitoringEntity::make_cluster_engine(
+    const std::vector<std::vector<ProcessId>>& partition) const {
+  auto policy = options_.nth_threshold < 0.0
+                    ? make_merge_on_first()
+                    : make_merge_on_nth(options_.nth_threshold);
+  if (partition.empty()) {
+    return std::make_unique<ClusterTimestampEngine>(
+        process_count_, options_.cluster, std::move(policy));
+  }
+  return std::make_unique<ClusterTimestampEngine>(
+      process_count_, options_.cluster, partition, std::move(policy));
+}
+
+void MonitoringEntity::apply_migration(
+    const std::vector<std::vector<ProcessId>>& partition, std::uint64_t epoch) {
+  CT_CHECK_MSG(cluster_, "migration requires the cluster backend");
+  CT_CHECK_MSG(epoch > options_.migration_epoch,
+               "migration epoch " << epoch << " not newer than "
+                                  << options_.migration_epoch);
+  options_.preset_partition = partition;
+  auto rebuilt = make_cluster_engine(partition);
+  for (const EventId id : delivery_log_) rebuilt->observe(stored_event(id));
+  options_.migration_epoch = epoch;
+  cluster_ = std::move(rebuilt);
+}
+
+void MonitoringEntity::adopt_engine(
+    std::unique_ptr<ClusterTimestampEngine> shadow,
+    std::vector<std::vector<ProcessId>> partition, std::uint64_t epoch) {
+  CT_CHECK_MSG(cluster_, "migration requires the cluster backend");
+  CT_CHECK_MSG(epoch > options_.migration_epoch,
+               "migration epoch " << epoch << " not newer than "
+                                  << options_.migration_epoch);
+  CT_CHECK_MSG(shadow != nullptr, "adopt_engine needs a shadow engine");
+  CT_CHECK_MSG(shadow->stats().events == delivery_log_.size(),
+               "shadow engine observed " << shadow->stats().events
+                                         << " events, monitor delivered "
+                                         << delivery_log_.size());
+  options_.preset_partition = std::move(partition);
+  options_.migration_epoch = epoch;
+  cluster_ = std::move(shadow);
 }
 
 IngestResult MonitoringEntity::ingest(const Event& e) {

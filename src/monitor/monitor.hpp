@@ -58,6 +58,14 @@ struct MonitorOptions {
   double nth_threshold = 10.0;
   /// Buffering limits of the ingest path (defaults: unbounded, no timeout).
   DeliveryPolicy delivery;
+  /// Committed re-clustering baseline (cluster backend only). When
+  /// non-empty the engine starts in hybrid mode (§5 variant 1) from this
+  /// partition and keeps self-organizing through the merge policy;
+  /// `migration_epoch` is the epoch of the two-phase commit that produced
+  /// it (src/recluster/). Snapshots persist both so restore and WAL
+  /// recovery rebuild the same clustering the live monitor served.
+  std::vector<std::vector<ProcessId>> preset_partition;
+  std::uint64_t migration_epoch = 0;
 };
 
 class MonitoringEntity {
@@ -166,6 +174,35 @@ class MonitoringEntity {
   void inject_timestamp_corruption(EventId e, std::size_t slot,
                                    EventIndex value);
 
+  // --- two-phase re-clustering hooks (src/recluster/; cluster backend) ---
+
+  /// Epoch of the newest committed migration baked into the engine
+  /// (0 = the monitor has never migrated).
+  std::uint64_t migration_epoch() const { return options_.migration_epoch; }
+
+  /// Partition of the newest committed migration (empty before the first).
+  const std::vector<std::vector<ProcessId>>& preset_partition() const {
+    return options_.preset_partition;
+  }
+
+  /// Applies a committed migration: rebuilds the cluster backend in hybrid
+  /// mode from `partition` by replaying the delivery log. Because cluster
+  /// engines are deterministic functions of (partition, delivered prefix),
+  /// the resulting state is identical to a monitor constructed with this
+  /// partition that observed the same log — which is exactly what snapshot
+  /// restore and WAL recovery reconstruct. `epoch` must exceed
+  /// migration_epoch(); cluster backend only.
+  void apply_migration(const std::vector<std::vector<ProcessId>>& partition,
+                       std::uint64_t epoch);
+
+  /// Commit step of the two-phase protocol: swaps in an already-built,
+  /// dual-read-verified shadow engine for `partition`. The shadow must have
+  /// observed exactly this monitor's delivery log (checked via its event
+  /// count). Equivalent to apply_migration without the rebuild cost.
+  void adopt_engine(std::unique_ptr<ClusterTimestampEngine> shadow,
+                    std::vector<std::vector<ProcessId>> partition,
+                    std::uint64_t epoch);
+
   /// Reconstructs the delivered prefix as an immutable Trace (the broker's
   /// fallback backends — differential, on-demand FM — are built over it).
   /// Valid because delivered events always form a causally closed prefix
@@ -189,6 +226,11 @@ class MonitoringEntity {
 
   void deliver(const Event& e);
   const Event& stored_event(EventId id) const;
+  /// Builds a cluster engine for the configured policy, in hybrid mode when
+  /// `partition` is non-empty (the migration/restore path) and dynamic
+  /// otherwise.
+  std::unique_ptr<ClusterTimestampEngine> make_cluster_engine(
+      const std::vector<std::vector<ProcessId>>& partition) const;
   /// Snapshot restore: re-applies one delivered event to the store and
   /// backends, bypassing the delivery manager.
   void replay_delivered(const Event& e);

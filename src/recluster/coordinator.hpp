@@ -1,0 +1,137 @@
+// Crash-safe online re-clustering: the two-phase migration coordinator
+// (docs/FAULT_MODEL.md §9).
+//
+// A migration cycle is an epoch'd two-phase operation over one monitor:
+//
+//   plan     — the decayed communication matrix (fed lazily from the
+//              monitor's delivery log) proposes a bounded batch of moves and
+//              split-offs with hysteresis (migration_plan.hpp). No plan →
+//              the cycle is a no-op.
+//   prepare  — a WAL migration-intent frame (position, epoch, plan digest,
+//              moves, full target partition) is appended and synced; a
+//              SHADOW engine is built in hybrid mode from the target
+//              partition by replaying the delivery log; dual-read verify
+//              answers sampled precedence pairs and causal frontiers
+//              against BOTH the live engine and the shadow under a
+//              work-tick deadline — any disagreement, deadline overrun, or
+//              injected fault aborts the cycle.
+//   commit   — a WAL migration-commit frame is appended and synced (the
+//              atomic commit point), then the shadow is swapped into the
+//              monitor in the same call. A crash before the commit frame
+//              recovers the OLD clustering; at or after it, the NEW one —
+//              never a hybrid.
+//   rollback — abort = drop the shadow. The live engine was never touched,
+//              so the old clustering is restored by construction; the
+//              synced intent without a commit is discarded by recovery and
+//              counted in RecoveryReport::migrations_discarded.
+//
+// Because dual-read verification proved answer identity before the swap —
+// and cluster timestamps answer precedence exactly regardless of the
+// partition — a migration NEVER changes a query answer; it only changes
+// how much storage and work future answers cost.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "durability/wal.hpp"
+#include "recluster/migration_plan.hpp"
+#include "util/prng.hpp"
+
+namespace ct {
+
+/// Injected migration faults (the seeded taxonomy's §9 entries). Storage-
+/// level faults — crash mid-prepare/mid-commit, torn MigrationRecord — are
+/// injected by the crash sweep below the coordinator, not through this
+/// enum.
+enum class MigrationFault : std::uint8_t {
+  kNone = 0,
+  kCorruptShadow = 1,   ///< flip one timestamp component of the shadow
+  kStalledVerify = 2,   ///< verify burns its whole tick deadline
+};
+
+enum class MigrationOutcome : std::uint8_t {
+  kNoPlan = 0,      ///< nothing cleared the planner's bars
+  kCommitted = 1,
+  kRolledBack = 2,
+};
+
+struct MigrationStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t planned = 0;          ///< cycles with a non-empty plan
+  std::uint64_t committed = 0;
+  std::uint64_t rolled_back = 0;      ///< loud degradation, never silent
+  std::uint64_t rollback_divergence = 0;
+  std::uint64_t rollback_deadline = 0;
+  std::uint64_t rollback_fault = 0;
+  /// Faults actually planted (a corrupt-shadow request on a trace with no
+  /// corruptible event is a no-op and does not count).
+  std::uint64_t faults_injected = 0;
+  std::uint64_t moves_applied = 0;
+  std::uint64_t splits_applied = 0;
+  std::uint64_t verify_checks = 0;    ///< dual-read comparisons performed
+  std::uint64_t verify_ticks = 0;     ///< work ticks spent verifying
+};
+
+struct MigrationConfig {
+  MigrationPlannerConfig planner;
+  /// Sampled precedence pairs per dual-read verify.
+  std::size_t verify_pairs = 64;
+  /// Sampled events whose full causal frontiers are dual-read.
+  std::size_t verify_frontiers = 4;
+  /// Work-tick budget for the whole verify phase (0 = unlimited).
+  std::uint64_t verify_deadline_ticks = 2'000'000;
+  std::uint64_t seed = 1;
+};
+
+/// Turns one monitor's re-clustering into crash-safe epoch'd migrations.
+/// Not thread-safe; run cycles from the thread that owns the monitor, at a
+/// quiescent point (no concurrent queries mid-swap).
+class MigrationCoordinator {
+ public:
+  MigrationCoordinator(MonitoringEntity& monitor, MigrationConfig config);
+
+  /// Attaches the monitor's write-ahead log; intent/commit frames then make
+  /// every migration crash-recoverable. Without a WAL the protocol still
+  /// runs (verify + atomic swap) but a crash simply forgets uncommitted
+  /// epochs — equivalent to rollback.
+  void attach_wal(DurableLog* log) { log_ = log; }
+
+  /// Runs one full plan→prepare→commit/rollback cycle.
+  MigrationOutcome run_cycle(MigrationFault fault = MigrationFault::kNone);
+
+  const MigrationStats& stats() const { return stats_; }
+  const DecayingCommMatrix& matrix() const { return matrix_; }
+  /// Epoch the next committed cycle would publish.
+  std::uint64_t next_epoch() const { return monitor_.migration_epoch() + 1; }
+
+ private:
+  /// Catches the decay matrix up with the monitor's delivery log.
+  void feed_matrix();
+  /// Plants the corrupt-shadow fault; returns the corrupted event, if any.
+  std::optional<EventId> corrupt_shadow(ClusterTimestampEngine& shadow);
+  /// Dual-read verify; `focus` gets the densest sampling (the corrupted
+  /// event). Returns false on divergence or deadline.
+  bool verify(const ClusterTimestampEngine& shadow, MigrationFault fault,
+              std::optional<EventId> focus, bool* deadline);
+
+  MonitoringEntity& monitor_;
+  MigrationConfig config_;
+  DecayingCommMatrix matrix_;
+  std::vector<std::uint64_t> last_moved_epoch_;
+  std::size_t fed_ = 0;  ///< delivery-log cursor already folded in
+  DurableLog* log_ = nullptr;
+  MigrationStats stats_;
+  Prng prng_;
+};
+
+/// Builds the shadow engine for `partition` by replaying `monitor`'s
+/// delivery log in hybrid mode (shared with the shard router's epoch
+/// integration).
+std::unique_ptr<ClusterTimestampEngine> build_shadow_engine(
+    const MonitoringEntity& monitor,
+    const std::vector<std::vector<ProcessId>>& partition);
+
+}  // namespace ct

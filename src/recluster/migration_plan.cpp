@@ -1,0 +1,146 @@
+#include "recluster/migration_plan.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace ct {
+namespace {
+
+void fnv_mix(std::uint64_t& h, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (i * 8)) & 0xff;
+    h *= wal::kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t MigrationPlan::digest() const {
+  std::uint64_t h = wal::kFnvOffset;
+  fnv_mix(h, moves.size());
+  for (const MigrationMove& m : moves) {
+    fnv_mix(h, m.process);
+    fnv_mix(h, m.from);
+    fnv_mix(h, m.to);
+  }
+  fnv_mix(h, partition.size());
+  for (const auto& members : partition) {
+    fnv_mix(h, members.size());
+    for (const ProcessId p : members) fnv_mix(h, p);
+  }
+  return h;
+}
+
+MigrationPlan build_migration_plan(
+    const MonitoringEntity& monitor, const DecayingCommMatrix& matrix,
+    const MigrationPlannerConfig& config,
+    std::span<const std::uint64_t> last_moved_epoch, std::uint64_t epoch) {
+  const std::size_t n = monitor.process_count();
+  CT_CHECK_MSG(matrix.process_count() == n,
+               "matrix covers " << matrix.process_count() << " processes, "
+                                << "monitor has " << n);
+  CT_CHECK_MSG(last_moved_epoch.size() == n,
+               "cooldown table size mismatch");
+  CT_CHECK_MSG(epoch > 0, "migration epochs start at 1");
+
+  // Current clustering, in ascending-ClusterId order for determinism.
+  std::vector<ClusterId> ids = monitor.cluster_ids();
+  CT_CHECK_MSG(!ids.empty(), "planning requires the cluster backend");
+  std::sort(ids.begin(), ids.end());
+  std::unordered_map<ClusterId, std::size_t> group_of_cluster;
+  for (std::size_t g = 0; g < ids.size(); ++g) group_of_cluster[ids[g]] = g;
+  std::vector<std::vector<ProcessId>> groups(ids.size());
+  std::vector<std::size_t> home_group(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    const auto c = monitor.cluster_of(p);
+    CT_CHECK_MSG(c.has_value(), "process " << p << " has no cluster");
+    const std::size_t g = group_of_cluster.at(*c);
+    home_group[p] = g;
+    groups[g].push_back(p);
+  }
+
+  // Score every process against every foreign cluster (affinities are
+  // against the pre-move membership — the batch is bounded, so the
+  // approximation self-corrects next epoch).
+  struct Candidate {
+    double gain = 0.0;
+    ProcessId process = 0;
+    std::size_t to_group = 0;  // == groups.size() → split off
+    bool split = false;
+  };
+  std::vector<Candidate> candidates;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (last_moved_epoch[p] != 0 &&
+        epoch <= last_moved_epoch[p] + config.cooldown_epochs) {
+      continue;
+    }
+    const double total = matrix.total(p);
+    if (total < config.min_weight) continue;
+    const std::size_t home = home_group[p];
+    const double home_aff = matrix.toward(p, groups[home]);
+    std::size_t best_g = home;
+    double best_aff = 0.0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (g == home) continue;
+      const double aff = matrix.toward(p, groups[g]);
+      if (aff > best_aff) {
+        best_aff = aff;
+        best_g = g;
+      }
+    }
+    if (best_g != home && best_aff > 0.0 &&
+        best_aff > (1.0 + config.hysteresis) * home_aff) {
+      candidates.push_back(
+          Candidate{best_aff - home_aff, p, best_g, false});
+    } else if (groups[home].size() > 1 &&
+               home_aff < config.split_low_share * total) {
+      // Cold at home and nowhere better: split off; the merge policy will
+      // re-home it wherever communication actually flows.
+      candidates.push_back(Candidate{config.split_low_share * total -
+                                         home_aff,
+                                     p, groups.size(), true});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.gain != b.gain) return a.gain > b.gain;
+              return a.process < b.process;
+            });
+
+  // Apply greedily under the size cap, bounded by max_moves.
+  const std::size_t max_cs = monitor.options().cluster.max_cluster_size;
+  MigrationPlan plan;
+  std::vector<std::vector<ProcessId>> next = groups;
+  ClusterId fresh_id = ids.empty() ? 0 : ids.back();
+  for (const Candidate& cand : candidates) {
+    if (plan.moves.size() >= config.max_moves) break;
+    const std::size_t home = home_group[cand.process];
+    auto& from = next[home];
+    if (!cand.split && next[cand.to_group].size() + 1 > max_cs) continue;
+    const auto it = std::find(from.begin(), from.end(), cand.process);
+    CT_DCHECK(it != from.end());
+    from.erase(it);
+    ClusterId to_id;
+    if (cand.split) {
+      next.push_back({cand.process});
+      to_id = ++fresh_id;  // fresh id for accounting; engine renumbers
+      ++plan.splits;
+    } else {
+      next[cand.to_group].push_back(cand.process);
+      to_id = ids[cand.to_group];
+    }
+    plan.moves.push_back(MigrationMove{cand.process, ids[home], to_id});
+  }
+  if (plan.moves.empty()) return plan;
+
+  for (auto& members : next) {
+    if (members.empty()) continue;  // drained home clusters vanish
+    std::sort(members.begin(), members.end());
+    plan.partition.push_back(std::move(members));
+  }
+  return plan;
+}
+
+}  // namespace ct

@@ -1,0 +1,68 @@
+// Plan phase of the two-phase re-clustering protocol (docs/FAULT_MODEL.md
+// §9): propose a bounded batch of process moves — and singleton split-offs —
+// from the decayed communication matrix, with hysteresis so the clustering
+// does not thrash between two regimes of comparable weight.
+//
+// A plan is a *complete* target partition plus the move list that produced
+// it. The partition is what gets WAL-logged and applied: engine state is a
+// deterministic function of (partition, delivered prefix), so recovery needs
+// nothing else to reconstruct a committed migration. Cluster growth beyond
+// the plan (merges) continues through the hybrid engine's merge policy; the
+// planner only ever relocates processes, splits cold ones off, and lets the
+// engine re-merge what communication justifies.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/comm_matrix.hpp"
+#include "durability/wal.hpp"
+#include "monitor/monitor.hpp"
+
+namespace ct {
+
+struct MigrationPlannerConfig {
+  /// DecayingCommMatrix parameters: weight scale per `decay_window`
+  /// occurrences.
+  double decay = 0.8;
+  std::size_t decay_window = 256;
+  /// A move needs best-cluster affinity > (1 + hysteresis) × home affinity.
+  double hysteresis = 0.25;
+  /// Split-off: a process whose home cluster carries less than this share
+  /// of its total weight leaves for a fresh singleton cluster (the engine's
+  /// merge policy re-merges it wherever communication warrants).
+  double split_low_share = 0.05;
+  /// Moves per plan — bounds the blast radius of one migration epoch.
+  std::size_t max_moves = 8;
+  /// Epochs a moved process sits out before it may move again.
+  std::uint64_t cooldown_epochs = 2;
+  /// Processes with less total decayed weight than this never move.
+  double min_weight = 2.0;
+};
+
+/// A proposed migration: the move list and the full target partition.
+struct MigrationPlan {
+  std::vector<MigrationMove> moves;
+  std::size_t splits = 0;  ///< moves that created a fresh singleton
+  std::vector<std::vector<ProcessId>> partition;
+
+  bool empty() const { return moves.empty(); }
+  /// Order-sensitive FNV-1a digest of moves + partition; the WAL intent and
+  /// commit frames both carry it so recovery can pair them.
+  std::uint64_t digest() const;
+};
+
+/// Builds a plan against `monitor`'s current clustering. `last_moved_epoch`
+/// (one slot per process, 0 = never moved) enforces the cooldown against
+/// `epoch` — the epoch this plan would commit as. Returns an empty plan when
+/// nothing clears the hysteresis/cooldown/min-weight bars; cluster backend
+/// only.
+MigrationPlan build_migration_plan(const MonitoringEntity& monitor,
+                                   const DecayingCommMatrix& matrix,
+                                   const MigrationPlannerConfig& config,
+                                   std::span<const std::uint64_t>
+                                       last_moved_epoch,
+                                   std::uint64_t epoch);
+
+}  // namespace ct

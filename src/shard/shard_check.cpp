@@ -119,6 +119,31 @@ ShardCheckReport run_shard_check(const SimSchedule& schedule,
       case SimOp::Kind::kCorruptRepair:
         // Single-monitor lifecycle ops; the simcheck oracle owns them.
         break;
+      case SimOp::Kind::kMigrate: {
+        // Migrations ride the epoch boundary and must never change an
+        // answer: every sharded tenant re-clusters here while the
+        // single-shard reference never does — the next probe still demands
+        // bit-identical answers from both deployments.
+        MigrationConfig mc;
+        mc.planner.hysteresis = 0.1;
+        mc.planner.max_moves = 4;
+        mc.planner.min_weight = 1.0;
+        mc.planner.decay_window = 64;
+        mc.planner.cooldown_epochs = 0;
+        mc.verify_pairs = 1 + op.a % 16;
+        mc.verify_deadline_ticks = 0;
+        mc.seed = op.d | 1;
+        const auto fault = static_cast<MigrationFault>(op.b % 3);
+        for (TenantId t = 0; t < options.tenants; ++t) {
+          const auto r = sharded.migrate_tenant(t, mc, fault);
+          if (r.outcome == MigrationOutcome::kCommitted) {
+            ++report.migrations_committed;
+          } else if (r.outcome == MigrationOutcome::kRolledBack) {
+            ++report.migrations_rolled_back;
+          }
+        }
+        break;
+      }
       case SimOp::Kind::kProbe: {
         const auto order = single.shard_monitor(0, 0).delivery_log();
         if (order.empty()) break;

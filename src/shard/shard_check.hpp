@@ -67,6 +67,8 @@ struct ShardCheckReport {
   std::uint64_t faults_injected = 0;
   std::uint64_t degraded_answers = 0;  ///< flagged-degraded, verified exact
   std::uint64_t unknown_answers = 0;
+  std::uint64_t migrations_committed = 0;    ///< sharded-deployment commits
+  std::uint64_t migrations_rolled_back = 0;  ///< loud rollbacks (faults)
   std::optional<ShardDivergence> divergence;  ///< first divergence, if any
 
   bool ok() const { return !divergence.has_value(); }

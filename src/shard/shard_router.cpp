@@ -131,6 +131,72 @@ void ShardRouter::checkpoint_tenant(TenantId t) {
 
 DurableLog* ShardRouter::wal(TenantId t) { return tenant(t).wal.get(); }
 
+// --- online re-clustering --------------------------------------------------
+
+ShardRouter::TenantMigrationResult ShardRouter::migrate_tenant(
+    TenantId t, const MigrationConfig& config, MigrationFault fault) {
+  CT_CHECK_MSG(!serving_, "migrate_tenant during a serving epoch");
+  Tenant& ten = tenant(t);
+  CT_CHECK_MSG(!ten.shards[0].retired, "durability leader (shard 0) is gone");
+  MonitoringEntity& leader = *ten.shards[0].monitor;
+  if (!ten.migrator) {
+    ten.migrator = std::make_unique<MigrationCoordinator>(leader, config);
+    ten.migrator->attach_wal(ten.wal.get());
+  }
+
+  // Digest the leader BEFORE it adopts the new partition: replicas that
+  // already disagree are quarantine-bound and must not adopt a migration
+  // planned against state they do not hold.
+  const std::uint64_t leader_digest = replica_digest(leader);
+
+  TenantMigrationResult out;
+  out.outcome = ten.migrator->run_cycle(fault);
+  out.migration_epoch = leader.migration_epoch();
+  if (out.outcome == MigrationOutcome::kRolledBack) {
+    ++ten.health.migrations_rolled_back;
+  }
+  if (out.outcome != MigrationOutcome::kCommitted) return out;
+  ++ten.health.migrations_committed;
+  ++out.replicas_applied;  // the leader itself
+
+  for (ShardId s = 1; s < ten.shards.size(); ++s) {
+    Shard& sh = ten.shards[s];
+    if (sh.retired || replica_digest(*sh.monitor) != leader_digest) {
+      // Skipped replicas reconcile through the §8 machinery: the partition
+      // folds into the replica digest, so the next open_epoch quarantines
+      // them until reconcile_replica() re-aligns.
+      ++out.replicas_skipped;
+      ++ten.health.replicas_skipped_migration;
+      continue;
+    }
+    try {
+      sh.monitor->apply_migration(leader.preset_partition(),
+                                  leader.migration_epoch());
+      ++out.replicas_applied;
+    } catch (const CheckFailure&) {
+      sh.retired = true;
+      ++ten.health.shards_retired;
+    }
+  }
+  return out;
+}
+
+void ShardRouter::reconcile_replica(TenantId t, ShardId s) {
+  CT_CHECK_MSG(!serving_, "reconcile_replica during a serving epoch");
+  Tenant& ten = tenant(t);
+  CT_CHECK_MSG(s < ten.shards.size(), "no shard " << s);
+  Shard& sh = ten.shards[s];
+  CT_CHECK_MSG(!sh.retired, "shard " << s << " is retired");
+  const MonitoringEntity& leader = *ten.shards[0].monitor;
+  if (sh.monitor->migration_epoch() >= leader.migration_epoch()) return;
+  sh.monitor->apply_migration(leader.preset_partition(),
+                              leader.migration_epoch());
+}
+
+std::uint64_t ShardRouter::tenant_migration_epoch(TenantId t) const {
+  return tenant(t).shards[0].monitor->migration_epoch();
+}
+
 // --- serving epochs --------------------------------------------------------
 
 void ShardRouter::open_epoch() {
@@ -747,6 +813,9 @@ RouterHealth ShardRouter::health() const {
     out.totals.pairs_unknown += h.pairs_unknown;
     out.totals.shards_retired += h.shards_retired;
     out.totals.divergent_replicas += h.divergent_replicas;
+    out.totals.migrations_committed += h.migrations_committed;
+    out.totals.migrations_rolled_back += h.migrations_rolled_back;
+    out.totals.replicas_skipped_migration += h.replicas_skipped_migration;
     out.totals.total_ticks += h.total_ticks;
     out.faults.faults_drawn += ten.fault_stats.faults_drawn;
     out.faults.slow += ten.fault_stats.slow;

@@ -60,6 +60,7 @@
 #include "monitor/monitor.hpp"
 #include "monitor/queries.hpp"
 #include "monitor/query_broker.hpp"
+#include "recluster/coordinator.hpp"
 #include "shard/shard_fault.hpp"
 #include "util/thread_pool.hpp"
 
@@ -166,6 +167,11 @@ struct TenantHealth {
   std::uint64_t pairs_unknown = 0;
   std::uint64_t shards_retired = 0;     ///< replicas lost to ingest faults
   std::uint64_t divergent_replicas = 0; ///< quarantined by the digest check
+  std::uint64_t migrations_committed = 0;   ///< migrate_tenant commits
+  std::uint64_t migrations_rolled_back = 0; ///< migrate_tenant rollbacks
+  /// Replicas that skipped a committed migration (retired or already
+  /// quarantine-bound) and owe a reconcile_replica().
+  std::uint64_t replicas_skipped_migration = 0;
   std::uint64_t total_ticks = 0;
 
   bool accounted() const {
@@ -240,6 +246,40 @@ class ShardRouter {
                           std::vector<std::pair<EventId, EventId>> pairs,
                           std::optional<std::uint64_t> deadline = {});
 
+  // --- online re-clustering (rides the serving-epoch boundary) -------------
+
+  /// One migrate_tenant call, summarized.
+  struct TenantMigrationResult {
+    MigrationOutcome outcome = MigrationOutcome::kNoPlan;
+    std::uint64_t migration_epoch = 0;  ///< committed epoch (0 = none yet)
+    std::size_t replicas_applied = 0;   ///< adopted the new partition
+    std::size_t replicas_skipped = 0;   ///< retired / quarantine-bound
+  };
+
+  /// Runs one crash-safe re-clustering cycle for tenant `t` at the epoch
+  /// boundary (same quiesce contract as ingest: no open serving epoch).
+  /// The durability leader (shard 0) runs the full plan → prepare →
+  /// commit/rollback protocol (recluster/coordinator.hpp) against the
+  /// tenant's namespaced WAL when one is attached, so a crash recovers the
+  /// tenant pre- or post-migration, never hybrid. On commit the partition
+  /// fans out to every coherent live replica via apply_migration; a replica
+  /// whose state digest already disagrees with the leader's (quarantine-
+  /// bound) skips the migration — the next open_epoch digest check
+  /// quarantines it (the partition folds into the replica digest) until
+  /// reconcile_replica() re-aligns it. A kill-switched shard is repaired at
+  /// close_epoch before this can run, so it migrates normally.
+  /// The per-tenant coordinator (decay matrix, cooldown state) is created
+  /// lazily from `config` on the first call and persists across calls.
+  TenantMigrationResult migrate_tenant(
+      TenantId t, const MigrationConfig& config = {},
+      MigrationFault fault = MigrationFault::kNone);
+  /// Re-aligns one replica that skipped a committed migration: adopts the
+  /// leader's partition at the leader's epoch by replaying the replica's
+  /// own delivery log. No-op when already aligned.
+  void reconcile_replica(TenantId t, ShardId s);
+  /// The leader's committed migration epoch for tenant `t`.
+  std::uint64_t tenant_migration_epoch(TenantId t) const;
+
   // --- topology, faults, operations ----------------------------------------
 
   /// Owner shard of queries about process `p` this epoch (all processes of
@@ -285,6 +325,8 @@ class ShardRouter {
     std::vector<ShardId> owner_of_process;  ///< epoch ownership map
     std::vector<ShardId> eligible;          ///< owner rotation this epoch
     std::unique_ptr<DurableLog> wal;
+    /// Lazily created by migrate_tenant; bound to the leader (shard 0).
+    std::unique_ptr<MigrationCoordinator> migrator;
     mutable std::mutex mu;  ///< health, breaker, fault attempt counters
     TenantHealth health;
     TenantBreaker breaker;

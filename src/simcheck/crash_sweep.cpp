@@ -11,6 +11,7 @@
 #include "model/trace.hpp"
 #include "monitor/monitor.hpp"
 #include "monitor/queries.hpp"
+#include "recluster/coordinator.hpp"
 #include "timestamp/ondemand_fm.hpp"
 #include "util/check.hpp"
 #include "util/prng.hpp"
@@ -52,16 +53,45 @@ CrashSweepReport run_crash_sweep(const SimSchedule& schedule,
   wo.policy = params.policy;
   wo.sync_every = params.sync_every;
   wo.segment_bytes = params.segment_bytes;
+  // Every partition the recording pass actually committed, in epoch order.
+  // The sweep's never-hybrid check admits exactly these states (plus the
+  // pre-migration one) after any crash.
+  struct CommittedMigration {
+    std::uint64_t epoch;
+    std::vector<std::vector<ProcessId>> partition;
+  };
+  std::vector<CommittedMigration> committed;
   {
     MonitoringEntity monitor(schedule.process_count, mo);
     DurableLog log(sim, wo);
     monitor.set_delivery_tap([&log](const Event& e) { log.append(e); });
+    MigrationConfig mc;
+    mc.planner.hysteresis = 0.1;
+    mc.planner.max_moves = 4;
+    mc.planner.min_weight = 1.0;
+    mc.planner.decay_window = 64;
+    mc.planner.cooldown_epochs = 0;
+    mc.verify_pairs = 16;
+    mc.verify_deadline_ticks = 0;  // unlimited: the sweep wants commits
+    mc.seed = schedule.seed | 1;
+    MigrationCoordinator coordinator(monitor, mc);
+    coordinator.attach_wal(&log);
     try {
       for (const SimOp& op : schedule.ops) {
         if (op.kind == SimOp::Kind::kEmit) {
           monitor.ingest(op.event);
         } else if (op.kind == SimOp::Kind::kCheckpointRestore) {
           log.checkpoint(monitor);
+        } else if (op.kind == SimOp::Kind::kMigrate) {
+          const auto fault = static_cast<MigrationFault>(op.b % 3);
+          const MigrationOutcome outcome = coordinator.run_cycle(fault);
+          if (outcome == MigrationOutcome::kCommitted) {
+            ++report.migrations_committed;
+            committed.push_back(CommittedMigration{
+                monitor.migration_epoch(), monitor.preset_partition()});
+          } else if (outcome == MigrationOutcome::kRolledBack) {
+            ++report.migrations_rolled_back;
+          }
         }
         // Rebuilds, corruption episodes, and probes are the differential
         // oracle's business; the sweep only needs the delivered stream.
@@ -204,6 +234,51 @@ CrashSweepReport run_crash_sweep(const SimSchedule& schedule,
               "every-record policy lost " + std::to_string(lost) +
                   " records (max is the one in-flight append)");
       break;
+    }
+
+    // Never-hybrid migrations: the recovered clustering must be EXACTLY the
+    // pre-migration state (epoch 0, no preset partition) or the partition
+    // of some migration the recording pass committed. A synced intent whose
+    // commit frame did not survive must leave no trace.
+    const std::uint64_t repoch = got.report.migration_epoch;
+    ++report.checks;
+    bool hybrid;
+    if (repoch == 0) {
+      hybrid = !got.monitor->preset_partition().empty();
+    } else {
+      hybrid = true;
+      for (const CommittedMigration& cm : committed) {
+        if (cm.epoch == repoch) {
+          hybrid = got.monitor->preset_partition() != cm.partition;
+          break;
+        }
+      }
+    }
+    if (hybrid) {
+      diverge(point.cut, label,
+              "recovered clustering is neither pre- nor post-migration "
+              "(epoch " +
+                  std::to_string(repoch) + ")");
+      break;
+    }
+    ++report.checks;
+    if (repoch > perfect.report.migration_epoch) {
+      diverge(point.cut, label,
+              "crash recovered migration epoch " + std::to_string(repoch) +
+                  " beyond the perfect image's " +
+                  std::to_string(perfect.report.migration_epoch));
+      break;
+    }
+    if (point.fault == CrashFault::kClean && point.cut == sim.op_count() &&
+        !committed.empty()) {
+      ++report.checks;
+      if (repoch != committed.back().epoch) {
+        diverge(point.cut, label,
+                "full clean image lost committed migration epoch " +
+                    std::to_string(committed.back().epoch) + " (recovered " +
+                    std::to_string(repoch) + ")");
+        break;
+      }
     }
 
     // Answer identity over the recovered state.

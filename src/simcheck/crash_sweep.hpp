@@ -16,7 +16,14 @@
 //     never loses more than the one in-flight record);
 //   * answer identity — the recovered monitor answers sampled precedence
 //     queries and one causal frontier bit-identically to an on-demand
-//     Fidge/Mattern oracle rebuilt over its delivered state.
+//     Fidge/Mattern oracle rebuilt over its delivered state;
+//   * never-hybrid migrations — when the schedule carries kMigrate ops, the
+//     recording pass runs them through a WAL-attached MigrationCoordinator,
+//     and every crash point must recover EXACTLY the pre-migration
+//     clustering or the partition of some migration that actually
+//     committed — an intent whose commit frame did not survive the crash
+//     leaves no trace, and the recovered epoch never exceeds the perfect
+//     image's.
 //
 // Failures surface as SimDivergence (oracle.hpp), so the ddmin shrinker and
 // the .ctsim replay corpus work for durability bugs exactly as they do for
@@ -52,6 +59,8 @@ struct CrashSweepReport {
   std::size_t other_points = 0;  ///< short-write / bit-rot / stale-segment
   std::size_t crash_points = 0;  ///< total crash points checked
   std::uint64_t records_lost = 0;  ///< summed over all crash points
+  std::uint64_t migrations_committed = 0;    ///< recording-pass commits
+  std::uint64_t migrations_rolled_back = 0;  ///< recording-pass rollbacks
   std::uint64_t checks = 0;
   std::optional<SimDivergence> divergence;
 

@@ -277,6 +277,18 @@ SimSchedule generate_schedule(std::uint64_t seed,
     op.a = rng();
     inserts.emplace_back(rng.index(n + 1), op);
   }
+  const std::size_t migrations = rng.index(params.max_migrations + 1);
+  for (std::size_t i = 0; i < migrations; ++i) {
+    SimOp op;
+    op.kind = SimOp::Kind::kMigrate;
+    op.a = rng();                      // verify-pair sample count (mod 64)
+    op.b = rng.chance(params.migration_fault_chance)
+               ? 1 + rng.index(2)      // kCorruptShadow / kStalledVerify
+               : 0;                    // clean cycle, answer-identity checked
+    op.c = 0;                          // unlimited verify deadline
+    op.d = rng();                      // coordinator seed
+    inserts.emplace_back(rng.index(n + 1), op);
+  }
   const std::size_t corruptions = rng.index(params.max_corruptions + 1);
   for (std::size_t i = 0; i < corruptions; ++i) {
     SimOp op;

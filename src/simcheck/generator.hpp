@@ -47,6 +47,10 @@ struct ScheduleParams {
   std::size_t max_checkpoints = 2;
   std::size_t max_rebuilds = 2;
   std::size_t max_corruptions = 2;
+  std::size_t max_migrations = 2;
+  /// Probability a generated kMigrate op carries an injected migration
+  /// fault (corrupt shadow or stalled verify) instead of running clean.
+  double migration_fault_chance = 0.25;
 };
 
 /// Deterministically expands `seed` into a full schedule.

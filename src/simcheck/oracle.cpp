@@ -21,6 +21,7 @@
 #include "monitor/monitor.hpp"
 #include "monitor/queries.hpp"
 #include "monitor/query_broker.hpp"
+#include "recluster/coordinator.hpp"
 #include "timestamp/ondemand_fm.hpp"
 #include "trace/snapshot.hpp"
 #include "util/check.hpp"
@@ -512,6 +513,52 @@ SimReport run_schedule(const SimSchedule& schedule,
         case SimOp::Kind::kProbe:
           run_probe(i, op);
           break;
+        case SimOp::Kind::kMigrate: {
+          // One two-phase re-clustering cycle against the live monitor. The
+          // protocol's promise is that the cycle NEVER changes an answer —
+          // the very next probe re-asserts answer identity against the
+          // on-demand FM ground truth over the migrated engine. Here we
+          // check the loudness half of the contract.
+          MigrationConfig mc;
+          mc.planner.hysteresis = 0.1;
+          mc.planner.max_moves = 4;
+          mc.planner.min_weight = 1.0;
+          mc.planner.decay_window = 64;
+          mc.planner.cooldown_epochs = 0;
+          mc.verify_pairs = 1 + op.a % 64;
+          mc.verify_deadline_ticks = op.c;
+          mc.seed = op.d != 0 ? op.d : 1;
+          const auto fault = static_cast<MigrationFault>(op.b % 3);
+          MigrationCoordinator coordinator(*monitor, mc);
+          const MigrationOutcome outcome = coordinator.run_cycle(fault);
+          const MigrationStats& ms = coordinator.stats();
+          if (ms.rollback_divergence > 0 &&
+              fault != MigrationFault::kCorruptShadow) {
+            diverge(i, "migrate",
+                    "dual-read divergence in an uncorrupted migration: old "
+                    "and new clustering answered differently");
+            break;
+          }
+          if (fault == MigrationFault::kStalledVerify &&
+              outcome == MigrationOutcome::kCommitted) {
+            diverge(i, "migrate", "stalled verify still committed");
+            break;
+          }
+          if (fault == MigrationFault::kCorruptShadow &&
+              ms.faults_injected > 0 &&
+              outcome == MigrationOutcome::kCommitted) {
+            diverge(i, "migrate",
+                    "corrupt shadow slipped through dual-read verify");
+            break;
+          }
+          if (fault == MigrationFault::kNone && op.c == 0 &&
+              outcome == MigrationOutcome::kRolledBack) {
+            diverge(i, "migrate",
+                    "fault-free unlimited-deadline migration rolled back");
+            break;
+          }
+          break;
+        }
       }
     } catch (const CheckFailure& ex) {
       diverge(i, "check-failure", ex.what());

@@ -48,6 +48,10 @@ void save_replay(std::ostream& out, const SimSchedule& schedule) {
         out << "q " << op.a << ' ' << op.b << ' ' << op.c << ' ' << op.d
             << '\n';
         break;
+      case SimOp::Kind::kMigrate:
+        out << "m " << op.a << ' ' << op.b << ' ' << op.c << ' ' << op.d
+            << '\n';
+        break;
     }
   }
   CT_CHECK_MSG(out.good(), "replay write failed");
@@ -110,9 +114,11 @@ SimSchedule load_replay(std::istream& in) {
       ls >> op.a;
       CT_CHECK_MSG(!ls.fail(), "bad rebuild line: " << line);
       s.ops.push_back(op);
-    } else if (tag == "x" || tag == "q") {
+    } else if (tag == "x" || tag == "q" || tag == "m") {
       SimOp op;
-      op.kind = tag == "x" ? SimOp::Kind::kCorruptRepair : SimOp::Kind::kProbe;
+      op.kind = tag == "x"   ? SimOp::Kind::kCorruptRepair
+                : tag == "q" ? SimOp::Kind::kProbe
+                             : SimOp::Kind::kMigrate;
       ls >> op.a >> op.b >> op.c >> op.d;
       CT_CHECK_MSG(!ls.fail(), "bad op line: " << line);
       s.ops.push_back(op);

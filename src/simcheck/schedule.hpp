@@ -32,6 +32,7 @@ struct SimOp {
     kRebuild,            ///< rebuild a healthy cluster; digest must not move
     kCorruptRepair,      ///< flip one stored component, then repair it
     kProbe,              ///< differential oracle checkpoint
+    kMigrate,            ///< one two-phase re-clustering cycle (recluster/)
   };
 
   Kind kind = Kind::kEmit;
@@ -45,6 +46,12 @@ struct SimOp {
   ///   kProbe:          a = precedence pairs to sample, b = pair seed,
   ///                    c = deadline in work ticks (0 = unlimited),
   ///                    d = flag bits below
+  ///   kMigrate:        a = dual-read verify pairs, b = MigrationFault code
+  ///                    (0 none, 1 corrupt-shadow, 2 stalled-verify),
+  ///                    c = verify deadline ticks (0 = unlimited),
+  ///                    d = planner/verify seed. Deleting the op is always
+  ///                    sound: migrations never change answers, so a
+  ///                    schedule without one checks a superset of nothing.
   std::uint64_t a = 0;
   std::uint64_t b = 0;
   std::uint64_t c = 0;

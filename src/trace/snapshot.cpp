@@ -13,7 +13,7 @@ namespace ct {
 namespace {
 
 constexpr char kSnapshotMagic[] = "CTS1";
-constexpr std::uint8_t kSnapshotVersion = 2;
+constexpr std::uint8_t kSnapshotVersion = 3;
 constexpr std::size_t kTrailerBytes = 4;  // u32le CRC32C of everything before
 
 void put_u64_le(std::string& out, std::uint64_t v) {
@@ -62,6 +62,17 @@ void save_snapshot(std::ostream& out, const MonitoringEntity& monitor) {
   put_varint(buffer, options.cluster.encoded_cluster_width);
   put_varint(buffer, options.delivery.max_buffered);
   put_varint(buffer, options.delivery.orphan_timeout);
+
+  // v3 fields: the committed re-clustering baseline (src/recluster/). The
+  // partition must be part of the options block — restore constructs the
+  // monitor in hybrid mode BEFORE replaying the log, or the rebuilt engine
+  // would diverge from the digest of a migrated monitor.
+  put_varint(buffer, options.migration_epoch);
+  put_varint(buffer, options.preset_partition.size());
+  for (const auto& members : options.preset_partition) {
+    put_varint(buffer, members.size());
+    for (const ProcessId p : members) put_varint(buffer, p);
+  }
 
   put_varint(buffer, monitor.process_count());
   const auto log = monitor.delivery_log();
@@ -115,7 +126,7 @@ std::unique_ptr<MonitoringEntity> load_snapshot(std::istream& in,
                "not a CTS1 monitor snapshot");
   std::size_t pos = 4;
   const auto version = static_cast<std::uint8_t>(data[pos++]);
-  CT_CHECK_MSG(version == 1 || version == kSnapshotVersion,
+  CT_CHECK_MSG(version >= 1 && version <= kSnapshotVersion,
                "unsupported snapshot version " << int{version});
 
   // The v2 trailer is verified before anything is replayed: a corrupted
@@ -151,6 +162,29 @@ std::unique_ptr<MonitoringEntity> load_snapshot(std::istream& in,
   options.delivery.max_buffered =
       static_cast<std::size_t>(get_varint(body, pos));
   options.delivery.orphan_timeout = get_varint(body, pos);
+
+  if (version >= 3) {
+    options.migration_epoch = get_varint(body, pos);
+    const std::uint64_t clusters = get_varint(body, pos);
+    CT_CHECK_MSG(clusters <= (1u << 20),
+                 "implausible snapshot partition size " << clusters);
+    options.preset_partition.resize(static_cast<std::size_t>(clusters));
+    for (auto& members : options.preset_partition) {
+      const std::uint64_t size = get_varint(body, pos);
+      CT_CHECK_MSG(size > 0 && size <= (1u << 20),
+                   "implausible snapshot cluster size " << size);
+      members.reserve(static_cast<std::size_t>(size));
+      for (std::uint64_t m = 0; m < size; ++m) {
+        const std::uint64_t p = get_varint(body, pos);
+        CT_CHECK_MSG(p <= 0xffffffffull,
+                     "snapshot partition member out of range");
+        members.push_back(static_cast<ProcessId>(p));
+      }
+    }
+    CT_CHECK_MSG(options.preset_partition.empty() ||
+                     options.migration_epoch > 0,
+                 "snapshot has a preset partition but epoch 0");
+  }
 
   const std::uint64_t process_count = get_varint(body, pos);
   CT_CHECK_MSG(process_count > 0 && process_count <= (1u << 20),

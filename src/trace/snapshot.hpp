@@ -12,13 +12,16 @@
 // captured; re-feeding the stream tail (overlap included — duplicates drop
 // idempotently) resumes exactly where the checkpoint left off.
 //
-// Format version 2 (current) appends two fields for the durability layer
+// Format version 2 appends two fields for the durability layer
 // (src/durability/): the snapshot's write-ahead-log position (the number of
 // delivered records it covers — recovery replays only the WAL tail past it)
 // and a whole-file CRC32C trailer, verified BEFORE any replay so a
 // bit-rotted or torn snapshot file is rejected structurally instead of
-// failing halfway through a restore. Version-1 files (no trailer, no WAL
-// position) still load.
+// failing halfway through a restore. Version 3 (current) adds the committed
+// re-clustering baseline (src/recluster/): the migration epoch and preset
+// partition, stored in the options block so restore rebuilds the engine in
+// hybrid mode before replaying — a migrated monitor's digest would reject
+// the replay otherwise. Version-1 and -2 files still load.
 #pragma once
 
 #include <cstdint>

@@ -57,7 +57,7 @@ TEST(ScheduleGenerator, ProducesAllOpKinds) {
     EXPECT_EQ(s.ops.back().c, 0u);
     for (const SimOp& op : s.ops) seen.insert(op.kind);
   }
-  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(seen.size(), 6u);
 }
 
 TEST(AdversarialMotif, HasTheAdvertisedEdges) {
