@@ -20,6 +20,7 @@
 
 #include "bench_common.hpp"
 #include "core/engine.hpp"
+#include "core/precedence_kernels.hpp"
 #include "monitor/queries.hpp"
 #include "timestamp/fm_store.hpp"
 #include "timestamp/ondemand_fm.hpp"
@@ -262,6 +263,10 @@ int main(int argc, char** argv) {
   ct::verify_cursor_exactness();
   auto args = ct::bench::gbench_args(argc, argv, "gbench_frontier");
   benchmark::Initialize(&args.argc, args.argv.data());
+  // Which dispatch tier served this run (CT_KERNEL_TIER-overridable);
+  // lands in the --json context so recorded results are attributable.
+  benchmark::AddCustomContext(
+      "kernel_tier", ct::kernels::to_string(ct::kernels::active_tier()));
   if (benchmark::ReportUnrecognizedArguments(args.argc, args.argv.data())) {
     return 1;
   }

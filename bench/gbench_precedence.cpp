@@ -16,6 +16,7 @@
 
 #include "bench_common.hpp"
 #include "core/engine.hpp"
+#include "core/precedence_kernels.hpp"
 #include "core/recursive_precedence.hpp"
 #include "index/bplus_tree.hpp"
 #include "monitor/monitor.hpp"
@@ -331,6 +332,10 @@ int main(int argc, char** argv) {
   ct::verify_arena_exactness();
   auto args = ct::bench::gbench_args(argc, argv, "gbench_precedence");
   benchmark::Initialize(&args.argc, args.argv.data());
+  // Which dispatch tier served this run (CT_KERNEL_TIER-overridable);
+  // lands in the --json context so recorded results are attributable.
+  benchmark::AddCustomContext(
+      "kernel_tier", ct::kernels::to_string(ct::kernels::active_tier()));
   if (benchmark::ReportUnrecognizedArguments(args.argc, args.argv.data())) {
     return 1;
   }

@@ -32,15 +32,21 @@ ClusterTimestampEngine::ClusterTimestampEngine(
                                   << " cannot encode " << process_count
                                   << " processes");
   if (config_.use_arena) {
-    // Interning stays OFF: inject_corruption / rebuild_cluster mutate rows
-    // in place, and sync halves (identical vectors) would otherwise alias.
-    arena_ = std::make_unique<TsArena>(process_count,
-                                       TsArena::Options{.intern = false});
-    row_refs_.resize(process_count);
+    // Interning stays OFF: repair clones overwrite rows in place, and sync
+    // halves (identical vectors) would otherwise alias.
+    snap_.store(new ArenaSnapshot(process_count,
+                                  TsArena::Options{.intern = false}),
+                std::memory_order_release);
     row_handles_.resize(process_count);
     receive_rows_.resize(process_count);
-    probe_pool_.resize(process_count);
   }
+}
+
+ClusterTimestampEngine::~ClusterTimestampEngine() {
+  // No readers may hold the engine at destruction (ownership contract);
+  // only snapshots already retired to the epoch domain can outlive us, and
+  // those own their own storage.
+  delete snap_.load(std::memory_order_acquire);
 }
 
 ClusterTimestampEngine::ClusterTimestampEngine(
@@ -71,12 +77,11 @@ ClusterTimestampEngine::ClusterTimestampEngine(
                    << clusters_.max_cluster_size()
                    << " processes, larger than the encoding width " << width);
   if (config_.use_arena) {
-    arena_ = std::make_unique<TsArena>(process_count,
-                                       TsArena::Options{.intern = false});
-    row_refs_.resize(process_count);
+    snap_.store(new ArenaSnapshot(process_count,
+                                  TsArena::Options{.intern = false}),
+                std::memory_order_release);
     row_handles_.resize(process_count);
     receive_rows_.resize(process_count);
-    probe_pool_.resize(process_count);
   }
 }
 
@@ -101,11 +106,12 @@ bool ClusterTimestampEngine::classify_cluster_receive(
 }
 
 std::uint32_t ClusterTimestampEngine::covered_set_id(
+    ArenaSnapshot& snap,
     const std::shared_ptr<const std::vector<ProcessId>>& covered) {
   // Keyed by members-pointer identity: ClusterSet hands out one immutable
   // snapshot per (cluster, merge-epoch), so identity captures content.
   const auto [it, inserted] = covered_ids_.try_emplace(
-      covered.get(), static_cast<std::uint32_t>(covered_sets_.size()));
+      covered.get(), static_cast<std::uint32_t>(snap.covered_sets.size()));
   if (inserted) {
     CoveredSet cs;
     cs.procs = covered;
@@ -114,28 +120,36 @@ std::uint32_t ClusterTimestampEngine::covered_set_id(
     for (std::size_t i = 0; i < procs.size(); ++i) {
       cs.pos[procs[i]] = static_cast<std::int32_t>(i);
     }
-    covered_sets_.push_back(std::move(cs));
+    snap.covered_sets.push_back(std::move(cs));
   }
   return it->second;
 }
 
 std::uint32_t ClusterTimestampEngine::resolve_probe(
-    ProcessId q, EventIndex bound) const {
+    const ArenaSnapshot& snap, ProcessId q, EventIndex bound) const {
   const auto& receives = cluster_receives_[q];
   const std::size_t k =
       kernels::count_leq(receives.data(), receives.size(), bound);
-  return k == 0 ? kNoProbe : arena_->offset_of(receive_rows_[q][k - 1]);
+  return k == 0 ? kNoProbe : snap.arena.offset_of(receive_rows_[q][k - 1]);
 }
 
-void ClusterTimestampEngine::refresh_probes(EventId id) {
-  const RowRef& ref = row_refs_[id.process][id.index - 1];
+void ClusterTimestampEngine::refresh_probes(ArenaSnapshot& snap, EventId id) {
+  const RowRef& ref = snap.row_refs[id.process][id.index - 1];
   if (ref.aux == kFullRowAux) return;  // full rows carry no probes
-  const auto& procs = *covered_sets_[ref.aux].procs;
-  const EventIndex* row = arena_->pool_data() + ref.offset;
-  std::uint32_t* probes = probe_pool_[id.process].data() + ref.probe_off;
+  const auto& procs = *snap.covered_sets[ref.aux].procs;
+  const EventIndex* row = snap.arena.pool_data() + ref.offset;
+  std::uint32_t* probes = snap.probe_pool[id.process].data() + ref.probe_off;
   for (std::size_t i = 0; i < procs.size(); ++i) {
-    probes[i] = resolve_probe(procs[i], row[i]);
+    probes[i] = resolve_probe(snap, procs[i], row[i]);
   }
+}
+
+void ClusterTimestampEngine::publish_snapshot(
+    std::unique_ptr<ArenaSnapshot> next) {
+  // seq_cst swap: the store-buffer argument in util/epoch.hpp needs the
+  // pointer swap ordered before the grace bump that retire() performs.
+  ArenaSnapshot* old = snap_.exchange(next.release());
+  util::EpochDomain::global().retire([old] { delete old; });
 }
 
 const ClusterTimestamp& ClusterTimestampEngine::store(const Event& e,
@@ -156,26 +170,31 @@ const ClusterTimestamp& ClusterTimestampEngine::store(const Event& e,
   }
   exact_words_ += ts.values.size();
 
-  if (arena_) {
+  if (config_.use_arena) {
+    // Ingestion is the single-writer phase: appends go straight into the
+    // published snapshot (no readers may run concurrently with observe(),
+    // per the TsArena invalidation contract).
+    ArenaSnapshot& snap = *snap_.load(std::memory_order_relaxed);
     const ProcessId p = e.id.process;
     const TsArena::RowHandle h =
-        arena_->append(p, ts.values.data(), ts.values.size());
+        snap.arena.append(p, ts.values.data(), ts.values.size());
     row_handles_[p].push_back(h);
-    RowRef ref{arena_->offset_of(h), kFullRowAux,
-               static_cast<std::uint32_t>(probe_pool_[p].size())};
+    RowRef ref{snap.arena.offset_of(h), kFullRowAux,
+               static_cast<std::uint32_t>(snap.probe_pool[p].size())};
     if (ts.cluster_receive) {
       receive_rows_[p].push_back(h);
     } else {
-      ref.aux = covered_set_id(ts.covered);
+      ref.aux = covered_set_id(snap, ts.covered);
       // Resolve the greatest-cluster-receive probe per covered slot NOW:
       // the query-time binary search of the legacy path, paid once here
       // (the resolved set is final — see resolve_probe).
       const auto& procs = *ts.covered;
       for (std::size_t i = 0; i < procs.size(); ++i) {
-        probe_pool_[p].push_back(resolve_probe(procs[i], ts.values[i]));
+        snap.probe_pool[p].push_back(
+            resolve_probe(snap, procs[i], ts.values[i]));
       }
     }
-    row_refs_[p].push_back(ref);
+    snap.row_refs[p].push_back(ref);
   }
 
   list.push_back(std::move(ts));
@@ -228,13 +247,15 @@ void ClusterTimestampEngine::observe_trace(const Trace& trace) {
   CT_CHECK_MSG(trace.process_count() == ts_.size(),
                "trace has " << trace.process_count()
                             << " processes, engine built for " << ts_.size());
-  if (arena_) {
+  if (config_.use_arena) {
     // Allocation-churn satellite: the trace knows its totals, so the mirror
     // pool is sized once. Projections are bounded by maxCS, full vectors by
     // the process count; the sum overshoots but caps at one allocation.
     const std::size_t n = trace.delivery_order().size();
-    arena_->reserve(n, n * std::min(ts_.size(), config_.max_cluster_size) +
-                           trace.process_count());
+    snap_.load(std::memory_order_relaxed)
+        ->arena.reserve(n,
+                        n * std::min(ts_.size(), config_.max_cluster_size) +
+                            trace.process_count());
   }
   for (const EventId id : trace.delivery_order()) observe(trace.event(id));
 }
@@ -248,10 +269,10 @@ const ClusterTimestamp& ClusterTimestampEngine::timestamp(EventId e) const {
 
 bool ClusterTimestampEngine::precedes(const Event& ev_e,
                                       const Event& ev_f) const {
-  if (arena_) return precedes_arena(ev_e, ev_f);
+  if (config_.use_arena) return precedes_arena(ev_e, ev_f);
   QueryCost unlimited;
   const auto answer = precedes_metered_legacy(ev_e, ev_f, unlimited);
-  comparisons_ += unlimited.ticks;
+  comparisons_.fetch_add(unlimited.ticks, std::memory_order_relaxed);
   return *answer;
 }
 
@@ -264,24 +285,27 @@ bool ClusterTimestampEngine::precedes_arena(const Event& ev_e,
   CT_DCHECK(f.process < ts_.size() && f.index >= 1 &&
             f.index <= ts_[f.process].size());
 
-  const RowRef& ref = row_refs_[f.process][f.index - 1];
-  const EventIndex* pool = arena_->pool_data();
+  // One snapshot load per query: every pointer below derives from it, so a
+  // concurrent repair publishing a newer snapshot cannot mix states.
+  const ArenaSnapshot& snap = *snapshot();
+  const RowRef& ref = snap.row_refs[f.process][f.index - 1];
+  const EventIndex* pool = snap.arena.pool_data();
   const EventIndex* row = pool + ref.offset;
 
-  ++comparisons_;
+  comparisons_.fetch_add(1, std::memory_order_relaxed);
   if (ref.aux == kFullRowAux) return e.index <= row[e.process];
-  const CoveredSet& cs = covered_sets_[ref.aux];
+  const CoveredSet& cs = snap.covered_sets[ref.aux];
   if (const std::int32_t slot = cs.pos[e.process]; slot >= 0) {
     return e.index <= row[static_cast<std::size_t>(slot)];
   }
 
   const std::uint32_t* probes =
-      probe_pool_[f.process].data() + ref.probe_off;
+      snap.probe_pool[f.process].data() + ref.probe_off;
   const std::size_t width = cs.procs->size();
   for (std::size_t i = 0; i < width; ++i) {
     const std::uint32_t off = probes[i];
     if (off == kNoProbe) continue;  // no cluster receive seen yet
-    ++comparisons_;
+    comparisons_.fetch_add(1, std::memory_order_relaxed);
     if (e.index <= pool[off + e.process]) return true;
   }
   return false;
@@ -289,7 +313,7 @@ bool ClusterTimestampEngine::precedes_arena(const Event& ev_e,
 
 std::optional<bool> ClusterTimestampEngine::precedes_metered(
     const Event& ev_e, const Event& ev_f, QueryCost& cost) const {
-  if (arena_) return precedes_metered_arena(ev_e, ev_f, cost);
+  if (config_.use_arena) return precedes_metered_arena(ev_e, ev_f, cost);
   return precedes_metered_legacy(ev_e, ev_f, cost);
 }
 
@@ -303,21 +327,22 @@ std::optional<bool> ClusterTimestampEngine::precedes_metered_arena(
                    f.index <= ts_[f.process].size(),
                "event " << f << " has not been observed");
 
-  const RowRef& ref = row_refs_[f.process][f.index - 1];
-  const EventIndex* pool = arena_->pool_data();
+  const ArenaSnapshot& snap = *snapshot();
+  const RowRef& ref = snap.row_refs[f.process][f.index - 1];
+  const EventIndex* pool = snap.arena.pool_data();
   const EventIndex* row = pool + ref.offset;
 
   // Tick accounting mirrors the legacy path exactly: one charge for the
   // direct test, one per greatest-cluster-receive probe.
   if (!cost.charge(1)) return std::nullopt;
   if (ref.aux == kFullRowAux) return e.index <= row[e.process];
-  const CoveredSet& cs = covered_sets_[ref.aux];
+  const CoveredSet& cs = snap.covered_sets[ref.aux];
   if (const std::int32_t slot = cs.pos[e.process]; slot >= 0) {
     return e.index <= row[static_cast<std::size_t>(slot)];
   }
 
   const std::uint32_t* probes =
-      probe_pool_[f.process].data() + ref.probe_off;
+      snap.probe_pool[f.process].data() + ref.probe_off;
   const std::size_t width = cs.procs->size();
   for (std::size_t i = 0; i < width; ++i) {
     const std::uint32_t off = probes[i];
@@ -367,40 +392,120 @@ std::optional<bool> ClusterTimestampEngine::precedes_metered_legacy(
 std::size_t ClusterTimestampEngine::precedes_batch_metered(
     std::span<const std::pair<const Event*, const Event*>> pairs,
     QueryCost& cost, std::optional<bool>* out) const {
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    const auto answer = precedes_metered(*pairs[i].first, *pairs[i].second,
-                                         cost);
-    if (!answer.has_value()) return i;
+  // The transpose fast path needs the whole batch to be answerable (no
+  // mid-batch budget exhaustion), so budget-limited calls take the
+  // sequential loop — which is also the tick-accounting oracle the fast
+  // path must match: answers AND ticks are bit-identical by construction.
+  if (!config_.use_arena || cost.budget != 0) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const auto answer = precedes_metered(*pairs[i].first, *pairs[i].second,
+                                           cost);
+      if (!answer.has_value()) return i;
+      out[i] = answer;
+    }
+    return pairs.size();
+  }
+
+  // Batch transpose: one resolve pass decodes each pair's arena row ONCE
+  // and gathers the direct-test operands (bound, component) contiguously;
+  // the active dispatch tier then streams the comparisons 2-16 pairs per
+  // instruction. Pairs the direct test cannot decide (uncovered process:
+  // the probe walk) are answered scalar inline, charging exactly the ticks
+  // the sequential loop would.
+  const ArenaSnapshot& snap = *snapshot();
+  const EventIndex* pool = snap.arena.pool_data();
+  const std::size_t n = pairs.size();
+  std::vector<EventIndex> bounds;
+  std::vector<EventIndex> comps;
+  std::vector<std::uint32_t> direct;  // pair index per gathered operand
+  bounds.reserve(n);
+  comps.reserve(n);
+  direct.reserve(n);
+  std::uint64_t ticks = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Event& ev_e = *pairs[i].first;
+    const Event& ev_f = *pairs[i].second;
+    const EventId e = ev_e.id;
+    const EventId f = ev_f.id;
+    if (e == f || (ev_e.kind == EventKind::kSync && ev_e.partner == f)) {
+      out[i] = false;  // decided before any charge, like the scalar path
+      continue;
+    }
+    CT_CHECK_MSG(f.process < ts_.size() && f.index >= 1 &&
+                     f.index <= ts_[f.process].size(),
+                 "event " << f << " has not been observed");
+    const RowRef& ref = snap.row_refs[f.process][f.index - 1];
+    const EventIndex* row = pool + ref.offset;
+    ++ticks;  // the direct test
+    if (ref.aux == kFullRowAux) {
+      bounds.push_back(e.index);
+      comps.push_back(row[e.process]);
+      direct.push_back(static_cast<std::uint32_t>(i));
+      continue;
+    }
+    const CoveredSet& cs = snap.covered_sets[ref.aux];
+    if (const std::int32_t slot = cs.pos[e.process]; slot >= 0) {
+      bounds.push_back(e.index);
+      comps.push_back(row[static_cast<std::size_t>(slot)]);
+      direct.push_back(static_cast<std::uint32_t>(i));
+      continue;
+    }
+    const std::uint32_t* probes =
+        snap.probe_pool[f.process].data() + ref.probe_off;
+    const std::size_t width = cs.procs->size();
+    bool answer = false;
+    for (std::size_t k = 0; k < width; ++k) {
+      const std::uint32_t off = probes[k];
+      if (off == kNoProbe) continue;
+      ++ticks;
+      if (e.index <= pool[off + e.process]) {
+        answer = true;
+        break;
+      }
+    }
     out[i] = answer;
   }
-  return pairs.size();
+
+  std::vector<std::uint8_t> flags(direct.size());
+  kernels::batch_leq(bounds.data(), comps.data(), direct.size(),
+                     flags.data());
+  for (std::size_t j = 0; j < direct.size(); ++j) {
+    out[direct[j]] = flags[j] != 0;
+  }
+  cost.charge(ticks);  // unlimited budget: never fails
+  return n;
 }
 
 ClusterTimestampEngine::PrecedenceCursor::PrecedenceCursor(
     const ClusterTimestampEngine& engine, const Event& anchor)
     : engine_(engine),
+      guard_(util::EpochDomain::global().pin()),
       anchor_(anchor.id),
       anchor_partner_(kNoEvent) {
-  CT_CHECK_MSG(engine_.arena_ != nullptr,
+  CT_CHECK_MSG(engine_.config_.use_arena,
                "PrecedenceCursor requires config.use_arena");
   CT_CHECK_MSG(anchor_.process < engine_.ts_.size() && anchor_.index >= 1 &&
                    anchor_.index <= engine_.ts_[anchor_.process].size(),
                "event " << anchor_ << " has not been observed");
   if (anchor.kind == EventKind::kSync) anchor_partner_ = anchor.partner;
 
-  const EventIndex* pool = engine_.arena_->pool_data();
-  const RowRef& ref =
-      engine_.row_refs_[anchor_.process][anchor_.index - 1];
+  // The epoch pin (taken above, before this load) keeps this snapshot —
+  // and every raw pointer resolved from it — alive for the cursor's whole
+  // lifetime, even if a repair publishes a newer one.
+  snap_ = engine_.snapshot();
+  const EventIndex* pool = snap_->arena.pool_data();
+  const RowRef& ref = snap_->row_refs[anchor_.process][anchor_.index - 1];
   row_ = pool + ref.offset;
   if (ref.aux == kFullRowAux) return;  // pos_ stays null: full-vector anchor
 
-  const CoveredSet& cs = engine_.covered_sets_[ref.aux];
+  const CoveredSet& cs = snap_->covered_sets[ref.aux];
   pos_ = cs.pos.data();
   // Materialize the anchor's store-time-resolved probe rows as direct
   // pointers; precedes_anchor then reads components with no offset hops.
   const std::size_t width = cs.procs->size();
   const std::uint32_t* probes =
-      engine_.probe_pool_[anchor_.process].data() + ref.probe_off;
+      snap_->probe_pool[anchor_.process].data() + ref.probe_off;
   receive_rows_.resize(width, nullptr);
   for (std::size_t i = 0; i < width; ++i) {
     if (probes[i] != kNoProbe) receive_rows_[i] = pool + probes[i];
@@ -413,24 +518,24 @@ bool ClusterTimestampEngine::PrecedenceCursor::anchor_precedes(
   if (x == anchor_) return false;
   if (x == anchor_partner_) return false;  // sync halves are concurrent
 
-  const RowRef& ref = engine_.row_refs_[x.process][x.index - 1];
-  const EventIndex* pool = engine_.arena_->pool_data();
+  const RowRef& ref = snap_->row_refs[x.process][x.index - 1];
+  const EventIndex* pool = snap_->arena.pool_data();
   const EventIndex* row = pool + ref.offset;
 
-  ++engine_.comparisons_;
+  engine_.comparisons_.fetch_add(1, std::memory_order_relaxed);
   if (ref.aux == kFullRowAux) return anchor_.index <= row[anchor_.process];
-  const CoveredSet& cs = engine_.covered_sets_[ref.aux];
+  const CoveredSet& cs = snap_->covered_sets[ref.aux];
   if (const std::int32_t slot = cs.pos[anchor_.process]; slot >= 0) {
     return anchor_.index <= row[static_cast<std::size_t>(slot)];
   }
 
   const std::uint32_t* probes =
-      engine_.probe_pool_[x.process].data() + ref.probe_off;
+      snap_->probe_pool[x.process].data() + ref.probe_off;
   const std::size_t width = cs.procs->size();
   for (std::size_t i = 0; i < width; ++i) {
     const std::uint32_t off = probes[i];
     if (off == kNoProbe) continue;
-    ++engine_.comparisons_;
+    engine_.comparisons_.fetch_add(1, std::memory_order_relaxed);
     if (anchor_.index <= pool[off + anchor_.process]) return true;
   }
   return false;
@@ -442,17 +547,125 @@ bool ClusterTimestampEngine::PrecedenceCursor::precedes_anchor(
   if (x == anchor_) return false;
   if (ev_x.kind == EventKind::kSync && ev_x.partner == anchor_) return false;
 
-  ++engine_.comparisons_;
+  engine_.comparisons_.fetch_add(1, std::memory_order_relaxed);
   if (pos_ == nullptr) return x.index <= row_[x.process];  // full anchor
   if (const std::int32_t slot = pos_[x.process]; slot >= 0) {
     return x.index <= row_[static_cast<std::size_t>(slot)];
   }
   for (const EventIndex* rr : receive_rows_) {
     if (rr == nullptr) continue;
-    ++engine_.comparisons_;
+    engine_.comparisons_.fetch_add(1, std::memory_order_relaxed);
     if (x.index <= rr[x.process]) return true;
   }
   return false;
+}
+
+void ClusterTimestampEngine::PrecedenceCursor::anchor_precedes_batch(
+    std::span<const Event* const> xs, std::uint8_t* out) const {
+  const std::size_t n = xs.size();
+  const EventIndex* pool = snap_->arena.pool_data();
+  std::vector<EventIndex> bounds;
+  std::vector<EventIndex> comps;
+  std::vector<std::uint32_t> direct;
+  bounds.reserve(n);
+  comps.reserve(n);
+  direct.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const EventId x = xs[i]->id;
+    if (x == anchor_ || x == anchor_partner_) {
+      out[i] = 0;
+      continue;
+    }
+    const RowRef& ref = snap_->row_refs[x.process][x.index - 1];
+    const EventIndex* row = pool + ref.offset;
+    engine_.comparisons_.fetch_add(1, std::memory_order_relaxed);
+    if (ref.aux == kFullRowAux) {
+      bounds.push_back(anchor_.index);
+      comps.push_back(row[anchor_.process]);
+      direct.push_back(static_cast<std::uint32_t>(i));
+      continue;
+    }
+    const CoveredSet& cs = snap_->covered_sets[ref.aux];
+    if (const std::int32_t slot = cs.pos[anchor_.process]; slot >= 0) {
+      bounds.push_back(anchor_.index);
+      comps.push_back(row[static_cast<std::size_t>(slot)]);
+      direct.push_back(static_cast<std::uint32_t>(i));
+      continue;
+    }
+    const std::uint32_t* probes =
+        snap_->probe_pool[x.process].data() + ref.probe_off;
+    const std::size_t width = cs.procs->size();
+    std::uint8_t answer = 0;
+    for (std::size_t k = 0; k < width; ++k) {
+      const std::uint32_t off = probes[k];
+      if (off == kNoProbe) continue;
+      engine_.comparisons_.fetch_add(1, std::memory_order_relaxed);
+      if (anchor_.index <= pool[off + anchor_.process]) {
+        answer = 1;
+        break;
+      }
+    }
+    out[i] = answer;
+  }
+
+  std::vector<std::uint8_t> flags(direct.size());
+  kernels::batch_leq(bounds.data(), comps.data(), direct.size(),
+                     flags.data());
+  for (std::size_t j = 0; j < direct.size(); ++j) {
+    out[direct[j]] = flags[j];
+  }
+}
+
+void ClusterTimestampEngine::PrecedenceCursor::precedes_anchor_batch(
+    std::span<const Event* const> xs, std::uint8_t* out) const {
+  const std::size_t n = xs.size();
+  std::vector<EventIndex> bounds;
+  std::vector<EventIndex> comps;
+  std::vector<std::uint32_t> direct;
+  bounds.reserve(n);
+  comps.reserve(n);
+  direct.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Event& ev_x = *xs[i];
+    const EventId x = ev_x.id;
+    if (x == anchor_ ||
+        (ev_x.kind == EventKind::kSync && ev_x.partner == anchor_)) {
+      out[i] = 0;
+      continue;
+    }
+    engine_.comparisons_.fetch_add(1, std::memory_order_relaxed);
+    if (pos_ == nullptr) {  // full-vector anchor: always covered
+      bounds.push_back(x.index);
+      comps.push_back(row_[x.process]);
+      direct.push_back(static_cast<std::uint32_t>(i));
+      continue;
+    }
+    if (const std::int32_t slot = pos_[x.process]; slot >= 0) {
+      bounds.push_back(x.index);
+      comps.push_back(row_[static_cast<std::size_t>(slot)]);
+      direct.push_back(static_cast<std::uint32_t>(i));
+      continue;
+    }
+    std::uint8_t answer = 0;
+    for (const EventIndex* rr : receive_rows_) {
+      if (rr == nullptr) continue;
+      engine_.comparisons_.fetch_add(1, std::memory_order_relaxed);
+      if (x.index <= rr[x.process]) {
+        answer = 1;
+        break;
+      }
+    }
+    out[i] = answer;
+  }
+
+  std::vector<std::uint8_t> flags(direct.size());
+  kernels::batch_leq(bounds.data(), comps.data(), direct.size(),
+                     flags.data());
+  for (std::size_t j = 0; j < direct.size(); ++j) {
+    out[direct[j]] = flags[j];
+  }
 }
 
 ClusterTimestampEngine::PrecedenceCursor ClusterTimestampEngine::cursor(
@@ -501,14 +714,20 @@ void ClusterTimestampEngine::inject_corruption(EventId e, std::size_t slot,
   auto& values = ts_[e.process][e.index - 1].values;
   CT_CHECK_MSG(!values.empty(), "timestamp of " << e << " has no components");
   values[slot % values.size()] = value;
-  if (arena_) {
+  if (config_.use_arena) {
     // The fast path must observe the corrupted value too, or the A/B flag
     // would change the failure-detection behaviour under audit. A mutated
     // projection component also shifts its greatest-cluster-receive bound,
-    // which the legacy path re-searches per query — follow it.
-    arena_->overwrite_component(row_handles_[e.process][e.index - 1],
-                                slot % values.size(), value);
-    refresh_probes(e);
+    // which the legacy path re-searches per query — follow it. The mutation
+    // happens on a writer-private clone published with one atomic swap, so
+    // in-flight readers keep a coherent (pre-corruption) snapshot.
+    std::lock_guard<std::mutex> writer(snap_writer_mu_);
+    auto next = std::make_unique<ArenaSnapshot>(
+        *snap_.load(std::memory_order_acquire));
+    next->arena.overwrite_component(row_handles_[e.process][e.index - 1],
+                                    slot % values.size(), value);
+    refresh_probes(*next, e);
+    publish_snapshot(std::move(next));
   }
 }
 
@@ -518,6 +737,19 @@ std::uint64_t ClusterTimestampEngine::rebuild_cluster(
   const auto members = clusters_.members(c);
   std::vector<bool> in_cluster(ts_.size(), false);
   for (const ProcessId p : *members) in_cluster[p] = true;
+
+  // One clone for the whole repair: every row rewrite and probe refresh
+  // lands on the writer-private snapshot, then ONE atomic swap publishes
+  // the repaired state. Readers never see a half-rebuilt cluster and are
+  // never blocked — the old snapshot stays valid until its grace period
+  // ends (util/epoch.hpp).
+  std::unique_lock<std::mutex> writer(snap_writer_mu_, std::defer_lock);
+  std::unique_ptr<ArenaSnapshot> next;
+  if (config_.use_arena) {
+    writer.lock();
+    next = std::make_unique<ArenaSnapshot>(
+        *snap_.load(std::memory_order_acquire));
+  }
 
   FmEngine scratch(ts_.size());
   std::uint64_t elements_written = 0;
@@ -537,14 +769,20 @@ std::uint64_t ClusterTimestampEngine::rebuild_cluster(
         ts.values[i] = fm[procs[i]];
       }
     }
-    if (arena_) {
-      arena_->overwrite_row(row_handles_[e.id.process][e.id.index - 1],
-                            ts.values.data(), ts.values.size());
-      refresh_probes(e.id);
+    if (next) {
+      next->arena.overwrite_row(row_handles_[e.id.process][e.id.index - 1],
+                                ts.values.data(), ts.values.size());
+      refresh_probes(*next, e.id);
     }
     elements_written += ts.values.size();
   }
+  if (next) publish_snapshot(std::move(next));
   return elements_written;
+}
+
+std::size_t ClusterTimestampEngine::arena_words() const {
+  const ArenaSnapshot* snap = snapshot();
+  return snap != nullptr ? snap->arena.pool_words() : 0;
 }
 
 std::uint64_t ClusterTimestampEngine::state_digest() const {

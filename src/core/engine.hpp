@@ -36,11 +36,25 @@
 // answers are bit-identical to the legacy path — asserted across all trace
 // families by tests/perf_layer_test.cpp and re-verified pair-for-pair inside
 // the gbench binaries.
+//
+// Lock-free read publication: the arena mirror and every index a query
+// reads are bundled into one ArenaSnapshot behind an atomic pointer.
+// Ingestion appends to the current snapshot in place (single-writer phase;
+// serving and ingestion are mutually exclusive per the TsArena contract),
+// while the mutation hooks that run DURING serving — inject_corruption and
+// rebuild_cluster — deep-copy the snapshot, mutate the clone, publish it
+// with a single atomic swap, and retire the old snapshot to the global
+// epoch domain (util/epoch.hpp). Readers that pin an epoch (the broker, or
+// a PrecedenceCursor, which pins for its lifetime) keep their snapshot
+// alive until they unpin, so rebuilds never block queries and the hot read
+// path takes zero locks.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -54,6 +68,7 @@
 #include "timestamp/fm_engine.hpp"
 #include "timestamp/query_cost.hpp"
 #include "timestamp/ts_arena.hpp"
+#include "util/epoch.hpp"
 
 namespace ct {
 
@@ -94,6 +109,9 @@ struct ClusterEngineStats {
 };
 
 class ClusterTimestampEngine {
+ private:
+  struct ArenaSnapshot;  // published read-side state, defined below
+
  public:
   /// Dynamic mode: singleton clusters, self-organizing via `policy`.
   ClusterTimestampEngine(std::size_t process_count, ClusterEngineConfig config,
@@ -156,12 +174,27 @@ class ClusterTimestampEngine {
     /// x → anchor.
     bool precedes_anchor(const Event& ev_x) const;
 
+    /// Batched one-sided tests (out[i] = 0/1, same answers as the scalar
+    /// calls above in order): one transpose pass resolves each x's arena
+    /// row pointer once and gathers the direct-test operands contiguously,
+    /// then the active dispatch tier compares 2-16 pairs per instruction;
+    /// pairs the direct test cannot decide fall back to the scalar probe
+    /// walk inline.
+    void anchor_precedes_batch(std::span<const Event* const> xs,
+                               std::uint8_t* out) const;
+    void precedes_anchor_batch(std::span<const Event* const> xs,
+                               std::uint8_t* out) const;
+
    private:
     friend class ClusterTimestampEngine;
     PrecedenceCursor(const ClusterTimestampEngine& engine,
                      const Event& anchor);
 
     const ClusterTimestampEngine& engine_;
+    /// Keeps the snapshot the cursor resolved its pointers from alive even
+    /// if a concurrent repair publishes a newer one mid-lifetime.
+    util::EpochDomain::Guard guard_;
+    const ArenaSnapshot* snap_ = nullptr;
     EventId anchor_;
     EventId anchor_partner_;  // kNoEvent unless the anchor is a sync half
     const EventIndex* row_ = nullptr;     // anchor's component row
@@ -184,7 +217,9 @@ class ClusterTimestampEngine {
   std::uint64_t state_digest() const;
 
   /// Component-comparison count across precedes() calls (query-cost probe).
-  std::uint64_t comparisons() const { return comparisons_; }
+  std::uint64_t comparisons() const {
+    return comparisons_.load(std::memory_order_relaxed);
+  }
 
   /// Digest of the timestamp values stored for the processes of cluster `c`
   /// (an *online-auditable* slice of state_digest()). Any in-place mutation
@@ -213,9 +248,18 @@ class ClusterTimestampEngine {
 
   /// Arena mirror footprint in components (0 when the flag is off); the
   /// space cost of the fast path, reported by the perf harness.
-  std::size_t arena_words() const {
-    return arena_ ? arena_->pool_words() : 0;
-  }
+  std::size_t arena_words() const;
+
+  /// True when queries read only the epoch-published arena snapshot, i.e.
+  /// concurrent readers are safe against inject_corruption/rebuild_cluster
+  /// without any caller-side lock (they pin util::EpochDomain::global()
+  /// instead). False for legacy (use_arena=false) engines, whose queries
+  /// read the canonical store that rebuilds mutate in place.
+  bool lock_free_reads() const { return config_.use_arena; }
+
+  ~ClusterTimestampEngine();
+  ClusterTimestampEngine(const ClusterTimestampEngine&) = delete;
+  ClusterTimestampEngine& operator=(const ClusterTimestampEngine&) = delete;
 
  private:
   /// RowRef::aux marker for rows holding a full Fidge/Mattern vector.
@@ -246,19 +290,32 @@ class ClusterTimestampEngine {
                                 std::uint64_t occurrences);
 
   std::uint32_t covered_set_id(
+      ArenaSnapshot& snap,
       const std::shared_ptr<const std::vector<ProcessId>>& covered);
 
   /// Greatest cluster receive of `q` with index <= bound, as an arena pool
   /// offset (kNoProbe if none). At store time the answer is final: delivery
   /// order respects causality, so every event of q at or below a stored
-  /// row's component has already been delivered.
-  std::uint32_t resolve_probe(ProcessId q, EventIndex bound) const;
+  /// row's component has already been delivered. Handles are layout-stable
+  /// across snapshot clones, so any snapshot of this engine resolves them.
+  std::uint32_t resolve_probe(const ArenaSnapshot& snap, ProcessId q,
+                              EventIndex bound) const;
 
   /// Re-resolves the stored probe rows of a projection row whose component
-  /// values were mutated in place (corruption injection / rebuild) — the
-  /// legacy path re-searches per query, so the precomputed probes must
-  /// follow the mutated bounds to stay answer-identical.
-  void refresh_probes(EventId id);
+  /// values were mutated (corruption injection / rebuild) — the legacy path
+  /// re-searches per query, so the precomputed probes must follow the
+  /// mutated bounds to stay answer-identical. Operates on the given
+  /// (writer-private) snapshot.
+  void refresh_probes(ArenaSnapshot& snap, EventId id);
+
+  /// The currently published snapshot (null when use_arena is off).
+  const ArenaSnapshot* snapshot() const {
+    return snap_.load(std::memory_order_acquire);
+  }
+
+  /// Swaps `next` in as the published snapshot and retires the previous one
+  /// to the global epoch domain. Caller holds snap_writer_mu_.
+  void publish_snapshot(std::unique_ptr<ArenaSnapshot> next);
 
   bool precedes_arena(const Event& ev_e, const Event& ev_f) const;
   std::optional<bool> precedes_metered_arena(const Event& ev_e,
@@ -280,31 +337,54 @@ class ClusterTimestampEngine {
   std::unordered_set<EventId> sync_decided_;
 
   // --- arena acceleration (config_.use_arena) ---------------------------
-  std::unique_ptr<TsArena> arena_;  // interning OFF: rows mutate in place
-  /// Per event: its arena descriptor (pool offset, covered set, probes).
-  std::vector<std::vector<RowRef>> row_refs_;
-  /// Per event: its arena row handle (mutation hooks only — queries go
-  /// through row_refs_ offsets).
+  /// Everything the fast-path queries read, bundled for atomic publication.
+  /// Ingestion appends in place (single-writer phase); serving-time repairs
+  /// clone-mutate-swap (see the header comment). Deep-copyable by design:
+  /// handles and pool offsets are layout-stable across clones.
+  struct ArenaSnapshot {
+    ArenaSnapshot(std::size_t process_count, TsArena::Options options)
+        : arena(process_count, options),
+          row_refs(process_count),
+          probe_pool(process_count) {}
+
+    TsArena arena;  // interning OFF: repair clones overwrite rows
+    /// Per event: its arena descriptor (pool offset, covered set, probes).
+    std::vector<std::vector<RowRef>> row_refs;
+    /// Store-time-resolved probe rows: for each projection row, the pool
+    /// offset of the greatest cluster receive per covered slot (kNoProbe
+    /// where none) — the query-time binary searches of the legacy path,
+    /// paid once at ingestion. A row's probes start at RowRef::probe_off
+    /// and span the covered-set size (full rows own zero entries).
+    std::vector<std::vector<std::uint32_t>> probe_pool;
+    /// Interned covered sets (dense indices; see covered_ids_).
+    std::vector<CoveredSet> covered_sets;
+  };
+
+  /// Published snapshot (owned; null when use_arena is off). Readers load
+  /// it once per query under an epoch pin; writers swap under
+  /// snap_writer_mu_ and retire the old snapshot to the epoch domain.
+  std::atomic<ArenaSnapshot*> snap_{nullptr};
+  /// Serializes clone-and-swap mutators (the auditor already serializes
+  /// repairs, but the engine enforces its own invariant locally).
+  std::mutex snap_writer_mu_;
+  /// Per event: its arena row handle (writer-side mutation hooks only —
+  /// queries go through RowRef offsets).
   std::vector<std::vector<TsArena::RowHandle>> row_handles_;
   /// Arena rows of the non-merged cluster receives, parallel to
-  /// cluster_receives_.
+  /// cluster_receives_ (writer-side: probe resolution input).
   std::vector<std::vector<TsArena::RowHandle>> receive_rows_;
-  /// Store-time-resolved probe rows: for each projection row, the pool
-  /// offset of the greatest cluster receive per covered slot (kNoProbe
-  /// where none) — the query-time binary searches of the legacy path, paid
-  /// once at ingestion. A row's probes start at RowRef::probe_off and span
-  /// the covered-set size (full rows own zero entries).
-  std::vector<std::vector<std::uint32_t>> probe_pool_;
-  /// Interned covered sets (by members-pointer identity) + dense indices.
+  /// Interned covered sets (by members-pointer identity) → dense index
+  /// into ArenaSnapshot::covered_sets (writer-side).
   std::unordered_map<const void*, std::uint32_t> covered_ids_;
-  std::vector<CoveredSet> covered_sets_;
 
   std::size_t events_ = 0;
   std::size_t cluster_receive_count_ = 0;
   std::size_t merges_ = 0;
   std::uint64_t encoded_words_ = 0;
   std::uint64_t exact_words_ = 0;
-  mutable std::uint64_t comparisons_ = 0;
+  /// Relaxed atomic: bumped from concurrent lock-free readers; a plain
+  /// counter would be a (benign-looking but undefined) data race.
+  mutable std::atomic<std::uint64_t> comparisons_{0};
 };
 
 }  // namespace ct

@@ -1,37 +1,115 @@
-// Word-parallel precedence kernels.
+// Vector precedence kernels with runtime dispatch.
 //
 // The precedence tests of every backend reduce to a handful of primitive
 // operations over vectors of 32-bit components: "is a[i] <= b[i] for all i",
 // "component at slot s versus a bound", and "into = max(into, other)". The
-// scalar loops the engines shipped with spend most of their time in branch
-// mispredictions and per-element loop overhead; these kernels process two
-// components per 64-bit word with branch-free SWAR arithmetic
-// (Hacker's-Delight-style carry capture, no inter-lane borrow), which is the
-// restructure-the-clock-layout lesson of tree clocks (Mathur et al. 2022)
-// applied to our flat rows.
+// portable floor processes two components per 64-bit word with branch-free
+// SWAR arithmetic (Hacker's-Delight-style carry capture, no inter-lane
+// borrow); on x86-64 the dispatcher upgrades the hot entry points to AVX2
+// (8 lanes) or AVX-512 (16 lanes) variants selected ONCE at first use via
+// CPUID into a function-pointer table. All tiers are bit-identical — same
+// answers, same early-exit observable behavior — so "faster, never
+// different" holds across hardware; the scalar/SWAR tiers remain the test
+// oracle and the portable fallback for non-x86 builds.
+//
+// Tier selection:
+//   * widest_supported_tier() probes CPUID (__builtin_cpu_supports); the
+//     AVX-512 tier requires F+BW+VL (mask loads and mask->byte expansion);
+//   * the CT_KERNEL_TIER env var (scalar|swar|avx2|avx512) caps the tier for
+//     tests/benches; requesting an unsupported tier clamps down with a
+//     one-line stderr notice; an unknown value aborts loudly;
+//   * set_kernel_tier() does the same programmatically and returns the tier
+//     actually activated. Selection is thread-safe (atomic table pointer)
+//     but intended for startup/test use, not concurrent flipping.
 //
 // Contracts (asserted by tests/perf_layer_test.cpp against scalar
-// references, including the edge values 0, 2^31, 2^32-1 and every
-// word-boundary length):
+// references, including the edge values 0, 2^31, 2^32-1, every length
+// straddling the 2-/8-/16-lane boundaries, and unaligned bases):
 //   * all ops treat components as unsigned 32-bit values over the FULL range;
-//   * no kernel reads past `n` elements; unaligned bases are allowed (loads
-//     go through memcpy, which compiles to plain MOVs);
+//   * no kernel reads past `n` elements; unaligned bases are allowed (SWAR
+//     loads go through memcpy, SIMD tiers use unaligned/masked loads);
 //   * kernels never allocate and never touch errno/FP state.
 //
 // The single-component FM fast path (component_leq) is deliberately tiny and
 // inline: FM(e)[p_e] is e's own index, so the whole Fidge/Mattern precedence
 // test is one bounded lookup — engine.cpp, ondemand_fm.cpp,
 // recursive_precedence.cpp and the broker's batch path all funnel through
-// it. Batched variants that amortize row decoding live in the .cpp.
+// it. count_leq is likewise always inline: its power-of-two descent is
+// branch-free scalar CMOV and gains nothing from lanes.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <cstring>
+#include <string_view>
 
 #include "model/ids.hpp"
 
 namespace ct::kernels {
+
+// ---------------------------------------------------------------------------
+// Dispatch tiers
+// ---------------------------------------------------------------------------
+
+enum class KernelTier : std::uint8_t {
+  kScalar = 0,  ///< plain loops (reference oracle)
+  kSwar = 1,    ///< 2 lanes / 64-bit word, portable
+  kAvx2 = 2,    ///< 8 lanes / 256-bit vector (x86-64)
+  kAvx512 = 3,  ///< 16 lanes / 512-bit vector (x86-64, F+BW+VL)
+};
+
+const char* to_string(KernelTier tier);
+
+/// Parses "scalar" | "swar" | "avx2" | "avx512"; false on anything else.
+bool parse_kernel_tier(std::string_view name, KernelTier* out);
+
+/// Widest tier this CPU can execute (independent of any override).
+KernelTier widest_supported_tier();
+
+inline bool tier_supported(KernelTier tier) {
+  return tier <= widest_supported_tier();
+}
+
+/// The tier the dispatch table currently routes to (after the CT_KERNEL_TIER
+/// override has been applied on first use).
+KernelTier active_tier();
+
+/// Routes dispatch to `tier`, clamped to the widest supported tier; returns
+/// the tier actually activated.
+KernelTier set_kernel_tier(KernelTier tier);
+
+/// The per-tier entry points behind the dispatching wrappers below. All
+/// implementations are bit-identical; only throughput differs.
+struct KernelOps {
+  bool (*all_leq)(const EventIndex* a, const EventIndex* b, std::size_t n);
+  void (*max_into)(EventIndex* into, const EventIndex* other, std::size_t n);
+  void (*batch_leq)(const EventIndex* bounds, const EventIndex* comps,
+                    std::size_t n, std::uint8_t* out);
+  void (*batch_component_leq)(EventIndex bound, std::size_t slot,
+                              const EventIndex* const* rows, std::size_t count,
+                              std::uint8_t* out);
+  void (*batch_all_leq)(const EventIndex* a, std::size_t width,
+                        const EventIndex* const* rows, std::size_t count,
+                        std::uint8_t* out);
+};
+
+/// Dispatch table for a specific tier (tiers above the supported widest are
+/// clamped). Lets identity tests compare tiers without flipping the global.
+const KernelOps& ops_for_tier(KernelTier tier);
+
+namespace detail {
+extern std::atomic<const KernelOps*> g_active_ops;
+const KernelOps* init_active_ops();  // applies CT_KERNEL_TIER, then CPUID
+inline const KernelOps& ops() {
+  const KernelOps* p = g_active_ops.load(std::memory_order_acquire);
+  return p != nullptr ? *p : *init_active_ops();
+}
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// SWAR tier (also the inline portable floor; public for direct use/tests)
+// ---------------------------------------------------------------------------
 
 /// High bit of each 32-bit lane in a 64-bit word.
 inline constexpr std::uint64_t kLaneHigh = 0x8000'0000'8000'0000ull;
@@ -55,6 +133,8 @@ inline std::uint64_t load_word(const EventIndex* p) {
   return w;
 }
 
+namespace swar {
+
 /// True iff a[i] <= b[i] for every i < n. Word-parallel: two lanes per
 /// iteration, scalar tail for odd n. Early-exits per word (a violated word
 /// is final), which in practice fires within the first cache line for
@@ -67,20 +147,6 @@ inline bool all_leq(const EventIndex* a, const EventIndex* b, std::size_t n) {
   }
   if (i < n && a[i] > b[i]) return false;
   return true;
-}
-
-/// True iff some a[i] > b[i] (the negation of all_leq, exposed for callers
-/// that read better in that polarity).
-inline bool any_gt(const EventIndex* a, const EventIndex* b, std::size_t n) {
-  return !all_leq(a, b, n);
-}
-
-/// The single-component Fidge/Mattern fast path: FM(e)[p_e] equals e's own
-/// index, so e -> f over a row that covers slot `slot` is exactly
-/// `bound <= row[slot]`. Bounds-checked, branch-minimal.
-inline bool component_leq(EventIndex bound, const EventIndex* row,
-                          std::size_t width, std::size_t slot) {
-  return slot < width && bound <= row[slot];
 }
 
 /// into = max(into, other), element-wise, word-parallel. The lane-lt mask is
@@ -100,12 +166,94 @@ inline void max_into(EventIndex* into, const EventIndex* other,
   if (i < n && other[i] > into[i]) into[i] = other[i];
 }
 
+/// Pairwise bound test: out[i] = (bounds[i] <= comps[i]), two lanes per
+/// word. The lane-lt mask's per-lane high bits (bit 31 and bit 63) are the
+/// violation flags; a violated lane produces 0.
+inline void batch_leq(const EventIndex* bounds, const EventIndex* comps,
+                      std::size_t n, std::uint8_t* out) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // lanes where comps < bounds, i.e. the bound test FAILS.
+    const std::uint64_t m = lane_lt_mask(load_word(comps + i),
+                                         load_word(bounds + i));
+    out[i] = static_cast<std::uint8_t>((m & (1ull << 31)) == 0);
+    out[i + 1] = static_cast<std::uint8_t>((m >> 63) == 0);
+  }
+  if (i < n) out[i] = static_cast<std::uint8_t>(bounds[i] <= comps[i]);
+}
+
+}  // namespace swar
+
+// ---------------------------------------------------------------------------
+// Dispatching entry points (the public kernel API)
+// ---------------------------------------------------------------------------
+
+/// True iff a[i] <= b[i] for every i < n (vector dominance).
+inline bool all_leq(const EventIndex* a, const EventIndex* b, std::size_t n) {
+  return detail::ops().all_leq(a, b, n);
+}
+
+/// True iff some a[i] > b[i] (the negation of all_leq, exposed for callers
+/// that read better in that polarity).
+inline bool any_gt(const EventIndex* a, const EventIndex* b, std::size_t n) {
+  return !all_leq(a, b, n);
+}
+
+/// into = max(into, other), element-wise.
+inline void max_into(EventIndex* into, const EventIndex* other,
+                     std::size_t n) {
+  detail::ops().max_into(into, other, n);
+}
+
+/// Pairwise bound test over transposed operands: out[i] = (bounds[i] <=
+/// comps[i]). This is the streaming core of the batch-transpose path: the
+/// caller resolves arena rows once, gathers the per-pair component values
+/// contiguously, and the widest tier compares 8-16 pairs per instruction.
+inline void batch_leq(const EventIndex* bounds, const EventIndex* comps,
+                      std::size_t n, std::uint8_t* out) {
+  detail::ops().batch_leq(bounds, comps, n, out);
+}
+
+/// Batched single-component test: out[i] = (bound <= rows[i][slot]) for a
+/// batch of row base pointers. Amortizes the per-call overhead of the
+/// frontier's repeated tests against the same covered set; row pointers are
+/// resolved once by the caller (arena handles decoded a single time).
+inline void batch_component_leq(EventIndex bound, std::size_t slot,
+                                const EventIndex* const* rows,
+                                std::size_t count, std::uint8_t* out) {
+  detail::ops().batch_component_leq(bound, slot, rows, count, out);
+}
+
+/// Batched whole-vector dominance: out[i] = all_leq(a, rows[i], width).
+/// Used by store-level sweeps (integrity audits, oracle cross-checks) where
+/// one query row is compared against many stored rows of equal width.
+inline void batch_all_leq(const EventIndex* a, std::size_t width,
+                          const EventIndex* const* rows, std::size_t count,
+                          std::uint8_t* out) {
+  detail::ops().batch_all_leq(a, width, rows, count, out);
+}
+
+// ---------------------------------------------------------------------------
+// Always-inline scalar primitives (no dispatch: lanes cannot help these)
+// ---------------------------------------------------------------------------
+
+/// The single-component Fidge/Mattern fast path: FM(e)[p_e] equals e's own
+/// index, so e -> f over a row that covers slot `slot` is exactly
+/// `bound <= row[slot]`. Bounds-checked, branch-minimal.
+inline bool component_leq(EventIndex bound, const EventIndex* row,
+                          std::size_t width, std::size_t slot) {
+  return slot < width && bound <= row[slot];
+}
+
 /// Branchless upper_bound over a sorted ascending array: the number of
 /// elements <= `bound` (i.e. the index one past the last such element).
 /// Power-of-two stride descent; every iteration is a conditional add the
-/// compiler turns into CMOV.
+/// compiler turns into CMOV. An empty row (n == 0) is a valid input and
+/// yields 0 — checked explicitly so the contract survives refactors of the
+/// descent arithmetic (bit_ceil(1) >> 1 happening to be 0 is not a contract).
 inline std::size_t count_leq(const EventIndex* sorted, std::size_t n,
                              EventIndex bound) {
+  if (n == 0) return 0;
   std::size_t pos = 0;
   std::size_t step = std::bit_ceil(n + 1) >> 1;
   for (; step != 0; step >>= 1) {
@@ -114,21 +262,6 @@ inline std::size_t count_leq(const EventIndex* sorted, std::size_t n,
   }
   return pos;
 }
-
-/// Batched single-component test: out[i] = (bound <= rows[i][slot]) for a
-/// batch of row base pointers. Amortizes the per-call overhead of the
-/// frontier's repeated tests against the same covered set; row pointers are
-/// resolved once by the caller (arena handles decoded a single time).
-void batch_component_leq(EventIndex bound, std::size_t slot,
-                         const EventIndex* const* rows, std::size_t count,
-                         std::uint8_t* out);
-
-/// Batched whole-vector dominance: out[i] = all_leq(a, rows[i], width).
-/// Used by store-level sweeps (integrity audits, oracle cross-checks) where
-/// one query row is compared against many stored rows of equal width.
-void batch_all_leq(const EventIndex* a, std::size_t width,
-                   const EventIndex* const* rows, std::size_t count,
-                   std::uint8_t* out);
 
 /// Scalar reference implementations (test oracles; intentionally naive).
 namespace reference {
@@ -144,6 +277,13 @@ inline void max_into(EventIndex* into, const EventIndex* other,
                      std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     if (other[i] > into[i]) into[i] = other[i];
+  }
+}
+
+inline void batch_leq(const EventIndex* bounds, const EventIndex* comps,
+                      std::size_t n, std::uint8_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(bounds[i] <= comps[i]);
   }
 }
 

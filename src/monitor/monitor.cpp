@@ -192,6 +192,10 @@ std::size_t MonitoringEntity::precedes_batch_metered(
   return cluster_->precedes_batch_metered(records, cost, out);
 }
 
+bool MonitoringEntity::lock_free_reads() const {
+  return fm_ != nullptr || cluster_->lock_free_reads();
+}
+
 std::vector<ClusterId> MonitoringEntity::cluster_ids() const {
   if (!cluster_) return {};
   return cluster_->clusters().clusters();

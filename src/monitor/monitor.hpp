@@ -141,6 +141,14 @@ class MonitoringEntity {
       std::span<const std::pair<EventId, EventId>> pairs, QueryCost& cost,
       std::optional<bool>* out) const;
 
+  /// True when concurrent precedence reads are safe against audit repairs
+  /// (rebuild_cluster / inject_timestamp_corruption) without caller-side
+  /// locking: FM clocks are immutable once delivered, and an arena-mode
+  /// cluster engine serves from an epoch-published snapshot (readers pin
+  /// util::EpochDomain::global(); see core/engine.hpp). Legacy
+  /// use_arena=false engines still require reader exclusion.
+  bool lock_free_reads() const;
+
   /// Timestamp storage in 32-bit words under §4's encoding conventions.
   std::uint64_t timestamp_words() const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/epoch.hpp"
 
 namespace ct {
 
@@ -66,7 +67,8 @@ QueryBroker::QueryBroker(MonitoringEntity& monitor, ThreadPool& pool,
       trace_(monitor.delivered_trace()),
       differential_(trace_, options_.differential_interval),
       ondemand_(trace_, std::max<std::size_t>(
-                            1, options_.ondemand_cache_capacity)) {
+                            1, options_.ondemand_cache_capacity)),
+      lock_free_reads_(monitor.lock_free_reads()) {
   if (options_.answer_cache_capacity > 0) {
     answer_cache_ = std::make_unique<
         SynchronizedLruCache<PairKey, bool, PairKeyHash>>(
@@ -302,7 +304,16 @@ QueryResult QueryBroker::execute(const Job& job) {
         std::size_t done = 0;
         bool bulk_failed = false;
         {
-          std::shared_lock reader(cluster_mu_);
+          // Default path: pin the epoch once for the whole batch (zero
+          // locks); legacy engines still take the reader lock.
+          util::EpochDomain::Guard pin;
+          std::shared_lock<std::shared_mutex> reader(cluster_mu_,
+                                                     std::defer_lock);
+          if (lock_free_reads_) {
+            pin = util::EpochDomain::global().pin();
+          } else {
+            reader.lock();
+          }
           try {
             done = monitor_.precedes_batch_metered(job.pairs, cost,
                                                    result.batch.data());
@@ -426,6 +437,13 @@ std::optional<bool> QueryBroker::backend_precedes(ServingBackend b, EventId e,
                                                   QueryCost& cost) {
   switch (b) {
     case ServingBackend::kCluster: {
+      if (lock_free_reads_) {
+        // Zero-lock read: the pin keeps the engine's published snapshot
+        // alive; a concurrent repair swaps in a new one without blocking.
+        const util::EpochDomain::Guard pin =
+            util::EpochDomain::global().pin();
+        return monitor_.precedes_metered(e, f, cost);
+      }
       std::shared_lock reader(cluster_mu_);
       return monitor_.precedes_metered(e, f, cost);
     }
@@ -491,8 +509,13 @@ bool QueryBroker::audit_step() {
   for (const ClusterId c : finding.corrupted) {
     std::uint64_t ticks = 0;
     {
-      // Exclude in-flight cluster readers while the store is rewritten.
-      std::unique_lock writer(cluster_mu_);
+      // Default path: the engine rebuilds a writer-private snapshot and
+      // publishes it with one atomic swap — in-flight readers keep the
+      // pre-repair snapshot and are never blocked. Legacy engines rewrite
+      // the store in place and still need reader exclusion.
+      std::unique_lock<std::shared_mutex> writer(cluster_mu_,
+                                                 std::defer_lock);
+      if (!lock_free_reads_) writer.lock();
       ticks = monitor_.rebuild_cluster(c);
     }
     auditor_->rebaseline(c);

@@ -259,8 +259,15 @@ class QueryBroker {
       answer_cache_;
   std::unique_ptr<IntegrityAuditor> auditor_;
 
-  /// Readers of the monitor's (repairable) cluster state hold it shared;
-  /// audit-triggered rebuilds hold it exclusively.
+  /// True when the monitor's cluster reads are safe against audit repairs
+  /// without locking (epoch-published engine snapshots / immutable FM
+  /// clocks — see MonitoringEntity::lock_free_reads). On this DEFAULT path
+  /// readers pin util::EpochDomain::global() instead of cluster_mu_, so a
+  /// rebuild storm never blocks a query and queries never delay repairs.
+  const bool lock_free_reads_;
+  /// Legacy fallback (use_arena=false engines only): readers of the
+  /// monitor's (repairable) cluster state hold it shared; audit-triggered
+  /// rebuilds hold it exclusively. Never taken when lock_free_reads_.
   std::shared_mutex cluster_mu_;
   /// Serializes audit steps (the auditor is single-threaded).
   mutable std::mutex audit_mu_;

@@ -1,0 +1,171 @@
+#include "util/epoch.hpp"
+
+#include <thread>
+#include <utility>
+
+namespace ct::util {
+namespace {
+
+/// Per-thread cache of the slot owned in the GLOBAL domain. Standalone
+/// domains (unit tests) acquire/release a slot per guard instead, so a
+/// dying domain can never be reached from another thread's TLS cleanup.
+struct GlobalSlotCache {
+  EpochDomain::Slot* slot = nullptr;
+  ~GlobalSlotCache() {
+    if (slot != nullptr) {
+      slot->epoch.store(0, std::memory_order_release);
+      slot->owned.store(false, std::memory_order_release);
+    }
+  }
+};
+
+thread_local GlobalSlotCache g_global_slot;
+
+}  // namespace
+
+EpochDomain& EpochDomain::global() {
+  // Leaky singleton: never destroyed, so GlobalSlotCache destructors that
+  // run at thread exit (possibly after main returns) always find live slots.
+  static EpochDomain* const kGlobal = new EpochDomain;
+  return *kGlobal;
+}
+
+EpochDomain::~EpochDomain() {
+  collect();
+  Slot* s = slots_.load(std::memory_order_acquire);
+  while (s != nullptr) {
+    Slot* next = s->next;
+    delete s;
+    s = next;
+  }
+}
+
+EpochDomain::Slot* EpochDomain::acquire_slot() {
+  // Recycle a released slot if one exists; the list only ever grows to the
+  // high-water mark of concurrently registered threads/guards.
+  for (Slot* s = slots_.load(std::memory_order_acquire); s != nullptr;
+       s = s->next) {
+    bool expected = false;
+    if (s->owned.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+      return s;
+    }
+  }
+  Slot* fresh = new Slot;
+  fresh->owned.store(true, std::memory_order_relaxed);
+  Slot* head = slots_.load(std::memory_order_relaxed);
+  do {
+    fresh->next = head;
+  } while (!slots_.compare_exchange_weak(head, fresh,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed));
+  return fresh;
+}
+
+EpochDomain::Guard::Guard(EpochDomain& domain) : domain_(&domain) {
+  if (domain_ == &EpochDomain::global()) {
+    if (g_global_slot.slot == nullptr) {
+      g_global_slot.slot = domain_->acquire_slot();
+    }
+    slot_ = g_global_slot.slot;
+  } else {
+    slot_ = domain_->acquire_slot();
+    release_slot_ = true;
+  }
+  prev_ = slot_->epoch.load(std::memory_order_relaxed);
+  if (prev_ == 0) {
+    // seq_cst: the stamp must be globally ordered before this reader's
+    // subsequent pointer load (store-buffer pattern; see header).
+    slot_->epoch.store(domain_->grace_.load(std::memory_order_seq_cst),
+                       std::memory_order_seq_cst);
+  }
+}
+
+void EpochDomain::Guard::reset() {
+  if (slot_ != nullptr) {
+    slot_->epoch.store(prev_, std::memory_order_release);
+    if (release_slot_) {
+      slot_->owned.store(false, std::memory_order_release);
+    }
+    slot_ = nullptr;
+    domain_ = nullptr;
+  }
+}
+
+std::uint64_t EpochDomain::oldest_pinned() const {
+  std::uint64_t oldest = 0;
+  for (Slot* s = slots_.load(std::memory_order_seq_cst); s != nullptr;
+       s = s->next) {
+    const std::uint64_t e = s->epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && (oldest == 0 || e < oldest)) {
+      oldest = e;
+    }
+  }
+  return oldest;
+}
+
+void EpochDomain::synchronize() {
+  const std::uint64_t stamp = grace_.fetch_add(1, std::memory_order_seq_cst);
+  // Wait until every reader stamped at or before `stamp` has unpinned.
+  // Readers that pin from here on stamp > `stamp` and are not waited for,
+  // so a continuous stream of new readers cannot starve the writer.
+  for (;;) {
+    const std::uint64_t oldest = oldest_pinned();
+    if (oldest == 0 || oldest > stamp) {
+      return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+void EpochDomain::retire(std::function<void()> reclaim) {
+  const std::uint64_t stamp = grace_.fetch_add(1, std::memory_order_seq_cst);
+  std::vector<std::function<void()>> ripe;
+  {
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    limbo_.push_back(LimboEntry{stamp, std::move(reclaim)});
+    // Opportunistic collection keeps the limbo list bounded by the number
+    // of grace periods still covering a pinned reader.
+    const std::uint64_t oldest = oldest_pinned();
+    std::size_t kept = 0;
+    for (auto& entry : limbo_) {
+      if (oldest == 0 || oldest > entry.grace) {
+        ripe.push_back(std::move(entry.reclaim));
+      } else {
+        limbo_[kept++] = std::move(entry);
+      }
+    }
+    limbo_.resize(kept);
+  }
+  for (auto& fn : ripe) {
+    fn();
+  }
+}
+
+std::size_t EpochDomain::collect() {
+  std::vector<std::function<void()>> ripe;
+  {
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    const std::uint64_t oldest = oldest_pinned();
+    std::size_t kept = 0;
+    for (auto& entry : limbo_) {
+      if (oldest == 0 || oldest > entry.grace) {
+        ripe.push_back(std::move(entry.reclaim));
+      } else {
+        limbo_[kept++] = std::move(entry);
+      }
+    }
+    limbo_.resize(kept);
+  }
+  for (auto& fn : ripe) {
+    fn();
+  }
+  return ripe.size();
+}
+
+std::size_t EpochDomain::limbo_size() const {
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  return limbo_.size();
+}
+
+}  // namespace ct::util

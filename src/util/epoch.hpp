@@ -1,0 +1,141 @@
+// Epoch-based read publication (RCU-style grace periods).
+//
+// The serving tier's rule is that rebuilds must never block queries: the
+// engine publishes each repaired arena snapshot with a single atomic
+// pointer swap, and the OLD snapshot must stay readable until every reader
+// that might still hold it has moved on. EpochDomain provides exactly that
+// guarantee without a reader-side lock:
+//
+//  * readers pin() before loading the published pointer and unpin when the
+//    guard dies. A pin is one thread-local slot lookup plus one seq_cst
+//    store — no shared cache line is written by more than one thread, no
+//    CAS, no mutex, so readers never contend with each other or with a
+//    writer;
+//  * writers swap the pointer, then either synchronize() (block until all
+//    readers pinned BEFORE the swap have unpinned) or retire() the old
+//    value into a limbo list that collect() reclaims once its grace period
+//    has passed. Readers that pin AFTER the swap observe the new pointer
+//    (seq_cst ordering of the swap, the grace bump, and the pin stamp),
+//    so a writer only ever waits for the bounded set of pre-swap readers.
+//
+// Memory-ordering sketch (the store-buffer pattern): a reader stamps its
+// slot with the current grace epoch (seq_cst) and then loads the pointer;
+// a writer swaps the pointer (seq_cst), bumps the grace epoch (seq_cst),
+// and then scans the slots. In the single total order of seq_cst
+// operations either the writer sees the reader's stamp (and waits), or the
+// reader's pointer load is ordered after the swap (and sees the new
+// value). Both outcomes are safe; nothing in between exists.
+//
+// Slots: one cache-line-aligned atomic per (domain, thread), pushed onto a
+// lock-free list on first use and recycled when the thread exits (global
+// domain) or the guard dies (standalone domains). The global() domain is a
+// leaky singleton so thread-exit destructors can always write their slot.
+//
+// Threads that pinned a NON-global domain must not outlive it; unit tests
+// join their readers before the domain dies, which satisfies this.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace ct::util {
+
+class EpochDomain {
+ public:
+  struct alignas(64) Slot {
+    /// 0 = quiescent; otherwise the grace epoch observed at pin time.
+    std::atomic<std::uint64_t> epoch{0};
+    /// Slot ownership (one live thread / guard at a time); recycled.
+    std::atomic<bool> owned{false};
+    Slot* next = nullptr;
+  };
+
+  class Guard {
+   public:
+    Guard() = default;
+    explicit Guard(EpochDomain& domain);
+    ~Guard() { reset(); }
+    Guard(Guard&& other) noexcept { *this = static_cast<Guard&&>(other); }
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        reset();
+        domain_ = other.domain_;
+        slot_ = other.slot_;
+        prev_ = other.prev_;
+        release_slot_ = other.release_slot_;
+        other.slot_ = nullptr;
+        other.domain_ = nullptr;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    bool pinned() const { return slot_ != nullptr; }
+
+   private:
+    void reset();
+
+    EpochDomain* domain_ = nullptr;
+    Slot* slot_ = nullptr;
+    std::uint64_t prev_ = 0;
+    /// True when the slot was acquired per-guard (standalone domains) and
+    /// must be returned on unpin; the global domain keeps slots per thread.
+    bool release_slot_ = false;
+  };
+
+  /// The process-wide domain every published engine snapshot uses. Leaky
+  /// singleton: never destroyed, so thread-exit cleanup can always run.
+  static EpochDomain& global();
+
+  EpochDomain() = default;
+  ~EpochDomain();
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// Enters a read-side critical section. Nested pins keep the OUTER stamp
+  /// (the older epoch wins), so nesting never weakens protection.
+  Guard pin() { return Guard(*this); }
+
+  /// Blocks (spin + yield) until every reader pinned before this call has
+  /// unpinned. Writer-side only; readers are never blocked by it.
+  void synchronize();
+
+  /// Defers `reclaim` until the current readers' grace period has passed,
+  /// then runs it from a later collect()/retire() call. Never blocks on
+  /// readers. Writer-side calls are internally serialized.
+  void retire(std::function<void()> reclaim);
+
+  /// Runs every ripe limbo entry; returns how many were reclaimed.
+  std::size_t collect();
+
+  /// Deferred reclamations not yet run (diagnostics / tests).
+  std::size_t limbo_size() const;
+
+  /// Monotonic grace counter (diagnostics / tests).
+  std::uint64_t grace_epoch() const {
+    return grace_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Guard;
+  struct LimboEntry {
+    std::uint64_t grace;
+    std::function<void()> reclaim;
+  };
+
+  Slot* acquire_slot();
+  /// Oldest pinned epoch across all slots (0 when no reader is pinned).
+  std::uint64_t oldest_pinned() const;
+
+  std::atomic<Slot*> slots_{nullptr};  // push-only lock-free list
+  std::atomic<std::uint64_t> grace_{1};
+  mutable std::mutex limbo_mu_;
+  std::vector<LimboEntry> limbo_;
+};
+
+}  // namespace ct::util

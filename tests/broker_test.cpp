@@ -4,8 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <future>
+#include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -14,6 +18,7 @@
 #include "monitor/queries.hpp"
 #include "monitor/query_broker.hpp"
 #include "trace/generators.hpp"
+#include "util/epoch.hpp"
 #include "util/prng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -767,6 +772,245 @@ TEST(QueryBroker, FallbackBreakerReclosesViaProbeStride) {
       broker.submit_precedence(EventId{0, 1}, EventId{2, 3}).get();
   EXPECT_EQ(healed.backend_used, ServingBackend::kCluster);
   EXPECT_TRUE(broker.health().accounted());
+}
+
+// ----------------------------------------------------- epoch publication
+
+// Rebuild-storm stress tests for the lock-free read path: queries race
+// continuous snapshot publication (rebuild_cluster clones the arena, swaps
+// one atomic pointer, retires the old snapshot to the global epoch domain).
+// Under TSan these are the data-race check on the whole pin/publish/retire
+// protocol; on any build they check that rebuilds never block, tear, or
+// change answers.
+
+TEST(EpochPublication, BrokerAnswersStayExactDuringRebuildStorm) {
+  const Trace t = small_trace();
+  MonitoringEntity monitor(t.process_count(), broker_monitor_options(t));
+  feed(monitor, t);
+  ASSERT_TRUE(monitor.lock_free_reads());
+  const CausalityOracle oracle(t);
+  const auto events = all_events(t);
+
+  ThreadPool pool(3);
+  QueryBroker broker(monitor, pool, {});
+
+  // Rebuild every cluster in a loop: the rows recompute to their current
+  // (correct) values, so every published snapshot answers identically and
+  // reader exactness is assertable throughout the storm.
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> rebuilds{0};
+  std::thread storm([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const ClusterId c : monitor.cluster_ids()) {
+        monitor.rebuild_cluster(c);
+        rebuilds.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  struct Submitted {
+    EventId e = kNoEvent, f = kNoEvent;           // precedence
+    std::vector<std::pair<EventId, EventId>> batch;  // batch
+    bool frontier = false;
+  };
+  Prng rng(137);
+  std::vector<std::future<QueryResult>> futures;
+  std::vector<Submitted> submitted;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 30; ++i) {
+      Submitted s;
+      if (i % 11 == 0) {
+        s.e = rng.pick(events);
+        s.frontier = true;
+        futures.push_back(broker.submit_frontier(s.e));
+      } else if (i % 7 == 0) {
+        for (int k = 0; k < 12; ++k) {
+          s.batch.emplace_back(rng.pick(events), rng.pick(events));
+        }
+        futures.push_back(broker.submit_batch(s.batch));
+      } else {
+        s.e = rng.pick(events);
+        s.f = rng.pick(events);
+        futures.push_back(broker.submit_precedence(s.e, s.f));
+      }
+      submitted.push_back(std::move(s));
+    }
+    broker.drain();
+  }
+  stop.store(true);
+  storm.join();
+
+  ASSERT_GT(rebuilds.load(), 0u);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const QueryResult r = futures[i].get();
+    ASSERT_EQ(r.outcome, QueryOutcome::kAnswered) << "query " << i;
+    const Submitted& s = submitted[i];
+    if (s.frontier) {
+      ASSERT_TRUE(r.frontiers.has_value());
+      const CausalFrontiers want = oracle_frontiers(t, oracle, s.e);
+      EXPECT_EQ(r.frontiers->greatest_predecessor,
+                want.greatest_predecessor)
+          << "frontier of " << s.e;
+      EXPECT_EQ(r.frontiers->greatest_concurrent, want.greatest_concurrent)
+          << "frontier of " << s.e;
+    } else if (!s.batch.empty()) {
+      ASSERT_EQ(r.batch.size(), s.batch.size());
+      for (std::size_t k = 0; k < s.batch.size(); ++k) {
+        ASSERT_TRUE(r.batch[k].has_value());
+        EXPECT_EQ(*r.batch[k], oracle.happened_before(s.batch[k].first,
+                                                      s.batch[k].second))
+            << "batch " << i << " pair " << k;
+      }
+    } else {
+      ASSERT_TRUE(r.answer.has_value());
+      EXPECT_EQ(*r.answer, oracle.happened_before(s.e, s.f))
+          << s.e << " -> " << s.f;
+    }
+  }
+  const BrokerHealth h = broker.health();
+  EXPECT_TRUE(h.accounted());
+  EXPECT_EQ(h.in_flight, 0u);
+}
+
+TEST(EpochPublication, CorruptionRepairStormStaysAccounted) {
+  // The harder storm: corruption injections and audit-triggered repairs
+  // (both clone-mutate-publish writers, serialized by the engine) race the
+  // reader traffic. Answers during a corruption window are unspecified —
+  // this asserts the concurrency contract (no race, no stall, accounting
+  // exact) and that the system converges to clean, exact service after.
+  const Trace t = small_trace();
+  MonitoringEntity monitor(t.process_count(), broker_monitor_options(t));
+  feed(monitor, t);
+  ASSERT_TRUE(monitor.lock_free_reads());
+  const CausalityOracle oracle(t);
+  const auto events = all_events(t);
+
+  ThreadPool pool(3);
+  BrokerOptions options;
+  options.audit.pairs_per_step = 2;
+  options.audit.clean_steps_to_readmit = 1;
+  QueryBroker broker(monitor, pool, options);
+
+  std::atomic<bool> stop{false};
+  std::thread storm([&] {
+    Prng corrupt_rng(138);
+    while (!stop.load(std::memory_order_relaxed)) {
+      monitor.inject_timestamp_corruption(corrupt_rng.pick(events), 0,
+                                          0xdeadu);
+      // audit_step detects the digest mismatch and rebuilds the corrupted
+      // cluster — a second clone-and-publish racing the readers.
+      broker.audit_step();
+    }
+  });
+
+  Prng rng(139);
+  std::vector<std::future<QueryResult>> futures;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 30; ++i) {
+      if (i % 9 == 0) {
+        futures.push_back(broker.submit_frontier(rng.pick(events)));
+      } else {
+        futures.push_back(
+            broker.submit_precedence(rng.pick(events), rng.pick(events)));
+      }
+    }
+    broker.drain();
+  }
+  stop.store(true);
+  storm.join();
+
+  for (auto& f : futures) {
+    const QueryResult r = f.get();
+    EXPECT_NE(r.outcome, QueryOutcome::kFailed);
+  }
+  const BrokerHealth h = broker.health();
+  EXPECT_TRUE(h.accounted());
+  EXPECT_EQ(h.in_flight, 0u);
+
+  // Quiesced: one final repair pass, then service is exact again.
+  while (!broker.audit_step()) {
+  }
+  for (int i = 0; i < 20; ++i) {
+    const EventId e = rng.pick(events);
+    const EventId f = rng.pick(events);
+    const QueryResult r = broker.submit_precedence(e, f).get();
+    ASSERT_EQ(r.outcome, QueryOutcome::kAnswered);
+    EXPECT_EQ(*r.answer, oracle.happened_before(e, f)) << e << " -> " << f;
+  }
+}
+
+TEST(EpochPublication, EngineCursorAndBatchReadsRaceRebuilds) {
+  // Engine-level storm, below the broker: cursors pin the epoch domain for
+  // their lifetime, raw batch calls pin around each call, and the writer
+  // republishes snapshots continuously. Expected answers are computed
+  // before the storm; every snapshot must serve them bit-identically.
+  const Trace t = small_trace();
+  ClusterEngineConfig config;
+  config.max_cluster_size = 4;
+  config.fm_vector_width = t.process_count();
+  config.use_arena = true;
+  ClusterTimestampEngine engine(t.process_count(), config,
+                                make_merge_on_nth(10.0));
+  for (const EventId id : t.delivery_order()) engine.observe(t.event(id));
+
+  const auto& order = t.delivery_order();
+  std::vector<const Event*> all;
+  for (const EventId id : order) all.push_back(&t.event(id));
+
+  std::vector<std::pair<const Event*, const Event*>> pairs;
+  for (std::size_t i = 0; i < all.size(); i += 5) {
+    for (std::size_t j = 0; j < all.size(); j += 7) {
+      pairs.emplace_back(all[i], all[j]);
+    }
+  }
+  std::vector<std::optional<bool>> expected(pairs.size());
+  {
+    QueryCost cost;
+    ASSERT_EQ(engine.precedes_batch_metered(pairs, cost, expected.data()),
+              pairs.size());
+  }
+  std::vector<std::uint8_t> expected_fwd(all.size());
+  const Event& anchor = t.event(order[order.size() / 2]);
+  engine.cursor(anchor).anchor_precedes_batch(all, expected_fwd.data());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int w = 0; w < 3; ++w) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Raw engine reads hold an explicit pin (the broker does this for
+        // its callers); the cursor pins itself for its whole lifetime.
+        {
+          const util::EpochDomain::Guard pin =
+              util::EpochDomain::global().pin();
+          QueryCost cost;
+          std::vector<std::optional<bool>> got(pairs.size());
+          ASSERT_EQ(engine.precedes_batch_metered(pairs, cost, got.data()),
+                    pairs.size());
+          ASSERT_EQ(got, expected);
+        }
+        const auto cursor = engine.cursor(anchor);
+        std::vector<std::uint8_t> fwd(all.size());
+        cursor.anchor_precedes_batch(all, fwd.data());
+        ASSERT_EQ(fwd, expected_fwd);
+      }
+    });
+  }
+
+  const auto event_of = [&t](EventId id) -> const Event& {
+    return t.event(id);
+  };
+  for (int sweep = 0; sweep < 40; ++sweep) {
+    for (const ClusterId c : engine.clusters().clusters()) {
+      engine.rebuild_cluster(c, order, event_of);
+    }
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  // With every reader gone, all retired snapshots are reclaimable.
+  util::EpochDomain::global().synchronize();
+  util::EpochDomain::global().collect();
+  EXPECT_EQ(util::EpochDomain::global().limbo_size(), 0u);
 }
 
 }  // namespace

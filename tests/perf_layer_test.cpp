@@ -164,6 +164,95 @@ TEST_P(ArenaEquivalence, CursorMatchesLegacyBothDirections) {
   }
 }
 
+// The batch-transpose fast path (unlimited budget) must match sequential
+// precedes_metered calls answer-for-answer AND tick-for-tick; a budgeted
+// batch must take the sequential oracle path and stop at exactly the pair
+// where a running sequential meter would.
+TEST_P(ArenaEquivalence, BatchedPrecedenceMatchesSequentialAnswersAndTicks) {
+  const Trace trace = family_trace(GetParam());
+  ClusterTimestampEngine arena(trace.process_count(), engine_config(5, true),
+                               make_merge_on_nth(2.0));
+  arena.observe_trace(trace);
+
+  const auto& order = trace.delivery_order();
+  std::vector<std::pair<const Event*, const Event*>> pairs;
+  for (std::size_t i = 0; i < order.size(); i += 3) {
+    for (std::size_t j = 0; j < order.size(); j += 5) {
+      pairs.emplace_back(&trace.event(order[i]), &trace.event(order[j]));
+    }
+  }
+
+  QueryCost batch_cost;
+  std::vector<std::optional<bool>> got(pairs.size());
+  ASSERT_EQ(arena.precedes_batch_metered(pairs, batch_cost, got.data()),
+            pairs.size());
+
+  QueryCost seq_cost;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto want =
+        arena.precedes_metered(*pairs[i].first, *pairs[i].second, seq_cost);
+    ASSERT_TRUE(want.has_value());
+    ASSERT_EQ(got[i], want) << trace.name() << " pair " << i;
+  }
+  EXPECT_EQ(batch_cost.ticks, seq_cost.ticks) << trace.name();
+
+  // Budget-limited run: same prefix of answers, short count at the same
+  // pair, untouched slots beyond it.
+  QueryCost limited{.ticks = 0, .budget = seq_cost.ticks / 2 + 1};
+  std::vector<std::optional<bool>> partial(pairs.size());
+  const std::size_t answered =
+      arena.precedes_batch_metered(pairs, limited, partial.data());
+  ASSERT_LE(answered, pairs.size());
+
+  QueryCost replay{.ticks = 0, .budget = limited.budget};
+  for (std::size_t i = 0; i < answered; ++i) {
+    const auto want =
+        arena.precedes_metered(*pairs[i].first, *pairs[i].second, replay);
+    ASSERT_TRUE(want.has_value()) << trace.name() << " pair " << i;
+    ASSERT_EQ(partial[i], want) << trace.name() << " pair " << i;
+  }
+  if (answered < pairs.size()) {
+    EXPECT_FALSE(arena
+                     .precedes_metered(*pairs[answered].first,
+                                       *pairs[answered].second, replay)
+                     .has_value())
+        << trace.name() << ": batch stopped early at pair " << answered;
+    for (std::size_t i = answered; i < pairs.size(); ++i) {
+      ASSERT_FALSE(partial[i].has_value())
+          << trace.name() << ": slot " << i << " past the expiry was written";
+    }
+  }
+  EXPECT_EQ(limited.ticks, replay.ticks) << trace.name();
+}
+
+// The cursor's batched one-sided entry points must agree with its scalar
+// calls for every event, both directions, across full rows, projections,
+// and sync halves.
+TEST_P(ArenaEquivalence, CursorBatchMatchesScalarCursorCalls) {
+  const Trace trace = family_trace(GetParam());
+  ClusterTimestampEngine arena(trace.process_count(), engine_config(5, true),
+                               make_merge_on_nth(2.0));
+  arena.observe_trace(trace);
+
+  const auto& order = trace.delivery_order();
+  std::vector<const Event*> xs;
+  xs.reserve(order.size());
+  for (const EventId x : order) xs.push_back(&trace.event(x));
+
+  for (std::size_t i = 0; i < order.size(); i += 9) {
+    const auto cur = arena.cursor(trace.event(order[i]));
+    std::vector<std::uint8_t> fwd(xs.size(), 0xcc), bwd(xs.size(), 0xcc);
+    cur.anchor_precedes_batch(xs, fwd.data());
+    cur.precedes_anchor_batch(xs, bwd.data());
+    for (std::size_t k = 0; k < xs.size(); ++k) {
+      ASSERT_EQ(fwd[k] != 0, cur.anchor_precedes(*xs[k]))
+          << trace.name() << " anchor=" << order[i] << " k=" << k;
+      ASSERT_EQ(bwd[k] != 0, cur.precedes_anchor(*xs[k]))
+          << trace.name() << " anchor=" << order[i] << " k=" << k;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Families, ArenaEquivalence, ::testing::Range(0, 8));
 
 // The precomputed probes must track in-place mutations: corruption changes
@@ -368,6 +457,163 @@ TEST(Kernels, BatchedVariantsMatchScalarLoops) {
         kernels::reference::all_leq(query.data(), rows[i], width) ? 1 : 0;
     ASSERT_EQ(got[i], want) << i;
   }
+}
+
+// ---------------------------------------------------------- dispatch tiers
+
+constexpr kernels::KernelTier kAllTiers[] = {
+    kernels::KernelTier::kScalar, kernels::KernelTier::kSwar,
+    kernels::KernelTier::kAvx2, kernels::KernelTier::kAvx512};
+
+// Every tier this CPU can run must be byte-identical to the scalar reference
+// on the edge corpus, at every length straddling the 2-/8-/16-lane
+// boundaries (0..40 covers tails, exact multiples, and a full unrolled
+// vector of each tier), and from unaligned bases (+1-element offsets break
+// the 32-/64-byte alignment the wide loads must not assume).
+TEST(Kernels, EveryAvailableTierMatchesScalarReference) {
+  std::mt19937 rng(755);
+  const auto fill = [&rng](EventIndex* p, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = (rng() % 3 == 0) ? kEdgeValues[rng() % std::size(kEdgeValues)]
+                              : static_cast<EventIndex>(rng() % 1000);
+    }
+  };
+
+  for (const kernels::KernelTier tier : kAllTiers) {
+    if (!kernels::tier_supported(tier)) continue;
+    const kernels::KernelOps& ops = kernels::ops_for_tier(tier);
+    const char* name = kernels::to_string(tier);
+
+    for (std::size_t n = 0; n <= 40; ++n) {
+      for (const std::size_t offset : {std::size_t{0}, std::size_t{1}}) {
+        for (int rep = 0; rep < 8; ++rep) {
+          std::vector<EventIndex> abuf(n + 1, 0), bbuf(n + 1, 0);
+          EventIndex* a = abuf.data() + offset;
+          EventIndex* b = bbuf.data() + offset;
+          fill(a, n);
+          fill(b, n);
+          // Bias towards near-dominance so both all_leq outcomes and every
+          // batch_leq flag pattern appear.
+          if (rep % 2 == 0) std::copy(a, a + n, b);
+          if (rep % 4 == 0 && n > 0) {
+            b[rng() % n] += static_cast<EventIndex>(rng() % 3);
+          }
+
+          ASSERT_EQ(ops.all_leq(a, b, n),
+                    kernels::reference::all_leq(a, b, n))
+              << name << " n=" << n << " off=" << offset << " rep=" << rep;
+
+          std::vector<EventIndex> got_max(a, a + n), want_max(a, a + n);
+          ops.max_into(got_max.data(), b, n);
+          kernels::reference::max_into(want_max.data(), b, n);
+          ASSERT_EQ(got_max, want_max)
+              << name << " n=" << n << " off=" << offset << " rep=" << rep;
+
+          std::vector<std::uint8_t> got_flags(n + 1, 0xcc);
+          std::vector<std::uint8_t> want_flags(n + 1, 0xcc);
+          ops.batch_leq(a, b, n, got_flags.data());
+          kernels::reference::batch_leq(a, b, n, want_flags.data());
+          ASSERT_EQ(got_flags, want_flags)
+              << name << " n=" << n << " off=" << offset << " rep=" << rep;
+        }
+      }
+    }
+
+    // Row-batch entry points: unaligned row bases, counts straddling every
+    // chunk/lane boundary of the gather loops (kChunk = 64 in the wide
+    // tiers).
+    const std::size_t width = 13;
+    std::vector<std::vector<EventIndex>> storage;
+    for (int i = 0; i < 70; ++i) {
+      std::vector<EventIndex> buf(width + 1, 0);
+      fill(buf.data() + 1, width);
+      storage.push_back(std::move(buf));
+    }
+    std::vector<const EventIndex*> rows;
+    for (const auto& r : storage) rows.push_back(r.data() + 1);
+    std::vector<EventIndex> qbuf(width + 1, 0);
+    fill(qbuf.data() + 1, width);
+    const EventIndex* query = qbuf.data() + 1;
+
+    for (const std::size_t count :
+         {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{8},
+          std::size_t{9}, std::size_t{15}, std::size_t{16}, std::size_t{17},
+          std::size_t{63}, std::size_t{64}, std::size_t{65},
+          std::size_t{70}}) {
+      ASSERT_LE(count, rows.size());
+      for (const EventIndex bound :
+           {EventIndex{0}, EventIndex{500}, EventIndex{0x8000'0000u},
+            std::numeric_limits<EventIndex>::max()}) {
+        std::vector<std::uint8_t> got(count + 1, 0xcc);
+        ops.batch_component_leq(bound, 7, rows.data(), count, got.data());
+        for (std::size_t i = 0; i < count; ++i) {
+          const std::uint8_t want = bound <= rows[i][7] ? 1 : 0;
+          ASSERT_EQ(got[i], want)
+              << name << " count=" << count << " bound=" << bound
+              << " i=" << i;
+        }
+        ASSERT_EQ(got[count], 0xcc) << name << " overwrote past count";
+      }
+
+      std::vector<std::uint8_t> got(count + 1, 0xcc);
+      ops.batch_all_leq(query, width, rows.data(), count, got.data());
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::uint8_t want =
+            kernels::reference::all_leq(query, rows[i], width) ? 1 : 0;
+        ASSERT_EQ(got[i], want) << name << " count=" << count << " i=" << i;
+      }
+      ASSERT_EQ(got[count], 0xcc) << name << " overwrote past count";
+    }
+  }
+}
+
+TEST(Kernels, TierNamesParseAndRoundTrip) {
+  for (const kernels::KernelTier tier : kAllTiers) {
+    kernels::KernelTier parsed;
+    ASSERT_TRUE(kernels::parse_kernel_tier(kernels::to_string(tier), &parsed))
+        << kernels::to_string(tier);
+    EXPECT_EQ(parsed, tier);
+  }
+  kernels::KernelTier parsed;
+  EXPECT_FALSE(kernels::parse_kernel_tier("", &parsed));
+  EXPECT_FALSE(kernels::parse_kernel_tier("sse2", &parsed));
+  EXPECT_FALSE(kernels::parse_kernel_tier("AVX2", &parsed));
+}
+
+// set_kernel_tier (the programmatic face of CT_KERNEL_TIER) must clamp to
+// the widest supported tier, report the tier actually activated, and route
+// the PUBLIC dispatch wrappers through that tier's table.
+TEST(Kernels, TierSelectionClampsAndRedispatches) {
+  const kernels::KernelTier prev = kernels::active_tier();
+  const kernels::KernelTier widest = kernels::widest_supported_tier();
+  EXPECT_GE(widest, kernels::KernelTier::kSwar);
+
+  for (const kernels::KernelTier tier : kAllTiers) {
+    const kernels::KernelTier got = kernels::set_kernel_tier(tier);
+    EXPECT_EQ(got, std::min(tier, widest)) << kernels::to_string(tier);
+    EXPECT_EQ(kernels::active_tier(), got);
+
+    // The wrappers must now serve answers through the selected table.
+    const EventIndex a[17] = {1, 2, 3, 4, 5, 6, 7, 8, 9,
+                              10, 11, 12, 13, 14, 15, 16, 17};
+    EventIndex b[17];
+    std::copy(std::begin(a), std::end(a), std::begin(b));
+    EXPECT_TRUE(kernels::all_leq(a, b, 17));
+    b[13] = 0;
+    EXPECT_FALSE(kernels::all_leq(a, b, 17));
+    kernels::max_into(b, a, 17);
+    EXPECT_TRUE(std::equal(std::begin(a), std::end(a), std::begin(b)));
+  }
+  EXPECT_EQ(kernels::set_kernel_tier(prev), prev);
+}
+
+// The n == 0 contract of count_leq is explicit (the descent arithmetic
+// happening to yield 0 is not a contract): no reads, result 0.
+TEST(Kernels, CountLeqEmptyRowIsZero) {
+  EXPECT_EQ(kernels::count_leq(nullptr, 0, 0), 0u);
+  EXPECT_EQ(kernels::count_leq(nullptr, 0,
+                               std::numeric_limits<EventIndex>::max()),
+            0u);
 }
 
 // -------------------------------------------------------------------- codecs

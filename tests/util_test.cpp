@@ -2,10 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <map>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/ascii.hpp"
@@ -14,6 +17,7 @@
 #include "util/cli.hpp"
 #include "util/crc32c.hpp"
 #include "util/csv.hpp"
+#include "util/epoch.hpp"
 #include "util/flat_matrix.hpp"
 #include "util/lru_cache.hpp"
 #include "util/prng.hpp"
@@ -319,6 +323,146 @@ TEST(SynchronizedLru, ConcurrentMixedAccessIsSafe) {
   for (auto& th : threads) th.join();
   EXPECT_LE(cache.size(), cache.capacity());
   EXPECT_GT(hits.load(), 0);
+}
+
+TEST(Epoch, RetireDefersUntilPinnedReaderUnpins) {
+  util::EpochDomain domain;
+  bool reclaimed = false;
+  {
+    const util::EpochDomain::Guard guard = domain.pin();
+    EXPECT_TRUE(guard.pinned());
+    domain.retire([&reclaimed] { reclaimed = true; });
+    EXPECT_EQ(domain.limbo_size(), 1u);
+    // The reader pinned BEFORE the retire must hold the entry in limbo.
+    EXPECT_EQ(domain.collect(), 0u);
+    EXPECT_FALSE(reclaimed);
+  }
+  EXPECT_EQ(domain.collect(), 1u);
+  EXPECT_TRUE(reclaimed);
+  EXPECT_EQ(domain.limbo_size(), 0u);
+}
+
+TEST(Epoch, RetireWithNoReadersIsReclaimedPromptly) {
+  util::EpochDomain domain;
+  int runs = 0;
+  domain.retire([&runs] { ++runs; });
+  domain.retire([&runs] { ++runs; });
+  domain.collect();
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(domain.limbo_size(), 0u);
+}
+
+TEST(Epoch, NestedPinsKeepTheOlderStamp) {
+  util::EpochDomain domain;
+  bool reclaimed = false;
+  auto outer = domain.pin();
+  domain.retire([&reclaimed] { reclaimed = true; });
+  {
+    // The inner pin reuses the thread's slot and must NOT overwrite the
+    // outer (older) stamp — dropping it must not release the entry.
+    const util::EpochDomain::Guard inner = domain.pin();
+    EXPECT_TRUE(inner.pinned());
+  }
+  EXPECT_EQ(domain.collect(), 0u);
+  EXPECT_FALSE(reclaimed);
+  outer = util::EpochDomain::Guard();  // drop the outer pin
+  EXPECT_EQ(domain.collect(), 1u);
+  EXPECT_TRUE(reclaimed);
+}
+
+TEST(Epoch, MoveTransfersThePin) {
+  util::EpochDomain domain;
+  bool reclaimed = false;
+  util::EpochDomain::Guard a = domain.pin();
+  domain.retire([&reclaimed] { reclaimed = true; });
+  util::EpochDomain::Guard b = std::move(a);
+  EXPECT_TRUE(b.pinned());
+  a = util::EpochDomain::Guard();  // moved-from reset: must not unpin b
+  EXPECT_EQ(domain.collect(), 0u);
+  b = util::EpochDomain::Guard();
+  EXPECT_EQ(domain.collect(), 1u);
+  EXPECT_TRUE(reclaimed);
+}
+
+TEST(Epoch, SynchronizeWaitsForPreSwapReaders) {
+  util::EpochDomain domain;
+  std::atomic<bool> reader_pinned{false};
+  std::atomic<bool> release_reader{false};
+  std::atomic<bool> synchronized{false};
+
+  std::thread reader([&] {
+    const util::EpochDomain::Guard guard = domain.pin();
+    reader_pinned.store(true);
+    while (!release_reader.load()) std::this_thread::yield();
+  });
+  while (!reader_pinned.load()) std::this_thread::yield();
+
+  std::thread writer([&] {
+    domain.synchronize();
+    synchronized.store(true);
+  });
+  // synchronize() must not return while the pre-existing reader is pinned.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(synchronized.load());
+
+  release_reader.store(true);
+  reader.join();
+  writer.join();
+  EXPECT_TRUE(synchronized.load());
+}
+
+TEST(Epoch, ContinuousReadersDoNotStarveWritersOrLeakLimbo) {
+  // Readers pin in a tight loop the whole time; the writer must still push
+  // grace periods through (post-bump pins don't hold pre-bump entries) and
+  // every retired entry must eventually be reclaimed. Under TSan this is
+  // also the ordering check on the slot stamps and the limbo list.
+  util::EpochDomain domain;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> pins{0};
+  std::vector<std::thread> readers;
+  for (int w = 0; w < 3; ++w) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const util::EpochDomain::Guard guard = domain.pin();
+        pins.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Only start writing once readers are actually overlapping the writer.
+  while (pins.load(std::memory_order_relaxed) == 0) std::this_thread::yield();
+
+  std::atomic<int> reclaimed{0};
+  for (int i = 0; i < 200; ++i) {
+    domain.retire([&reclaimed] { ++reclaimed; });
+    if (i % 4 == 0) domain.synchronize();
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  domain.collect();
+  EXPECT_EQ(reclaimed.load(), 200);
+  EXPECT_EQ(domain.limbo_size(), 0u);
+  EXPECT_GT(pins.load(), 0u);
+  EXPECT_GT(domain.grace_epoch(), 200u);
+}
+
+TEST(Epoch, GlobalDomainServesManyThreads) {
+  // The global domain's per-thread slots: spawn threads that pin/unpin the
+  // singleton and exit (exercising the thread-local slot release), twice,
+  // so reused slots are covered too.
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::thread> threads;
+    for (int w = 0; w < 8; ++w) {
+      threads.emplace_back([] {
+        for (int i = 0; i < 100; ++i) {
+          const util::EpochDomain::Guard guard =
+              util::EpochDomain::global().pin();
+          EXPECT_TRUE(guard.pinned());
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  util::EpochDomain::global().synchronize();  // no pinned readers remain
 }
 
 TEST(Csv, EscapesSpecialCharacters) {
