@@ -13,27 +13,7 @@ inline std::uint64_t pack(EventId id) {
   return (static_cast<std::uint64_t>(id.process) << 32) | id.index;
 }
 
-inline ServingBackend worse(ServingBackend a, ServingBackend b) {
-  return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b) ? a : b;
-}
-
 }  // namespace
-
-const char* to_string(ServingBackend b) {
-  switch (b) {
-    case ServingBackend::kNone:
-      return "none";
-    case ServingBackend::kCache:
-      return "cache";
-    case ServingBackend::kCluster:
-      return "cluster";
-    case ServingBackend::kDifferential:
-      return "differential";
-    case ServingBackend::kOnDemandFm:
-      return "ondemand-fm";
-  }
-  return "?";
-}
 
 const char* to_string(QueryOutcome o) {
   switch (o) {
@@ -51,24 +31,67 @@ const char* to_string(QueryOutcome o) {
   return "?";
 }
 
-std::size_t QueryBroker::slot(ServingBackend b) {
-  CT_DCHECK(b == ServingBackend::kCluster ||
-            b == ServingBackend::kDifferential ||
-            b == ServingBackend::kOnDemandFm);
-  return static_cast<std::size_t>(b) -
-         static_cast<std::size_t>(ServingBackend::kCluster);
+std::size_t QueryBroker::slot(ServingBackend b) const {
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    if (chain_[i]->id() == b) return i;
+  }
+  CT_CHECK_MSG(false, "not a chain link of this broker: " << to_string(b));
+  return 0;
+}
+
+ServingBackend QueryBroker::worse(ServingBackend a, ServingBackend b) const {
+  const auto rank = [this](ServingBackend x) -> std::size_t {
+    if (x == ServingBackend::kNone) return 0;
+    if (x == ServingBackend::kCache) return 1;
+    for (std::size_t i = 0; i < chain_.size(); ++i) {
+      if (chain_[i]->id() == x) return 2 + i;
+    }
+    return 2 + chain_.size();  // unreachable for answers this broker made
+  };
+  return rank(a) >= rank(b) ? a : b;
 }
 
 QueryBroker::QueryBroker(MonitoringEntity& monitor, ThreadPool& pool,
                          BrokerOptions options)
     : monitor_(monitor),
       pool_(pool),
-      options_(options),
+      options_(std::move(options)),
       trace_(monitor.delivered_trace()),
-      differential_(trace_, options_.differential_interval),
-      ondemand_(trace_, std::max<std::size_t>(
-                            1, options_.ondemand_cache_capacity)),
       lock_free_reads_(monitor.lock_free_reads()) {
+  CT_CHECK_MSG(!options_.chain.empty(), "broker chain must not be empty");
+
+  BackendContext ctx;
+  ctx.trace = &trace_;
+  ctx.differential_interval = options_.differential_interval;
+  ctx.ondemand_cache_capacity = options_.ondemand_cache_capacity;
+  // The kCluster link serves from the monitor under this broker's locking
+  // discipline: readers pin the epoch domain (default) or hold cluster_mu_
+  // shared (legacy engines), exactly as the pre-registry chain did.
+  ctx.monitor_precedes = [this](EventId e, EventId f,
+                                QueryCost& cost) -> std::optional<bool> {
+    if (lock_free_reads_) {
+      const util::EpochDomain::Guard pin = util::EpochDomain::global().pin();
+      return monitor_.precedes_metered(e, f, cost);
+    }
+    std::shared_lock reader(cluster_mu_);
+    return monitor_.precedes_metered(e, f, cost);
+  };
+
+  const BackendRegistry& registry = BackendRegistry::instance();
+  chain_.reserve(options_.chain.size());
+  for (const ServingBackend b : options_.chain) {
+    for (const auto& built : chain_) {
+      CT_CHECK_MSG(built->id() != b,
+                   "duplicate chain link: " << to_string(b));
+    }
+    chain_.push_back(registry.make(b, ctx));
+    CT_CHECK_MSG(chain_.back()->capabilities().supports_frontier,
+                 "chain link " << to_string(b)
+                               << " cannot serve frontier queries");
+    if (b == ServingBackend::kCluster) cluster_slot_ = chain_.size() - 1;
+  }
+  breakers_.resize(chain_.size());
+
   if (options_.answer_cache_capacity > 0) {
     answer_cache_ = std::make_unique<
         SynchronizedLruCache<PairKey, bool, PairKeyHash>>(
@@ -163,14 +186,18 @@ void QueryBroker::run_one() {
     {
       std::lock_guard lock(mu_);
       switch (result.outcome) {
-        case QueryOutcome::kAnswered:
+        case QueryOutcome::kAnswered: {
           ++health_.completed;
           ++health_.answered;
-          if (result.backend_used == ServingBackend::kDifferential ||
-              result.backend_used == ServingBackend::kOnDemandFm) {
-            ++health_.fallback_answers;
+          // "Past the primary": any chain link after position 0 answered.
+          for (std::size_t i = 1; i < chain_.size(); ++i) {
+            if (chain_[i]->id() == result.backend_used) {
+              ++health_.fallback_answers;
+              break;
+            }
           }
           break;
+        }
         case QueryOutcome::kUnknown:
           ++health_.completed;
           ++health_.unknown;
@@ -294,13 +321,15 @@ QueryResult QueryBroker::execute(const Job& job) {
       ChainStatus failure = ChainStatus::kOk;
       result.batch.assign(job.pairs.size(), std::nullopt);
       std::size_t start = 0;
-      // Bulk fast path: with no answer cache and a healthy cluster backend,
-      // the whole batch runs through the monitor's kernel-backed batch
-      // entry under ONE reader lock — tick accounting and answers are
-      // identical to the per-pair chain below (which, with the cache off,
-      // is exactly "cluster backend per pair"). Any mid-batch backend
-      // failure falls back to the chain from the failing pair on.
-      if (!answer_cache_ && !backend_open(ServingBackend::kCluster)) {
+      // Bulk fast path: with no answer cache and a healthy cluster link at
+      // the FRONT of the chain, the whole batch runs through the monitor's
+      // kernel-backed batch entry under ONE reader lock — tick accounting
+      // and answers are identical to the per-pair chain below (which, with
+      // the cache off, is exactly "cluster backend per pair"). Any
+      // mid-batch backend failure falls back to the chain from the failing
+      // pair on.
+      if (!answer_cache_ && cluster_slot_ == std::size_t{0} &&
+          !backend_open(ServingBackend::kCluster)) {
         std::size_t done = 0;
         bool bulk_failed = false;
         {
@@ -328,7 +357,7 @@ QueryResult QueryBroker::execute(const Job& job) {
         if (done > 0) {
           // The chain resets the failure streak after every served pair.
           std::lock_guard lock(mu_);
-          breakers_[slot(ServingBackend::kCluster)].consecutive_failures = 0;
+          breakers_[*cluster_slot_].consecutive_failures = 0;
           worst = worse(worst, ServingBackend::kCluster);
         }
         if (bulk_failed) {
@@ -388,20 +417,17 @@ QueryBroker::ChainStatus QueryBroker::chain_precedes(EventId e, EventId f,
     }
   }
 
-  static constexpr ServingBackend kChain[kChainLength] = {
-      ServingBackend::kCluster, ServingBackend::kDifferential,
-      ServingBackend::kOnDemandFm};
   bool any_failure = false;
-  for (const ServingBackend b : kChain) {
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    const bool audited = cluster_slot_ == i;
     {
       std::lock_guard lock(mu_);
-      Breaker& breaker = breakers_[slot(b)];
+      Breaker& breaker = breakers_[i];
       if (breaker.open) {
         // Failure-tripped fallback backends accept a probe every Nth
         // bypass; the audited cluster backend is re-admitted only by
         // clean audit steps.
-        const bool probe = b != ServingBackend::kCluster &&
-                           options_.breaker_probe_stride > 0 &&
+        const bool probe = !audited && options_.breaker_probe_stride > 0 &&
                            ++breaker.bypasses %
                                    options_.breaker_probe_stride ==
                                0;
@@ -409,61 +435,33 @@ QueryBroker::ChainStatus QueryBroker::chain_precedes(EventId e, EventId f,
       }
     }
     try {
-      const std::optional<bool> result = backend_precedes(b, e, f, cost);
+      const std::optional<bool> result =
+          chain_[i]->precedes_metered(e, f, cost);
       if (!result) return ChainStatus::kDeadline;
       {
         std::lock_guard lock(mu_);
-        Breaker& breaker = breakers_[slot(b)];
+        Breaker& breaker = breakers_[i];
         breaker.consecutive_failures = 0;
-        if (breaker.open && b != ServingBackend::kCluster) {
+        if (breaker.open && !audited) {
           breaker.open = false;  // successful probe re-admits
           ++health_.readmissions;
         }
       }
       if (answer_cache_) answer_cache_->put({pack(e), pack(f)}, *result);
       *answer = *result;
-      *used = b;
+      *used = chain_[i]->id();
       return ChainStatus::kOk;
     } catch (const CheckFailure&) {
       any_failure = true;
-      note_failure(b);
+      note_failure(i);
     }
   }
   return any_failure ? ChainStatus::kFailed : ChainStatus::kUnknown;
 }
 
-std::optional<bool> QueryBroker::backend_precedes(ServingBackend b, EventId e,
-                                                  EventId f,
-                                                  QueryCost& cost) {
-  switch (b) {
-    case ServingBackend::kCluster: {
-      if (lock_free_reads_) {
-        // Zero-lock read: the pin keeps the engine's published snapshot
-        // alive; a concurrent repair swaps in a new one without blocking.
-        const util::EpochDomain::Guard pin =
-            util::EpochDomain::global().pin();
-        return monitor_.precedes_metered(e, f, cost);
-      }
-      std::shared_lock reader(cluster_mu_);
-      return monitor_.precedes_metered(e, f, cost);
-    }
-    case ServingBackend::kDifferential:
-      return differential_.precedes_metered(e, f, cost);
-    case ServingBackend::kOnDemandFm: {
-      std::lock_guard lock(ondemand_mu_);
-      return ondemand_.precedes_metered(e, f, cost);
-    }
-    case ServingBackend::kNone:
-    case ServingBackend::kCache:
-      break;
-  }
-  CT_CHECK_MSG(false, "not a chain backend: " << to_string(b));
-  return std::nullopt;
-}
-
-void QueryBroker::note_failure(ServingBackend b) {
+void QueryBroker::note_failure(std::size_t slot) {
   std::lock_guard lock(mu_);
-  Breaker& breaker = breakers_[slot(b)];
+  Breaker& breaker = breakers_[slot];
   if (breaker.open) return;
   if (++breaker.consecutive_failures >= options_.breaker_failure_threshold) {
     breaker.open = true;
@@ -483,8 +481,9 @@ bool QueryBroker::audit_step() {
     ++health_.audit_steps;
   }
   if (finding.clean()) {
+    if (!cluster_slot_) return true;  // no cluster link to re-admit
     std::lock_guard lock(mu_);
-    Breaker& breaker = breakers_[slot(ServingBackend::kCluster)];
+    Breaker& breaker = breakers_[*cluster_slot_];
     if (breaker.open &&
         ++breaker.clean_streak >= options_.audit.clean_steps_to_readmit) {
       breaker.open = false;
@@ -497,12 +496,14 @@ bool QueryBroker::audit_step() {
   {
     std::lock_guard lock(mu_);
     health_.audit_mismatches += finding.corrupted.size();
-    Breaker& breaker = breakers_[slot(ServingBackend::kCluster)];
-    if (!breaker.open) {
-      breaker.open = true;
-      ++health_.breaker_trips;
+    if (cluster_slot_) {
+      Breaker& breaker = breakers_[*cluster_slot_];
+      if (!breaker.open) {
+        breaker.open = true;
+        ++health_.breaker_trips;
+      }
+      breaker.clean_streak = 0;
     }
-    breaker.clean_streak = 0;
   }
   // Answers cached before the trip may be poisoned; drop them all.
   if (answer_cache_) answer_cache_->clear();
@@ -527,8 +528,9 @@ bool QueryBroker::audit_step() {
 }
 
 void QueryBroker::trip_backend(ServingBackend b) {
+  const std::size_t i = slot(b);
   std::lock_guard lock(mu_);
-  Breaker& breaker = breakers_[slot(b)];
+  Breaker& breaker = breakers_[i];
   if (!breaker.open) {
     breaker.open = true;
     breaker.clean_streak = 0;
@@ -538,8 +540,9 @@ void QueryBroker::trip_backend(ServingBackend b) {
 }
 
 void QueryBroker::readmit_backend(ServingBackend b) {
+  const std::size_t i = slot(b);
   std::lock_guard lock(mu_);
-  Breaker& breaker = breakers_[slot(b)];
+  Breaker& breaker = breakers_[i];
   if (breaker.open) {
     breaker.open = false;
     breaker.consecutive_failures = 0;
@@ -549,8 +552,9 @@ void QueryBroker::readmit_backend(ServingBackend b) {
 }
 
 bool QueryBroker::backend_open(ServingBackend b) const {
+  const std::size_t i = slot(b);
   std::lock_guard lock(mu_);
-  return breakers_[slot(b)].open;
+  return breakers_[i].open;
 }
 
 void QueryBroker::drain() {

@@ -12,10 +12,14 @@
 //  * admission control — a bounded queue with a configurable shedding
 //    policy (reject-newest / reject-oldest) and a BrokerHealth accounting
 //    in which every submitted query lands in exactly one bucket;
-//  * a fallback chain with per-backend circuit breakers — answer cache →
-//    cluster backend → differential store → on-demand FM → explicit
-//    unknown. A tripped or corrupted backend degrades answers to
-//    slower-but-exact or unknown, never wrong;
+//  * a fallback chain with per-backend circuit breakers — answer cache,
+//    then the links named by BrokerOptions::chain (default: cluster
+//    backend → differential store → on-demand FM), then explicit unknown.
+//    Links are built through the BackendRegistry (timestamp/
+//    causality_backend.hpp; docs/BACKENDS.md), so new backends — tree
+//    clocks being the first — plug in without broker surgery. A tripped or
+//    corrupted backend degrades answers to slower-but-exact or unknown,
+//    never wrong;
 //  * an online integrity audit (integrity_auditor.hpp) run between
 //    queries: sampled cross-checks and per-cluster digests detect state
 //    corruption, trip the cluster breaker, trigger an incremental rebuild
@@ -45,26 +49,17 @@
 #include "monitor/integrity_auditor.hpp"
 #include "monitor/monitor.hpp"
 #include "monitor/queries.hpp"
-#include "timestamp/differential.hpp"
-#include "timestamp/ondemand_fm.hpp"
+#include "timestamp/causality_backend.hpp"
 #include "timestamp/query_cost.hpp"
 #include "util/synchronized_lru.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ct {
 
-/// Who produced a query's answer. Ordered by degradation: a multi-test
-/// query reports the *most degraded* source it consulted.
-enum class ServingBackend : std::uint8_t {
-  kNone = 0,        ///< no backend answered (unknown / shed / failed)
-  kCache = 1,       ///< broker answer cache
-  kCluster = 2,     ///< the monitor's own backend (cluster timestamps, or
-                    ///< precomputed FM for an FM-backed monitor)
-  kDifferential = 3,
-  kOnDemandFm = 4,
-};
-
-const char* to_string(ServingBackend b);
+// ServingBackend (who produced a query's answer) now lives with the
+// backend registry in timestamp/causality_backend.hpp. A multi-test query
+// reports the *most degraded* source it consulted — chain position, with
+// the cache in front.
 
 enum class QueryOutcome : std::uint8_t {
   kAnswered,         ///< exact answer produced
@@ -129,6 +124,18 @@ struct BrokerHealth {
   }
 };
 
+/// The pre-registry hard-coded chain: cluster → differential → on-demand
+/// FM. (push_back instead of an initializer list: GCC 12's
+/// -Wmaybe-uninitialized misfires on initializer_list NSDMIs once inlined.)
+inline std::vector<ServingBackend> default_broker_chain() {
+  std::vector<ServingBackend> chain;
+  chain.reserve(3);
+  chain.push_back(ServingBackend::kCluster);
+  chain.push_back(ServingBackend::kDifferential);
+  chain.push_back(ServingBackend::kOnDemandFm);
+  return chain;
+}
+
 struct BrokerOptions {
   /// Cap on *queued* (admitted, not yet executing) queries; 0 = unbounded.
   std::size_t max_queue = 64;
@@ -151,6 +158,11 @@ struct BrokerOptions {
   /// audit_step() is called explicitly.
   std::size_t audit_stride = 0;
   AuditOptions audit;
+  /// The fallback chain, walked front to back after the answer cache. Every
+  /// entry must name a registered CausalityBackend (no duplicates, no
+  /// kNone/kCache). The default reproduces the pre-registry hard-coded
+  /// chain exactly; see docs/BACKENDS.md for extending it.
+  std::vector<ServingBackend> chain = default_broker_chain();
 };
 
 class QueryBroker {
@@ -205,6 +217,10 @@ class QueryBroker {
   /// The frozen delivered state this broker serves.
   const Trace& delivered() const { return trace_; }
 
+  /// The constructed fallback chain (registry-built; options().chain order).
+  std::size_t chain_length() const { return chain_.size(); }
+  const CausalityBackend& link(std::size_t i) const { return *chain_[i]; }
+
  private:
   enum class ChainStatus : std::uint8_t { kOk, kDeadline, kUnknown, kFailed };
 
@@ -223,8 +239,11 @@ class QueryBroker {
     std::uint64_t clean_streak = 0;
   };
 
-  static constexpr std::size_t kChainLength = 3;
-  static std::size_t slot(ServingBackend b);
+  /// Chain position of a link id; CT_CHECKs membership.
+  std::size_t slot(ServingBackend b) const;
+  /// Degradation rank for "most degraded source consulted" reporting:
+  /// kNone < kCache < chain position.
+  ServingBackend worse(ServingBackend a, ServingBackend b) const;
 
   using PairKey = std::pair<std::uint64_t, std::uint64_t>;
   struct PairKeyHash {
@@ -241,10 +260,8 @@ class QueryBroker {
   /// One precedence test through cache + fallback chain.
   ChainStatus chain_precedes(EventId e, EventId f, QueryCost& cost,
                              bool* answer, ServingBackend* used);
-  std::optional<bool> backend_precedes(ServingBackend b, EventId e, EventId f,
-                                       QueryCost& cost);
   static ChainStatus worse_of_failures(ChainStatus a, ChainStatus b);
-  void note_failure(ServingBackend b);
+  void note_failure(std::size_t slot);
   bool validate(const Job& job) const;
 
   MonitoringEntity& monitor_;
@@ -252,9 +269,14 @@ class QueryBroker {
   BrokerOptions options_;
 
   Trace trace_;  ///< delivered prefix, frozen at construction
-  DifferentialStore differential_;
-  OnDemandFmEngine ondemand_;
-  std::mutex ondemand_mu_;  ///< OnDemandFmEngine mutates its cache
+  /// The fallback links, built from options_.chain via the BackendRegistry.
+  /// The kCluster link reaches the monitor through a hook that carries this
+  /// broker's locking discipline (epoch pin / cluster_mu_); the rest own
+  /// their state over trace_.
+  std::vector<std::unique_ptr<CausalityBackend>> chain_;
+  /// Chain position of kCluster, when present (audit readmission and the
+  /// batch bulk fast path are cluster-specific).
+  std::optional<std::size_t> cluster_slot_;
   std::unique_ptr<SynchronizedLruCache<PairKey, bool, PairKeyHash>>
       answer_cache_;
   std::unique_ptr<IntegrityAuditor> auditor_;
@@ -278,7 +300,7 @@ class QueryBroker {
   std::size_t scheduled_ = 0;  ///< pool tasks submitted, not yet finished
   std::uint64_t resolved_since_audit_ = 0;
   BrokerHealth health_;
-  Breaker breakers_[kChainLength];
+  std::vector<Breaker> breakers_;  ///< one per chain link, same order
 };
 
 }  // namespace ct

@@ -23,6 +23,7 @@
 #include "monitor/query_broker.hpp"
 #include "recluster/coordinator.hpp"
 #include "timestamp/ondemand_fm.hpp"
+#include "timestamp/tree_clock_store.hpp"
 #include "trace/snapshot.hpp"
 #include "util/check.hpp"
 #include "util/prng.hpp"
@@ -86,6 +87,9 @@ class BackendInstance {
         engine_ = build_engine(t, cfg);
         recursive_ = cfg.backend == SimBackend::kRecursive;
         break;
+      case SimBackend::kTreeClock:
+        tree_ = std::make_unique<TreeClockStore>(t, cfg.use_arena);
+        break;
       case SimBackend::kCompact: {
         engine_ = build_engine(t, cfg);
         CompactTimestampStore::Options so;
@@ -128,6 +132,7 @@ class BackendInstance {
   }
 
   bool precedes(EventId e, EventId f) {
+    if (tree_) return tree_->precedes(e, f);
     const Event& ev_e = trace_.event(e);
     const Event& ev_f = trace_.event(f);
     if (hybrid_) return hybrid_->precedes(ev_e, ev_f);
@@ -157,6 +162,7 @@ class BackendInstance {
   std::unique_ptr<ClusterTimestampEngine> engine_;
   std::unique_ptr<BatchHybridEngine> hybrid_;
   std::unique_ptr<CompactTimestampStore> store_;
+  std::unique_ptr<TreeClockStore> tree_;
   std::unordered_map<std::uint64_t, ClusterTimestamp> decoded_;
   bool recursive_ = false;
 };
@@ -170,6 +176,7 @@ const char* to_string(SimBackend b) {
     case SimBackend::kRecursive: return "recursive";
     case SimBackend::kBatchHybrid: return "batch-hybrid";
     case SimBackend::kBroker: return "broker";
+    case SimBackend::kTreeClock: return "tree-clock";
   }
   return "?";
 }
@@ -216,6 +223,34 @@ std::vector<OracleConfig> full_matrix() {
       }
     }
   }
+  // Tree-clock rows: cluster-free (strategy and maxCS do not apply), one
+  // per storage layout.
+  for (const bool arena : {false, true}) {
+    out.push_back(
+        OracleConfig{SimBackend::kTreeClock, SimStrategy::kMergeFirst, 16,
+                     arena});
+  }
+  return out;
+}
+
+std::vector<OracleConfig> backend_matrix() {
+  std::vector<OracleConfig> out;
+  for (const bool arena : {false, true}) {
+    out.push_back(
+        OracleConfig{SimBackend::kTreeClock, SimStrategy::kMergeFirst, 16,
+                     arena});
+  }
+  // One engine reference row plus broker rows; broker probes with the
+  // kProbeTreeChain flag run the extended chain through the registry.
+  out.push_back(
+      OracleConfig{SimBackend::kEngine, SimStrategy::kMergeFirst, 16, true});
+  for (const bool arena : {false, true}) {
+    out.push_back(
+        OracleConfig{SimBackend::kBroker, SimStrategy::kMergeFirst, 16,
+                     arena});
+  }
+  out.push_back(
+      OracleConfig{SimBackend::kBroker, SimStrategy::kMergeNth, 8, true});
   return out;
 }
 
@@ -325,11 +360,25 @@ SimReport run_schedule(const SimSchedule& schedule,
         ThreadPool pool(2);
         BrokerOptions bo;
         bo.audit_stride = 16;
+        // The tree-chain flag swaps in the extended registry chain; the
+        // flag is baked into the op, so replays without it keep the exact
+        // pre-existing chain AND prng draw sequence.
+        const bool tree_chain = (op.d & SimOp::kProbeTreeChain) != 0;
+        if (tree_chain) {
+          bo.chain.clear();
+          bo.chain.push_back(ServingBackend::kCluster);
+          bo.chain.push_back(ServingBackend::kTreeClock);
+          bo.chain.push_back(ServingBackend::kDifferential);
+          bo.chain.push_back(ServingBackend::kOnDemandFm);
+        }
         QueryBroker broker(fresh, pool, bo);
         // Seeded degradation: force the chain past its primary sometimes.
         if (prng.chance(0.5)) broker.trip_backend(ServingBackend::kCluster);
         if (prng.chance(0.25)) {
           broker.trip_backend(ServingBackend::kDifferential);
+        }
+        if (tree_chain && prng.chance(0.3)) {
+          broker.trip_backend(ServingBackend::kTreeClock);
         }
         const std::optional<std::uint64_t> deadline =
             op.c == 0 ? std::optional<std::uint64_t>{}

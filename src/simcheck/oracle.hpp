@@ -37,6 +37,7 @@ enum class SimBackend : std::uint8_t {
   kRecursive,    ///< recursive_precedes over engine-stored rows
   kBatchHybrid,  ///< BatchHybridEngine (§5 variant 1)
   kBroker,       ///< QueryBroker fallback chain over a fresh monitor
+  kTreeClock,    ///< TreeClockStore (Mathur/Tunç tree clocks)
 };
 
 enum class SimStrategy : std::uint8_t {
@@ -55,17 +56,25 @@ struct OracleConfig {
   std::uint32_t max_cluster_size = 8;
   /// kEngine/kRecursive/kBatchHybrid/kBroker: ClusterEngineConfig::use_arena.
   /// kCompact: the delta/cold-codec record grammar instead of absolute.
+  /// kTreeClock: TsArena row pool vs legacy per-event vectors.
   bool use_arena = true;
 
   std::string label() const;
   friend bool operator==(const OracleConfig&, const OracleConfig&) = default;
 };
 
-/// The full verification matrix: every backend × strategy × maxCS ∈
-/// {4, 16, 64} × layout flag. The broker rows are restricted to the dynamic
-/// strategies (its monitor self-organizes; preset partitions are covered by
-/// the direct engine rows).
+/// The full verification matrix: every cluster backend × strategy × maxCS ∈
+/// {4, 16, 64} × layout flag, plus the cluster-free tree-clock rows (one per
+/// storage layout — strategy and maxCS do not apply). The broker rows are
+/// restricted to the dynamic strategies (its monitor self-organizes; preset
+/// partitions are covered by the direct engine rows).
 std::vector<OracleConfig> full_matrix();
+
+/// The backend-axis slice (`simcheck_driver --matrix=backend`): the
+/// tree-clock rows, a cluster-engine reference row, and broker rows whose
+/// probes exercise the extended registry chain. Small enough that a
+/// many-schedule sweep hits the new backend in every rotation window.
+std::vector<OracleConfig> backend_matrix();
 
 /// Test-only hooks. `mutate` may flip a backend's precedence answer before
 /// the comparison — the planted "oracle bug" of the mutation check; a

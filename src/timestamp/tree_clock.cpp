@@ -1,0 +1,193 @@
+#include "timestamp/tree_clock.hpp"
+
+#include <algorithm>
+
+#include "core/precedence_kernels.hpp"
+
+namespace ct {
+
+TreeClock::TreeClock(std::size_t process_count, ProcessId root)
+    : root_(root), nodes_(process_count) {
+  CT_CHECK_MSG(root < process_count,
+               "tree clock root " << root << " out of range");
+}
+
+void TreeClock::detach(std::int32_t t) {
+  Node& n = nodes_[static_cast<std::size_t>(t)];
+  CT_DCHECK(n.parent != kNull);
+  if (n.prev != kNull) {
+    nodes_[static_cast<std::size_t>(n.prev)].next = n.next;
+  } else {
+    nodes_[static_cast<std::size_t>(n.parent)].head = n.next;
+  }
+  if (n.next != kNull) {
+    nodes_[static_cast<std::size_t>(n.next)].prev = n.prev;
+  }
+  n.parent = n.next = n.prev = kNull;
+}
+
+void TreeClock::attach_front(std::int32_t parent, std::int32_t child) {
+  Node& n = nodes_[static_cast<std::size_t>(child)];
+  CT_DCHECK(n.parent == kNull);
+  n.parent = parent;
+  n.prev = kNull;
+  n.next = nodes_[static_cast<std::size_t>(parent)].head;
+  if (n.next != kNull) nodes_[static_cast<std::size_t>(n.next)].prev = child;
+  nodes_[static_cast<std::size_t>(parent)].head = child;
+}
+
+void TreeClock::bump(ProcessId t, EventIndex v) {
+  Node& n = nodes_[t];
+  CT_DCHECK(v >= n.clk);
+  if (t == root_) {
+    n.clk = v;
+    return;
+  }
+  if (v == n.clk && n.parent != kNull) return;  // nothing new
+  // The entry is learned directly by the owner, so the node moves under the
+  // root with aclk = the root's current local time — the same rule as a
+  // join's top-level attach. Raising clk in place would leave the OLD
+  // parent's aclk vouching for a value it never knew, and a later joiner
+  // would prune past the stale claim.
+  if (n.parent != kNull) {
+    detach(static_cast<std::int32_t>(t));
+  } else {
+    CT_DCHECK(n.clk == 0);  // non-root known ⇒ attached
+    ++attached_count_;
+  }
+  n.clk = v;
+  n.aclk = nodes_[root_].clk;
+  attach_front(static_cast<std::int32_t>(root_),
+               static_cast<std::int32_t>(t));
+}
+
+void TreeClock::collect_updates(const TreeClock& o, std::int32_t u,
+                                JoinStats* s) {
+  scratch_.push_back(static_cast<std::uint32_t>(u));
+  const EventIndex known_u = nodes_[static_cast<std::size_t>(u)].clk;
+  for (std::int32_t v = o.nodes_[static_cast<std::size_t>(u)].head;
+       v != kNull; v = o.nodes_[static_cast<std::size_t>(v)].next) {
+    if (s) ++s->nodes_examined;
+    const Node& ov = o.nodes_[static_cast<std::size_t>(v)];
+    if (ov.clk > nodes_[static_cast<std::size_t>(v)].clk) {
+      collect_updates(o, v, s);
+    } else if (ov.aclk <= known_u) {
+      // Monotone copy: this child (and every earlier-attached sibling, whose
+      // aclk is smaller still) was already known when we last learned of u,
+      // so the whole remaining sibling run carries nothing new.
+      if (s) ++s->subtrees_pruned;
+      break;
+    }
+  }
+}
+
+void TreeClock::join(const TreeClock& o, JoinStats* s) {
+  CT_DCHECK(o.nodes_.size() == nodes_.size());
+  if (&o == this) return;
+  const auto zr = static_cast<std::int32_t>(o.root_);
+  // Nothing new about the sender ⇒ (by monotone copy) nothing new at all.
+  // Also covers joining a snapshot of our own past (o.root_ == root_).
+  if (o.nodes_[static_cast<std::size_t>(zr)].clk <=
+      nodes_[static_cast<std::size_t>(zr)].clk) {
+    return;
+  }
+  if (s) ++s->joins;
+
+  scratch_.clear();
+  collect_updates(o, zr, s);
+
+  for (const std::uint32_t t : scratch_) {
+    CT_DCHECK(t != root_);  // nobody knows our future
+    if (nodes_[t].parent != kNull) detach(static_cast<std::int32_t>(t));
+  }
+
+  // Attach in reverse pre-order: among siblings the front of scratch_ (the
+  // most recent attachment, largest aclk) is pushed last and lands at the
+  // head of its parent's list, keeping sibling aclk non-increasing.
+  const EventIndex root_clk_now = nodes_[root_].clk;
+  for (auto it = scratch_.rbegin(); it != scratch_.rend(); ++it) {
+    const auto t = static_cast<std::int32_t>(*it);
+    Node& dst = nodes_[static_cast<std::size_t>(t)];
+    const Node& src = o.nodes_[static_cast<std::size_t>(t)];
+    if (dst.clk == 0) ++attached_count_;  // first time we learn of t
+    dst.clk = src.clk;
+    if (t == zr) {
+      dst.aclk = root_clk_now;
+      attach_front(static_cast<std::int32_t>(root_), t);
+    } else {
+      dst.aclk = src.aclk;
+      attach_front(src.parent, t);
+    }
+    if (s) ++s->nodes_updated;
+  }
+}
+
+void TreeClock::copy_from(const TreeClock& other) {
+  root_ = other.root_;
+  nodes_ = other.nodes_;
+  attached_count_ = other.attached_count_;
+}
+
+void TreeClock::flatten_into(EventIndex* out, std::size_t n) const {
+  CT_CHECK_MSG(n == nodes_.size(),
+               "flatten width " << n << " != " << nodes_.size());
+  // Unknown processes keep clk == 0, so the clk column IS the vector clock.
+  for (std::size_t t = 0; t < n; ++t) out[t] = nodes_[t].clk;
+}
+
+bool TreeClock::dominated_by(const TreeClock& other) const {
+  CT_DCHECK(other.nodes_.size() == nodes_.size());
+  const std::size_t n = nodes_.size();
+  std::vector<EventIndex> a(n), b(n);
+  flatten_into(a.data(), n);
+  other.flatten_into(b.data(), n);
+  return kernels::all_leq(a.data(), b.data(), n);
+}
+
+bool TreeClock::check_shape(std::string* why) const {
+  const auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (nodes_[root_].parent != kNull) return fail("root has a parent");
+  std::size_t reached = 0;
+  std::vector<std::int32_t> stack = {static_cast<std::int32_t>(root_)};
+  std::vector<bool> seen(nodes_.size(), false);
+  while (!stack.empty()) {
+    const std::int32_t u = stack.back();
+    stack.pop_back();
+    if (seen[static_cast<std::size_t>(u)]) return fail("node reached twice");
+    seen[static_cast<std::size_t>(u)] = true;
+    ++reached;
+    const Node& nu = nodes_[static_cast<std::size_t>(u)];
+    EventIndex prev_aclk = 0;
+    bool first = true;
+    std::int32_t expect_prev = kNull;
+    for (std::int32_t v = nu.head; v != kNull;
+         v = nodes_[static_cast<std::size_t>(v)].next) {
+      const Node& nv = nodes_[static_cast<std::size_t>(v)];
+      if (nv.parent != u) return fail("child/parent link mismatch");
+      if (nv.prev != expect_prev) return fail("sibling prev link mismatch");
+      if (nv.clk == 0) return fail("attached node with zero clk");
+      if (nv.aclk > nu.clk) return fail("child aclk exceeds parent clk");
+      if (!first && nv.aclk > prev_aclk) {
+        return fail("sibling aclk increases front to back");
+      }
+      first = false;
+      prev_aclk = nv.aclk;
+      expect_prev = v;
+      stack.push_back(v);
+    }
+  }
+  if (reached != attached_count_) {
+    return fail("attached_count disagrees with reachable nodes");
+  }
+  for (std::size_t t = 0; t < nodes_.size(); ++t) {
+    if (nodes_[t].clk > 0 && !seen[t]) {
+      return fail("known process not reachable from root");
+    }
+  }
+  return true;
+}
+
+}  // namespace ct

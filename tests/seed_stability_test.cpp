@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "timestamp/tree_clock_store.hpp"
 #include "trace/digest.hpp"
 #include "trace/generators.hpp"
 #include "trace/suite.hpp"
@@ -182,6 +183,50 @@ TEST(SeedStability, DirectGeneratorDigestsAreFrozen) {
   check("locality_random",
         generate_locality_random({.processes = 12, .group_size = 4,
                                   .messages = 80, .seed = 3}));
+  check("adversarial",
+        generate_adversarial({.processes = 12, .groups = 3, .messages = 90,
+                              .seed = 3}));
+  EXPECT_EQ(i, goldens.size());
+}
+
+// Tree-clock backend state digests (TreeClockStore::state_digest): the
+// deterministic replay state of the registry's newest backend — stored rows
+// plus final tree shapes — pinned per seed. The digest is layout
+// independent, so one golden locks the arena AND legacy stores; both are
+// checked. Regenerate with tests/print_seed_goldens on an INTENTIONAL
+// change to the tree-clock join/ingest rules.
+TEST(SeedStability, TreeClockBackendDigestsAreFrozen) {
+  const std::vector<std::pair<std::string, std::uint64_t>> goldens = {
+      {"ring", 0xb24a0893858d6efeull},
+      {"uniform_random", 0xd55fa2a53ae8523aull},
+      {"rpc_business", 0xac1f151067096505ull},
+      {"master_worker", 0x11e443de1e8f841cull},
+      {"adversarial", 0x1ac1b65a9e876c6bull},
+  };
+  std::size_t i = 0;
+  auto check = [&](const std::string& name, const Trace& t) {
+    ASSERT_LT(i, goldens.size());
+    EXPECT_EQ(goldens[i].first, name) << "tree-clock golden order changed";
+    const TreeClockStore arena(t, /*use_arena=*/true);
+    const TreeClockStore legacy(t, /*use_arena=*/false);
+    EXPECT_EQ(arena.state_digest(), goldens[i].second)
+        << "tree-clock state drifted for " << name
+        << " — if intentional, regenerate the goldens";
+    EXPECT_EQ(legacy.state_digest(), goldens[i].second)
+        << "legacy-layout digest diverged from arena for " << name;
+    ++i;
+  };
+
+  check("ring", generate_ring({.processes = 10, .iterations = 6, .seed = 3}));
+  check("uniform_random",
+        generate_uniform_random({.processes = 12, .messages = 80, .seed = 3}));
+  check("rpc_business",
+        generate_rpc_business({.groups = 3, .clients_per_group = 2,
+                               .servers_per_group = 2, .calls = 60,
+                               .seed = 3}));
+  check("master_worker",
+        generate_master_worker({.processes = 12, .tasks = 40, .pods = 2,
+                                .seed = 3}));
   check("adversarial",
         generate_adversarial({.processes = 12, .groups = 3, .messages = 90,
                               .seed = 3}));

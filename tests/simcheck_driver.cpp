@@ -13,6 +13,7 @@
 //
 //   simcheck_driver --seed=1 --schedules=500 --configs-per-schedule=6
 //   simcheck_driver --budget=30            # stop after ~30 wall seconds
+//   simcheck_driver --matrix=backend       # backend-axis slice only
 //   simcheck_driver --replay=tests/simcheck_corpus/foo.ctsim
 #include <chrono>
 #include <cstdio>
@@ -83,8 +84,12 @@ int main(int argc, char** argv) {
     const double budget = args.get_double_or("budget", 0.0);
     const std::string out_dir =
         args.get_or("out-dir", "simcheck-replays");
+    const std::string matrix_name = args.get_or("matrix", "full");
+    CT_CHECK_MSG(matrix_name == "full" || matrix_name == "backend",
+                 "--matrix must be 'full' or 'backend'");
 
-    const std::vector<OracleConfig> matrix = full_matrix();
+    const std::vector<OracleConfig> matrix =
+        matrix_name == "backend" ? backend_matrix() : full_matrix();
     std::vector<std::uint64_t> coverage(matrix.size(), 0);
     const auto start = std::chrono::steady_clock::now();
     auto elapsed = [&start] {

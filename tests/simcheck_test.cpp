@@ -101,7 +101,7 @@ TEST(DifferentialOracle, CleanSeedsRunWithoutDivergence) {
 
 TEST(DifferentialOracle, FullMatrixShape) {
   const auto matrix = full_matrix();
-  EXPECT_EQ(matrix.size(), 108u);  // 4 backends×4×3×2 + broker×2×3×2
+  EXPECT_EQ(matrix.size(), 110u);  // 4 backends×4×3×2 + broker×2×3×2 + tree×2
   std::set<std::string> labels;
   for (const OracleConfig& cfg : matrix) labels.insert(cfg.label());
   EXPECT_EQ(labels.size(), matrix.size());  // labels are unique
