@@ -785,6 +785,26 @@ std::size_t ClusterTimestampEngine::arena_words() const {
   return snap != nullptr ? snap->arena.pool_words() : 0;
 }
 
+void ClusterTimestampEngine::export_arena(ArenaExportSink& sink) const {
+  static_assert(kExportFullRow == kFullRowAux &&
+                kExportNoProbe == kNoProbe);
+  CT_CHECK_MSG(config_.use_arena, "export_arena requires arena mode");
+  const ArenaSnapshot& snap = *snapshot();
+  sink.pool(snap.arena.pool_data(), snap.arena.pool_words());
+  for (std::size_t id = 0; id < snap.covered_sets.size(); ++id) {
+    sink.covered_set(static_cast<std::uint32_t>(id),
+                     std::span<const ProcessId>(*snap.covered_sets[id].procs));
+  }
+  for (ProcessId p = 0; p < snap.row_refs.size(); ++p) {
+    for (std::size_t i = 0; i < snap.row_refs[p].size(); ++i) {
+      const RowRef& ref = snap.row_refs[p][i];
+      sink.row(p, ref.offset, ref.aux, ref.probe_off,
+               snap.arena.width(row_handles_[p][i]));
+    }
+    sink.probes(p, snap.probe_pool[p].data(), snap.probe_pool[p].size());
+  }
+}
+
 std::uint64_t ClusterTimestampEngine::state_digest() const {
   constexpr std::uint64_t kPrime = 0x100000001b3ull;
   std::uint64_t h = 0xcbf29ce484222325ull;

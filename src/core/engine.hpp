@@ -207,6 +207,43 @@ class ClusterTimestampEngine {
   /// Builds a cursor anchored at `anchor` (arena mode only).
   PrecedenceCursor cursor(const Event& anchor) const;
 
+  // --- columnar export (src/store/) -------------------------------------
+
+  /// Sentinels of the exported arena layout, shared with the on-disk CTC1
+  /// columnar format: a row whose aux is kExportFullRow holds a full
+  /// Fidge/Mattern vector; a probe slot of kExportNoProbe means "no cluster
+  /// receive at or below the bound".
+  static constexpr std::uint32_t kExportFullRow = 0xffff'ffffu;
+  static constexpr std::uint32_t kExportNoProbe = 0xffff'ffffu;
+
+  /// Read-only visitor over the published arena snapshot. The columnar
+  /// snapshot store persists exactly what precedes_arena reads — the
+  /// component pool, per-event row descriptors, resolved probe rows, and
+  /// interned covered sets — so a mapped snapshot can answer precedence
+  /// without replaying anything. Callbacks arrive in a fixed order: pool,
+  /// covered sets (by ascending id), then per process its rows (ascending
+  /// event index) followed by its probe pool.
+  class ArenaExportSink {
+   public:
+    virtual ~ArenaExportSink() = default;
+    virtual void pool(const EventIndex* data, std::size_t words) = 0;
+    virtual void covered_set(std::uint32_t id,
+                             std::span<const ProcessId> procs) = 0;
+    /// One event row: pool offset, covered-set id (or kExportFullRow),
+    /// probe offset, and stored component width.
+    virtual void row(ProcessId p, std::uint32_t offset, std::uint32_t aux,
+                     std::uint32_t probe_off, std::uint32_t width) = 0;
+    virtual void probes(ProcessId p, const std::uint32_t* offsets,
+                        std::size_t count) = 0;
+  };
+
+  /// True when export_arena may be called (arena mode on).
+  bool can_export_arena() const { return config_.use_arena; }
+
+  /// Visits the published snapshot. Single-writer phase only: no observe()
+  /// or repair may run concurrently.
+  void export_arena(ArenaExportSink& sink) const;
+
   const ClusterSet& clusters() const { return clusters_; }
   ClusterEngineStats stats() const;
 

@@ -1,6 +1,7 @@
 #include "durability/recovery.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -11,46 +12,8 @@
 
 namespace ct {
 
-RecoveredMonitor recover_monitor(const StorageBackend& storage,
-                                 std::size_t process_count,
-                                 const MonitorOptions& options,
-                                 const std::string& ns) {
-  RecoveredMonitor out;
-  RecoveryReport& report = out.report;
-
-  // ---- 1. newest usable snapshot (of this namespace only) ----
-  std::vector<std::pair<std::uint64_t, std::string>> snapshots;
-  for (const std::string& name : storage.list()) {
-    if (const auto seq = wal::parse_snapshot_name(name, ns)) {
-      snapshots.emplace_back(*seq, name);
-    }
-  }
-  std::sort(snapshots.rbegin(), snapshots.rend());  // newest first
-  for (const auto& [seq, name] : snapshots) {
-    try {
-      std::istringstream in(storage.read(name));
-      SnapshotMeta meta;
-      auto monitor = load_snapshot(in, &meta);
-      if (meta.wal_record_seq != seq) {
-        // The object name promises a WAL position the file does not carry
-        // (v1 snapshot or a renamed object): structurally suspect, skip.
-        ++report.snapshots_rejected;
-        continue;
-      }
-      out.monitor = std::move(monitor);
-      report.snapshot_object = name;
-      report.snapshot_seq = seq;
-      break;
-    } catch (const CheckFailure&) {
-      ++report.snapshots_rejected;
-    }
-  }
-  if (!out.monitor) {
-    out.monitor = std::make_unique<MonitoringEntity>(process_count, options);
-  }
-
-  // ---- 2 + 3. scan the WAL, replay the tail ----
-  const wal::WalScan scan = wal::scan_wal(storage, report.snapshot_seq, ns);
+void replay_wal_tail(const wal::WalScan& scan, MonitoringEntity& monitor,
+                     RecoveryReport& report) {
   report.segments_scanned = scan.segments_scanned;
   report.truncated = scan.truncated;
   report.truncate_detail = scan.detail;
@@ -76,15 +39,15 @@ RecoveredMonitor recover_monitor(const StorageBackend& storage,
   // Replay through the delivered-order restore path (not ingest — see the
   // header comment): the WAL tail is the recorded delivery order, verbatim.
   for (std::size_t i = 0; i < replayable; ++i) {
-    out.monitor->replay_delivered(scan.records[i].event);
+    monitor.replay_delivered(scan.records[i].event);
     ++report.replayed;
   }
-  MonitorHealth health = out.monitor->health();
+  MonitorHealth health = monitor.health();
   health.ingested += report.replayed;
   health.delivered += report.replayed;
-  out.monitor->finish_restore(health);
+  monitor.finish_restore(health);
 
-  report.recovered_seq = out.monitor->delivery_log().size();
+  report.recovered_seq = monitor.delivery_log().size();
   CT_CHECK_MSG(report.recovered_seq == report.snapshot_seq + report.replayed,
                "recovery accounting: snapshot " << report.snapshot_seq
                                                 << " + replayed "
@@ -92,7 +55,7 @@ RecoveredMonitor recover_monitor(const StorageBackend& storage,
                                                 << " != delivered "
                                                 << report.recovered_seq);
 
-  // ---- 4. re-apply the newest committed migration; discard the rest ----
+  // ---- re-apply the newest committed migration; discard the rest ----
   // The snapshot already bakes every migration committed at or before its
   // position (options.preset_partition); only a commit in the replayed tail
   // can be newer. Intents without commits are the crash's rollbacks.
@@ -102,7 +65,7 @@ RecoveredMonitor recover_monitor(const StorageBackend& storage,
       ++report.migrations_discarded;
       continue;
     }
-    if (m.epoch <= out.monitor->migration_epoch()) continue;
+    if (m.epoch <= monitor.migration_epoch()) continue;
     if (newest == nullptr || m.epoch > newest->epoch) newest = &m;
   }
   if (newest != nullptr) {
@@ -114,10 +77,79 @@ RecoveredMonitor recover_monitor(const StorageBackend& storage,
                  "committed migration at position "
                      << newest->position << " beyond recovered prefix "
                      << report.recovered_seq);
-    out.monitor->apply_migration(newest->partition, newest->epoch);
+    monitor.apply_migration(newest->partition, newest->epoch);
     report.migrations_applied = 1;
   }
-  report.migration_epoch = out.monitor->migration_epoch();
+  report.migration_epoch = monitor.migration_epoch();
+}
+
+RecoveredMonitor recover_monitor(const StorageBackend& storage,
+                                 std::size_t process_count,
+                                 const MonitorOptions& options,
+                                 const std::string& ns) {
+  RecoveredMonitor out;
+  RecoveryReport& report = out.report;
+
+  // ---- 1. newest usable snapshot (of this namespace only) ----
+  std::vector<std::pair<std::uint64_t, std::string>> snapshots;
+  for (const std::string& name : storage.list()) {
+    if (const auto seq = wal::parse_snapshot_name(name, ns)) {
+      snapshots.emplace_back(*seq, name);
+    }
+  }
+  std::sort(snapshots.rbegin(), snapshots.rend());  // newest first
+  std::optional<wal::WalScan> scan;  // the scan the accepted snapshot used
+  auto reject = [&report](std::size_t* cause, const std::string& name,
+                          const std::string& detail) {
+    ++report.snapshots_rejected;
+    ++*cause;
+    report.rejection_details.push_back(name + ": " + detail);
+  };
+  for (const auto& [seq, name] : snapshots) {
+    std::unique_ptr<MonitoringEntity> monitor;
+    try {
+      std::istringstream in(storage.read(name));
+      SnapshotMeta meta;
+      monitor = load_snapshot(in, &meta);
+      if (meta.wal_record_seq != seq) {
+        // The object name promises a WAL position the file does not carry
+        // (a v1 snapshot or a renamed object): structurally suspect, skip.
+        reject(&report.snapshots_rejected_structural, name,
+               "embedded WAL position " +
+                   std::to_string(meta.wal_record_seq) +
+                   " disagrees with the object name");
+        continue;
+      }
+    } catch (const CheckFailure& failure) {
+      // load_snapshot tags its errors with the byte offset of the failure.
+      reject(&report.snapshots_rejected_structural, name, failure.what());
+      continue;
+    }
+    // Structurally sound. Before accepting, make sure the durable log
+    // actually reaches the position the snapshot claims to cover: a
+    // snapshot past the log end would make recovery silently skip the
+    // records in between (nothing to replay, nothing to notice).
+    wal::WalScan candidate = wal::scan_wal(storage, seq, ns);
+    if (candidate.segments_scanned > 0 && candidate.log_end < seq) {
+      reject(&report.snapshots_rejected_position, name,
+             "references WAL position " + std::to_string(seq) +
+                 " past the durable log end " +
+                 std::to_string(candidate.log_end));
+      continue;
+    }
+    out.monitor = std::move(monitor);
+    report.snapshot_object = name;
+    report.snapshot_seq = seq;
+    scan = std::move(candidate);
+    break;
+  }
+  if (!out.monitor) {
+    out.monitor = std::make_unique<MonitoringEntity>(process_count, options);
+    scan = wal::scan_wal(storage, 0, ns);
+  }
+
+  // ---- 2–4. replay the WAL tail past the snapshot ----
+  replay_wal_tail(*scan, *out.monitor, report);
   return out;
 }
 

@@ -34,16 +34,33 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "durability/storage.hpp"
 #include "monitor/monitor.hpp"
 
 namespace ct {
 
+namespace wal {
+struct WalScan;
+}
+
 struct RecoveryReport {
   /// Snapshot object the monitor was restored from; empty = from scratch.
   std::string snapshot_object;
-  std::size_t snapshots_rejected = 0;  ///< corrupt snapshots skipped
+  std::size_t snapshots_rejected = 0;  ///< total snapshots skipped
+  /// Rejection causes, counted separately (their sum is
+  /// snapshots_rejected): structurally invalid — bad magic/CRC, a parse
+  /// error at some byte offset, a digest mismatch, or a file whose embedded
+  /// position disagrees with its object name — versus structurally sound
+  /// but referencing a WAL position the durable log never reached (a
+  /// renamed or foreign snapshot; replaying "nothing" after it would
+  /// silently drop the records in between).
+  std::size_t snapshots_rejected_structural = 0;
+  std::size_t snapshots_rejected_position = 0;
+  /// One human-readable line per rejection, byte-offset-tagged where the
+  /// failure names an offset: "object: cause".
+  std::vector<std::string> rejection_details;
   std::uint64_t snapshot_seq = 0;      ///< WAL position the snapshot covered
   std::uint64_t replayed = 0;          ///< WAL tail records re-applied
   std::uint64_t recovered_seq = 0;     ///< records recovered in total
@@ -85,5 +102,16 @@ RecoveredMonitor recover_monitor(const StorageBackend& storage,
                                  std::size_t process_count,
                                  const MonitorOptions& options,
                                  const std::string& ns = "");
+
+/// Steps 2–4 of recovery, shared with the columnar recovery ladder
+/// (src/store/): holds back a trailing unpaired sync half, replays the
+/// scanned tail records past report.snapshot_seq through the delivered-
+/// order restore path, fixes up health accounting, and re-applies the
+/// newest committed migration. Fills report.{replayed, held, recovered_seq,
+/// segments_scanned, truncated, truncate_detail, migrations_*,
+/// migration_epoch}; requires report.snapshot_seq to be the position the
+/// monitor was restored to.
+void replay_wal_tail(const wal::WalScan& scan, MonitoringEntity& monitor,
+                     RecoveryReport& report);
 
 }  // namespace ct

@@ -22,6 +22,8 @@ const char* to_string(CrashFault f) {
     case CrashFault::kTornWrite: return "torn-write";
     case CrashFault::kBitRot: return "bit-rot";
     case CrashFault::kStaleSegment: return "stale-segment";
+    case CrashFault::kStaleRename: return "stale-rename";
+    case CrashFault::kMappedRot: return "mapped-rot";
   }
   return "?";
 }
@@ -84,6 +86,12 @@ void FileStorage::sync_dir() {
 void FileStorage::remove(const std::string& name) {
   CT_CHECK_MSG(::unlink(path(name).c_str()) == 0,
                "cannot remove '" << path(name) << "'");
+}
+
+void FileStorage::rename(const std::string& from, const std::string& to) {
+  CT_CHECK_MSG(::rename(path(from).c_str(), path(to).c_str()) == 0,
+               "cannot rename '" << path(from) << "' to '" << path(to)
+                                 << "'");
 }
 
 bool FileStorage::exists(const std::string& name) const {
@@ -158,6 +166,22 @@ void SimulatedStorage::remove(const std::string& name) {
                  objects_.end());
 }
 
+void SimulatedStorage::rename(const std::string& from, const std::string& to) {
+  auto* o = find_object(from);
+  CT_CHECK_MSG(o != nullptr, "rename of missing object '" << from << "'");
+  CT_CHECK_MSG(!to.empty() && to != from,
+               "bad rename target '" << to << "'");
+  journal_.push_back(Op{OpKind::kRename, from, to});
+  std::string data = std::move(o->second);
+  objects_.erase(std::remove_if(objects_.begin(), objects_.end(),
+                                [&](const auto& e) {
+                                  return e.first == from || e.first == to;
+                                }),
+                 objects_.end());
+  objects_.emplace_back(to, std::move(data));
+  std::sort(objects_.begin(), objects_.end());
+}
+
 bool SimulatedStorage::exists(const std::string& name) const {
   return find_object(name) != nullptr;
 }
@@ -187,6 +211,14 @@ std::vector<std::size_t> SimulatedStorage::append_points() const {
   std::vector<std::size_t> points;
   for (std::size_t i = 0; i < journal_.size(); ++i) {
     if (journal_[i].kind == OpKind::kAppend) points.push_back(i + 1);
+  }
+  return points;
+}
+
+std::vector<std::size_t> SimulatedStorage::rename_points() const {
+  std::vector<std::size_t> points;
+  for (std::size_t i = 0; i < journal_.size(); ++i) {
+    if (journal_[i].kind == OpKind::kRename) points.push_back(i + 1);
   }
   return points;
 }
@@ -240,6 +272,8 @@ std::unique_ptr<SimulatedStorage> SimulatedStorage::materialize(
     case CrashFault::kClean:
     case CrashFault::kBitRot:
     case CrashFault::kStaleSegment:
+    case CrashFault::kStaleRename:
+    case CrashFault::kMappedRot:
       break;
     case CrashFault::kLostSuffix:
       boundary = 0;
@@ -274,10 +308,18 @@ std::unique_ptr<SimulatedStorage> SimulatedStorage::materialize(
   // (a materialized storage starts with an empty journal, so after one
   // crash everything it holds is base — double-crash scenarios compose).
   {
-    // Objects created by the journal in [0, journal_.size()).
+    // Objects created by the journal in [0, journal_.size()), tracked
+    // through renames so a journal-created tmp renamed to its final name
+    // is not mistaken for a pre-journal base object.
     std::vector<std::string> created;
     for (const Op& op : journal_) {
-      if (op.kind == OpKind::kCreate) created.push_back(op.name);
+      if (op.kind == OpKind::kCreate) {
+        created.push_back(op.name);
+      } else if (op.kind == OpKind::kRename) {
+        for (auto& c : created) {
+          if (c == op.name) { c = op.data; break; }
+        }
+      }
     }
     for (const auto& o : objects_) {
       if (std::find(created.begin(), created.end(), o.first) ==
@@ -299,6 +341,19 @@ std::unique_ptr<SimulatedStorage> SimulatedStorage::materialize(
       }
     }
     std::sort(image->objects_.begin(), image->objects_.end());
+  }
+
+  // kStaleRename: one rename since the last sync_dir never became durable —
+  // pick the victim now so the replay below can leave the old name in place.
+  std::size_t stale_rename = journal_.size();  // sentinel: none
+  if (spec.fault == CrashFault::kStaleRename) {
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = last_dir_sync; i < cut; ++i) {
+      if (journal_[i].kind == OpKind::kRename) candidates.push_back(i);
+    }
+    if (!candidates.empty()) {
+      stale_rename = candidates[prng.index(candidates.size())];
+    }
   }
 
   std::size_t next_unsynced = 0;  // index into `unsynced`
@@ -332,13 +387,33 @@ std::unique_ptr<SimulatedStorage> SimulatedStorage::materialize(
                            [&](const auto& o) { return o.first == op.name; }),
             image->objects_.end());
         break;
+      case OpKind::kRename: {
+        if (i == stale_rename) break;  // never reached the platter
+        auto* o = image->find_object(op.name);
+        if (o == nullptr) break;  // source itself did not survive
+        std::string data = std::move(o->second);
+        image->objects_.erase(
+            std::remove_if(image->objects_.begin(), image->objects_.end(),
+                           [&](const auto& e) {
+                             return e.first == op.name || e.first == op.data;
+                           }),
+            image->objects_.end());
+        image->objects_.emplace_back(op.data, std::move(data));
+        std::sort(image->objects_.begin(), image->objects_.end());
+        break;
+      }
     }
   }
 
   if (spec.fault == CrashFault::kBitRot) {
     // Flip one bit somewhere in the un-synced appended bytes, as they
     // landed in the image.
-    std::vector<std::pair<std::string, std::size_t>> targets;  // name, offset
+    struct RotTarget {
+      std::string name;
+      std::size_t offset;
+      std::size_t op;  // journal index of the append, to chase renames
+    };
+    std::vector<RotTarget> targets;
     std::vector<std::pair<std::string, std::size_t>> written;  // name, bytes
     auto synced_len = [&](const std::string& name) {
       for (auto& w : written) {
@@ -375,18 +450,26 @@ std::unique_ptr<SimulatedStorage> SimulatedStorage::materialize(
         if (last_sync[i] == 0) {
           const std::size_t at = synced_len(op.name);
           for (std::size_t b = 0; b < op.data.size(); ++b) {
-            targets.emplace_back(op.name, at + b);
+            targets.push_back(RotTarget{op.name, at + b, i});
           }
         }
         bump(op.name, op.data.size());
       }
     }
     if (!targets.empty()) {
-      const auto& [name, offset] = targets[prng.index(targets.size())];
+      const RotTarget& t = targets[prng.index(targets.size())];
+      // The appended-to object may have been renamed after the append (a
+      // snapshot tmp published to its final name) — chase renames forward.
+      std::string name = t.name;
+      for (std::size_t i = t.op + 1; i < cut; ++i) {
+        if (journal_[i].kind == OpKind::kRename && journal_[i].name == name) {
+          name = journal_[i].data;
+        }
+      }
       if (auto* o = image->find_object(name)) {
-        if (offset < o->second.size()) {
-          o->second[offset] = static_cast<char>(
-              static_cast<unsigned char>(o->second[offset]) ^
+        if (t.offset < o->second.size()) {
+          o->second[t.offset] = static_cast<char>(
+              static_cast<unsigned char>(o->second[t.offset]) ^
               (1u << prng.index(8)));
         }
       }
@@ -410,6 +493,25 @@ std::unique_ptr<SimulatedStorage> SimulatedStorage::materialize(
           std::remove_if(image->objects_.begin(), image->objects_.end(),
                          [&](const auto& o) { return o.first == victim; }),
           image->objects_.end());
+    }
+  }
+
+  if (spec.fault == CrashFault::kMappedRot) {
+    // Media decay: one bit anywhere in the durable image — synced bytes
+    // included. Sync barriers offer no protection here; only checksums do.
+    std::size_t total = 0;
+    for (const auto& o : image->objects_) total += o.second.size();
+    if (total > 0) {
+      std::size_t at = prng.index(total);
+      for (auto& o : image->objects_) {
+        if (at < o.second.size()) {
+          o.second[at] = static_cast<char>(
+              static_cast<unsigned char>(o.second[at]) ^
+              (1u << prng.index(8)));
+          break;
+        }
+        at -= o.second.size();
+      }
     }
   }
 

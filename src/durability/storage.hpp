@@ -48,6 +48,10 @@ class StorageBackend {
   virtual void sync_dir() = 0;
   /// Removes an object. Not durable until sync_dir().
   virtual void remove(const std::string& name) = 0;
+  /// Atomically renames an object, replacing any existing target. The
+  /// publication primitive of the columnar snapshot store (write-temp →
+  /// sync → rename → sync_dir). Not durable until sync_dir().
+  virtual void rename(const std::string& from, const std::string& to) = 0;
 
   virtual bool exists(const std::string& name) const = 0;
   /// Object names in lexicographic order.
@@ -67,6 +71,7 @@ class FileStorage final : public StorageBackend {
   void sync(const std::string& name) override;
   void sync_dir() override;
   void remove(const std::string& name) override;
+  void rename(const std::string& from, const std::string& to) override;
   bool exists(const std::string& name) const override;
   std::vector<std::string> list() const override;
   std::string read(const std::string& name) const override;
@@ -98,6 +103,15 @@ enum class CrashFault : std::uint8_t {
   /// sync_dir(), whose directory entry never became durable — the file
   /// vanishes wholesale, synced bytes and all.
   kStaleSegment,
+  /// Everything persists except one rename() since the last sync_dir(),
+  /// which never reached the platter: the object is still there under its
+  /// *old* name — a half-published snapshot generation.
+  kStaleRename,
+  /// Not a crash at all: one bit anywhere in the durable image flips —
+  /// media decay of a cold mapped region, discovered only when the page is
+  /// next read. The lone fault that may corrupt *synced* bytes; consumers
+  /// must detect it by checksum, never by trusting sync barriers.
+  kMappedRot,
 };
 
 const char* to_string(CrashFault f);
@@ -118,11 +132,11 @@ struct CrashSpec {
 class SimulatedStorage final : public StorageBackend {
  public:
   enum class OpKind : std::uint8_t { kCreate, kAppend, kSync, kSyncDir,
-                                     kRemove };
+                                     kRemove, kRename };
   struct Op {
     OpKind kind;
-    std::string name;   // empty for kSyncDir
-    std::string data;   // kAppend payload
+    std::string name;   // empty for kSyncDir; kRename source
+    std::string data;   // kAppend payload; kRename target name
   };
 
   SimulatedStorage() = default;
@@ -132,6 +146,7 @@ class SimulatedStorage final : public StorageBackend {
   void sync(const std::string& name) override;
   void sync_dir() override;
   void remove(const std::string& name) override;
+  void rename(const std::string& from, const std::string& to) override;
   bool exists(const std::string& name) const override;
   std::vector<std::string> list() const override;
   std::string read(const std::string& name) const override;
@@ -147,6 +162,10 @@ class SimulatedStorage final : public StorageBackend {
   /// Journal positions immediately AFTER each kAppend — the candidate
   /// short/torn-write cuts.
   std::vector<std::size_t> append_points() const;
+
+  /// Journal positions immediately AFTER each kRename — the candidate
+  /// kStaleRename cuts (a half-published snapshot generation).
+  std::vector<std::size_t> rename_points() const;
 
   /// The disk image a crash at `spec` leaves behind, as a fresh storage
   /// whose contents are fully durable (recovery then runs against it).

@@ -197,6 +197,9 @@ WalScan scan_wal(const StorageBackend& storage, std::uint64_t from_seq,
            std::to_string(scan.next_seq));
       return scan;
     }
+    // The header attests the log once reached hfirst (records before it
+    // were pruned under checkpoint cover), even if this segment is empty.
+    if (hfirst.value > scan.log_end) scan.log_end = hfirst.value;
 
     // ---- frames ----
     std::uint64_t seq = hfirst.value;
@@ -268,6 +271,7 @@ WalScan scan_wal(const StorageBackend& storage, std::uint64_t from_seq,
           scan.records.push_back(wal::WalRecord{seq, e});
           scan.next_seq = seq + 1;
         }
+        if (seq + 1 > scan.log_end) scan.log_end = seq + 1;
         ++seq;
       } else if (type == kCommitFrame) {
         std::size_t p = 0;

@@ -232,6 +232,12 @@ struct WalScan {
   /// partition — always superseded by a snapshot's baked epoch.
   std::vector<WalMigration> migrations;
   std::uint64_t next_seq = 0;  ///< one past the last valid record
+  /// One past the last valid record seq physically present in the durable
+  /// log, INCLUDING records below from_seq. Lets recovery tell "the log
+  /// simply ends at the snapshot's position" (log_end >= from_seq) from "a
+  /// snapshot claims a WAL position the log never reached" (log_end <
+  /// from_seq with segments present) — the position-gap rejection cause.
+  std::uint64_t log_end = 0;
   std::size_t segments_scanned = 0;
   bool truncated = false;      ///< stopped before the physical end
   std::string detail;          ///< what stopped the scan

@@ -274,6 +274,17 @@ std::optional<ClusterEngineStats> MonitoringEntity::cluster_stats() const {
   return cluster_->stats();
 }
 
+bool MonitoringEntity::can_export_arena() const {
+  return cluster_ != nullptr && cluster_->can_export_arena();
+}
+
+void MonitoringEntity::export_arena(
+    ClusterTimestampEngine::ArenaExportSink& sink) const {
+  CT_CHECK_MSG(can_export_arena(),
+               "columnar export requires the cluster backend in arena mode");
+  cluster_->export_arena(sink);
+}
+
 std::uint64_t MonitoringEntity::state_digest() const {
   std::uint64_t h = kFnvOffset;
   fnv_mix(h, process_count_);

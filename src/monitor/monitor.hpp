@@ -42,6 +42,11 @@ class MonitoringEntity;
 struct SnapshotMeta;      // trace/snapshot.hpp
 class StorageBackend;     // durability/storage.hpp
 struct RecoveredMonitor;  // durability/recovery.hpp
+struct RecoveryReport;    // durability/recovery.hpp
+struct ColumnarRestorer;  // store/recovery_ladder.cpp
+namespace wal {
+struct WalScan;  // durability/wal.hpp
+}
 void save_snapshot(std::ostream& out, const MonitoringEntity& monitor);
 std::unique_ptr<MonitoringEntity> load_snapshot(std::istream& in);
 
@@ -211,6 +216,16 @@ class MonitoringEntity {
                     std::vector<std::vector<ProcessId>> partition,
                     std::uint64_t epoch);
 
+  // --- columnar snapshot hooks (src/store/) ----------------------------
+
+  /// True when the active backend can export its arena for the CTC1
+  /// columnar snapshot store (cluster backend in arena mode).
+  bool can_export_arena() const;
+
+  /// Visits the cluster engine's published arena snapshot (see
+  /// core/engine.hpp). Requires can_export_arena(); single-writer phase.
+  void export_arena(ClusterTimestampEngine::ArenaExportSink& sink) const;
+
   /// Reconstructs the delivered prefix as an immutable Trace (the broker's
   /// fallback backends — differential, on-demand FM — are built over it).
   /// Valid because delivered events always form a causally closed prefix
@@ -231,6 +246,14 @@ class MonitoringEntity {
                                           std::size_t process_count,
                                           const MonitorOptions& options,
                                           const std::string& ns);
+  // The shared WAL-tail replay of recovery and the columnar ladder
+  // (durability/recovery.cpp) — same delivered-order restore path.
+  friend void replay_wal_tail(const wal::WalScan& scan,
+                              MonitoringEntity& monitor,
+                              RecoveryReport& report);
+  // CTC1 columnar restore (store/recovery_ladder.cpp) replays the
+  // snapshot's event columns through the delivered-order path.
+  friend struct ColumnarRestorer;
 
   void deliver(const Event& e);
   const Event& stored_event(EventId id) const;

@@ -12,6 +12,8 @@
 #include "monitor/monitor.hpp"
 #include "monitor/queries.hpp"
 #include "recluster/coordinator.hpp"
+#include "store/recovery_ladder.hpp"
+#include "store/snapshot_store.hpp"
 #include "timestamp/ondemand_fm.hpp"
 #include "util/check.hpp"
 #include "util/prng.hpp"
@@ -61,10 +63,29 @@ CrashSweepReport run_crash_sweep(const SimSchedule& schedule,
     std::vector<std::vector<ProcessId>> partition;
   };
   std::vector<CommittedMigration> committed;
+  // Every CTC1 generation the recording pass published: after any crash, a
+  // mapped-rung recovery must restore exactly one of these (generation AND
+  // covered position) — anything else is a half-published or foreign image
+  // the ladder failed to quarantine.
+  struct PublishedGen {
+    std::uint64_t generation;
+    std::uint64_t delivered;
+  };
+  std::vector<PublishedGen> published;
+  ColumnarPublishOptions copts;
+  copts.block_bytes = 1024;  // small blocks: mid-column faults hit many
   {
     MonitoringEntity monitor(schedule.process_count, mo);
     DurableLog log(sim, wo);
     monitor.set_delivery_tap([&log](const Event& e) { log.append(e); });
+    auto publish = [&](std::uint64_t generation) {
+      // checkpoint()/sync() made the covered prefix durable first, so a
+      // publication sync boundary still loses nothing.
+      publish_columnar(sim, monitor, generation, copts);
+      published.push_back(
+          PublishedGen{generation, monitor.delivery_log().size()});
+      ++report.generations_published;
+    };
     MigrationConfig mc;
     mc.planner.hysteresis = 0.1;
     mc.planner.max_moves = 4;
@@ -82,6 +103,9 @@ CrashSweepReport run_crash_sweep(const SimSchedule& schedule,
           monitor.ingest(op.event);
         } else if (op.kind == SimOp::Kind::kCheckpointRestore) {
           log.checkpoint(monitor);
+          if (params.columnar_store) {
+            publish(static_cast<std::uint64_t>(published.size()) + 1);
+          }
         } else if (op.kind == SimOp::Kind::kMigrate) {
           const auto fault = static_cast<MigrationFault>(op.b % 3);
           const MigrationOutcome outcome = coordinator.run_cycle(fault);
@@ -97,6 +121,9 @@ CrashSweepReport run_crash_sweep(const SimSchedule& schedule,
         // oracle's business; the sweep only needs the delivered stream.
       }
       log.sync();
+      if (params.columnar_store) {
+        publish(static_cast<std::uint64_t>(published.size()) + 1);
+      }
     } catch (const CheckFailure& fail) {
       diverge(sim.op_count(), "recording", fail.what());
       return report;
@@ -127,6 +154,22 @@ CrashSweepReport run_crash_sweep(const SimSchedule& schedule,
   sample_appends(params.short_samples, CrashFault::kShortWrite);
   sample_appends(params.rot_samples, CrashFault::kBitRot);
   sample_appends(params.stale_samples, CrashFault::kStaleSegment);
+  if (params.columnar_store) {
+    // A publication rename whose directory entry the crash reverted: cut
+    // just past a sampled rename, before any later sync_dir re-hardens it.
+    const std::vector<std::size_t> renames = sim.rename_points();
+    for (std::size_t i = 0;
+         i < params.stale_rename_samples && !renames.empty(); ++i) {
+      const std::size_t at = renames[prng.index(renames.size())];
+      const std::size_t cut =
+          std::min(at + 1 + prng.index(3), sim.op_count());
+      points.push_back(Point{cut, CrashFault::kStaleRename, prng(), false});
+    }
+    // Bit rot in the DURABLE image (mapped-region decay): the one fault
+    // that may corrupt synced bytes, so it is never sampled as a
+    // sync-boundary point — detection, not loss-freedom, is its contract.
+    sample_appends(params.mapped_rot_samples, CrashFault::kMappedRot);
+  }
   points.push_back(Point{sim.op_count(), CrashFault::kClean, prng(), true});
 
   // ---- sweep -------------------------------------------------------------
@@ -136,11 +179,13 @@ CrashSweepReport run_crash_sweep(const SimSchedule& schedule,
                               "/" + to_string(params.policy);
 
     // What an ideal disk kept at this cut — the loss-accounting baseline.
-    RecoveredMonitor perfect;
+    // Both recoveries run the full ladder: with the columnar store off no
+    // CTC1 objects exist and the ladder IS recover_monitor.
+    LadderRecovery perfect;
     try {
       const auto ideal =
           sim.materialize(CrashSpec{point.cut, CrashFault::kClean, 0});
-      perfect = recover_monitor(*ideal, schedule.process_count, mo);
+      perfect = recover_with_ladder(*ideal, schedule.process_count, mo);
     } catch (const CheckFailure& fail) {
       diverge(point.cut, label,
               std::string("perfect-image recovery threw: ") + fail.what());
@@ -153,17 +198,55 @@ CrashSweepReport run_crash_sweep(const SimSchedule& schedule,
       break;
     }
 
-    RecoveredMonitor got;
+    LadderRecovery got;
     try {
       const auto image = sim.materialize(
           CrashSpec{point.cut, point.fault, point.seed});
-      got = recover_monitor(*image, schedule.process_count, mo);
+      got = recover_with_ladder(*image, schedule.process_count, mo);
     } catch (const CheckFailure& fail) {
       diverge(point.cut, label,
               std::string("crashed-image recovery threw: ") + fail.what());
       break;
     }
     ++report.crash_points;
+    switch (got.rung) {
+      case RecoveryRung::kMapped:
+      case RecoveryRung::kMappedPrior:
+        ++report.ladder_mapped;
+        break;
+      case RecoveryRung::kSnapshot:
+        ++report.ladder_snapshot;
+        break;
+      case RecoveryRung::kWalReplay:
+      case RecoveryRung::kScratch:
+        ++report.ladder_wal;
+        break;
+    }
+    report.snapshots_quarantined +=
+        got.health.total_rejected() + got.health.tmp_quarantined;
+
+    // Generation membership: a mapped-rung recovery must have restored a
+    // generation the recording pass actually published, at exactly the
+    // position it covered — never a half-published or foreign image.
+    if (got.rung == RecoveryRung::kMapped ||
+        got.rung == RecoveryRung::kMappedPrior) {
+      ++report.checks;
+      bool known = false;
+      for (const PublishedGen& pg : published) {
+        if (pg.generation == got.generation) {
+          known = pg.delivered == got.report.snapshot_seq;
+          break;
+        }
+      }
+      if (!known) {
+        diverge(point.cut, label,
+                "mapped recovery restored generation " +
+                    std::to_string(got.generation) + " at position " +
+                    std::to_string(got.report.snapshot_seq) +
+                    ", which the recording pass never published");
+        break;
+      }
+    }
     if (point.at_sync_boundary) {
       // counted above
     } else if (point.fault == CrashFault::kTornWrite) {

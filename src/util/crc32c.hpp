@@ -3,10 +3,16 @@
 // The WAL (src/durability/wal.hpp) frames every record with a CRC32C so a
 // torn, short, or bit-rotted write is detected at recovery instead of
 // replayed into the monitor; the CTS1 snapshot appends a whole-file CRC32C
-// trailer for the same reason. Software byte-table implementation: the
-// durability hot path is bounded by fsync, not by checksumming, so there is
-// no need for SSE4.2 dispatch — and the table is computed at compile time,
-// so the header stays dependency-free.
+// trailer, and the CTC1 columnar store (src/store/format.hpp) checksums
+// every block of every column segment for the same reason.
+//
+// Two tiers, same wire format. Short inputs (WAL frames — fsync-bound
+// anyway) use the compile-time byte table inline. Longer inputs route
+// through crc32c_long(), which runtime-dispatches to the SSE4.2 crc32
+// instruction on x86-64 (crc32c.cpp, same detection idiom as
+// core/precedence_kernels.cpp): the mapped snapshot cold-start path
+// verifies hundreds of megabytes of block CRCs before serving, and there
+// the table implementation — ~0.25 GB/s vs ~15 GB/s — IS the cold start.
 #pragma once
 
 #include <array>
@@ -35,17 +41,27 @@ inline constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
 inline constexpr std::array<std::uint32_t, 256> kCrc32cTable =
     make_crc32c_table();
 
+/// Byte-table CRC32C kernel over the raw (pre-inverted) state.
+inline std::uint32_t crc32c_table_raw(std::string_view data,
+                                      std::uint32_t crc) {
+  for (const char c : data) {
+    crc = kCrc32cTable[(crc ^ static_cast<unsigned char>(c)) & 0xff] ^
+          (crc >> 8);
+  }
+  return crc;
+}
+
 }  // namespace detail
+
+/// Hardware-dispatched CRC32C for long inputs (crc32c.cpp). Bit-identical
+/// to the table tier; falls back to it off x86-64 or pre-SSE4.2.
+std::uint32_t crc32c_long(std::string_view data, std::uint32_t seed);
 
 /// CRC32C of `data`, continuing from `seed` (0 for a fresh checksum).
 /// crc32c(b) == crc32c(b2, crc32c(b1)) for any split b = b1 + b2.
 inline std::uint32_t crc32c(std::string_view data, std::uint32_t seed = 0) {
-  std::uint32_t crc = ~seed;
-  for (const char c : data) {
-    crc = detail::kCrc32cTable[(crc ^ static_cast<unsigned char>(c)) & 0xff] ^
-          (crc >> 8);
-  }
-  return ~crc;
+  if (data.size() >= 64) return crc32c_long(data, seed);
+  return ~detail::crc32c_table_raw(data, ~seed);
 }
 
 }  // namespace ct

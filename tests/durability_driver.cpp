@@ -103,6 +103,8 @@ int main(int argc, char** argv) {
     std::size_t ran = 0, points = 0, sync_points = 0, torn_points = 0;
     std::uint64_t total_checks = 0, total_lost = 0;
     std::uint64_t migrations = 0, rollbacks = 0;
+    std::size_t generations = 0, quarantined = 0;
+    std::size_t rung_mapped = 0, rung_snapshot = 0, rung_wal = 0;
     for (std::size_t i = 0; i < schedules; ++i) {
       if (budget > 0.0 && elapsed() > budget) break;
       const std::uint64_t schedule_seed = params.seed + i;
@@ -116,16 +118,26 @@ int main(int argc, char** argv) {
       total_lost += report.records_lost;
       migrations += report.migrations_committed;
       rollbacks += report.migrations_rolled_back;
+      generations += report.generations_published;
+      quarantined += report.snapshots_quarantined;
+      rung_mapped += report.ladder_mapped;
+      rung_snapshot += report.ladder_snapshot;
+      rung_wal += report.ladder_wal;
       if (verbose) {
         std::printf(
             "schedule %llu (%s): %zu crash points (%zu sync, %zu torn), "
-            "%llu lost, %llu migrations (+%llu rolled back), %llu checks\n",
+            "%llu lost, %llu migrations (+%llu rolled back), "
+            "%zu generations, rungs %zu/%zu/%zu, %zu quarantined, "
+            "%llu checks\n",
             static_cast<unsigned long long>(schedule_seed),
             schedule.name.c_str(), report.crash_points,
             report.sync_boundary_points, report.torn_points,
             static_cast<unsigned long long>(report.records_lost),
             static_cast<unsigned long long>(report.migrations_committed),
             static_cast<unsigned long long>(report.migrations_rolled_back),
+            report.generations_published, report.ladder_mapped,
+            report.ladder_snapshot, report.ladder_wal,
+            report.snapshots_quarantined,
             static_cast<unsigned long long>(report.checks));
       }
       if (report.ok()) continue;
@@ -162,12 +174,15 @@ int main(int argc, char** argv) {
     std::printf(
         "durability OK: %zu schedules, %zu crash points "
         "(%zu sync boundaries, %zu mid-record), %llu records lost+accounted, "
-        "%llu migrations committed (%llu rolled back), %llu checks, %.1fs "
+        "%llu migrations committed (%llu rolled back), "
+        "%zu generations published, ladder rungs mapped/snapshot/wal "
+        "%zu/%zu/%zu, %zu snapshots quarantined, %llu checks, %.1fs "
         "[policy %s]\n",
         ran, points, sync_points, torn_points,
         static_cast<unsigned long long>(total_lost),
         static_cast<unsigned long long>(migrations),
-        static_cast<unsigned long long>(rollbacks),
+        static_cast<unsigned long long>(rollbacks), generations, rung_mapped,
+        rung_snapshot, rung_wal, quarantined,
         static_cast<unsigned long long>(total_checks), elapsed(),
         to_string(params.policy));
     return 0;

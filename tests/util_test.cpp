@@ -565,6 +565,29 @@ TEST(Crc32c, DetectsEverySingleBitFlip) {
   }
 }
 
+TEST(Crc32c, HardwareTierMatchesTheTableTier) {
+  // crc32c_long (SSE4.2 where available) must be bit-identical to the byte
+  // table across sizes, alignments, and seeds — every stored checksum in
+  // the WAL and the columnar store depends on the tiers agreeing.
+  Prng prng(7);
+  for (const std::size_t size : std::vector<std::size_t>{
+           0, 1, 7, 8, 9, 63, 64, 65, 1000, 4096, 70000}) {
+    std::string data(size, '\0');
+    for (char& c : data) c = static_cast<char>(prng.index(256));
+    for (const std::uint32_t seed : {0u, 0xdeadbeefu}) {
+      const std::uint32_t table = ~detail::crc32c_table_raw(data, ~seed);
+      EXPECT_EQ(crc32c_long(data, seed), table) << "size " << size;
+      EXPECT_EQ(crc32c(data, seed), table) << "size " << size;
+      // Misaligned start: the hardware tier's alignment preamble.
+      if (size > 3) {
+        const std::string_view tail = std::string_view(data).substr(3);
+        EXPECT_EQ(crc32c_long(tail, seed),
+                  ~detail::crc32c_table_raw(tail, ~seed));
+      }
+    }
+  }
+}
+
 // --------------------------------------------------- varint (hardened decode)
 
 // Exhaustive boundary sweep: every 7-bit length boundary round-trips and
